@@ -1,0 +1,98 @@
+// Command vortexctl is a CLI client for vortexd's HTTP edge API.
+//
+//	vortexctl -addr 127.0.0.1:8550 create-table -table d.t -schema schema.json
+//	vortexctl append -table d.t -rows '[["2024-06-09T00:00:00Z","dev-1","click","/home",12,null]]'
+//	vortexctl query -sql 'SELECT COUNT(*) FROM d.t'
+//	vortexctl optimize -table d.t
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8550", "vortexd address")
+	table := fs.String("table", "", "table id (dataset.table)")
+	schemaPath := fs.String("schema", "", "path to a schema JSON file")
+	rowsJSON := fs.String("rows", "", "rows as a JSON array of arrays")
+	sqlText := fs.String("sql", "", "SQL statement")
+	_ = fs.Parse(os.Args[2:])
+
+	post := func(path string, body any) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := http.Post("http://"+*addr+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		var pretty bytes.Buffer
+		if json.Indent(&pretty, out, "", "  ") == nil {
+			fmt.Println(pretty.String())
+		} else {
+			fmt.Println(string(out))
+		}
+		if resp.StatusCode >= 400 {
+			os.Exit(1)
+		}
+	}
+
+	switch cmd {
+	case "create-table":
+		if *table == "" || *schemaPath == "" {
+			usage()
+		}
+		raw, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		var sc json.RawMessage = raw
+		post("/v1/tables", map[string]any{"table": *table, "schema": sc})
+	case "append":
+		if *table == "" || *rowsJSON == "" {
+			usage()
+		}
+		var rows json.RawMessage = []byte(*rowsJSON)
+		post("/v1/append", map[string]any{"table": *table, "rows": rows})
+	case "query":
+		if *sqlText == "" {
+			usage()
+		}
+		post("/v1/query", map[string]any{"sql": *sqlText})
+	case "optimize":
+		if *table == "" {
+			usage()
+		}
+		post("/v1/optimize", map[string]any{"table": *table})
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vortexctl:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vortexctl <create-table|append|query|optimize> [flags]
+  create-table -table d.t -schema schema.json
+  append       -table d.t -rows '[[...], ...]'
+  query        -sql 'SELECT ...'
+  optimize     -table d.t`)
+	os.Exit(2)
+}

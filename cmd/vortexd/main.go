@@ -1,0 +1,307 @@
+// Command vortexd runs an embedded Vortex region and exposes it over an
+// HTTP/JSON edge API — the role BigQuery's frontend tasks play in front
+// of the Vortex client library (§5.4).
+//
+//	POST /v1/tables         {"table": "d.t", "schema": {...}}
+//	POST /v1/append         {"table": "d.t", "rows": [[...], ...]}
+//	POST /v1/query          {"sql": "SELECT ..."}
+//	POST /v1/optimize       {"table": "d.t"}
+//	GET  /v1/health
+//
+// Rows are JSON arrays parallel to the schema fields; scalars map to
+// JSON strings/numbers/bools, TIMESTAMP to RFC3339 strings, STRUCT to
+// arrays, ARRAY to nested arrays.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"vortex"
+	"vortex/internal/meta"
+	"vortex/internal/schema"
+)
+
+type server struct {
+	db *vortex.DB
+
+	mu      sync.Mutex
+	streams map[meta.TableID]*vortex.Stream
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8550", "listen address")
+	flag.Parse()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	db := vortex.Open()
+	db.Region.RunHeartbeats(ctx, 250*time.Millisecond)
+	s := &server{db: db, streams: make(map[meta.TableID]*vortex.Stream)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tables", s.handleCreateTable)
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"status": "ok"}`)
+	})
+	log.Printf("vortexd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table  meta.TableID   `json:"table"`
+		Schema *schema.Schema `json:"schema"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.db.CreateTable(r.Context(), req.Table, req.Schema); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "created"})
+}
+
+// stream returns the server's shared ingestion stream for a table.
+func (s *server) stream(ctx context.Context, table meta.TableID) (*vortex.Stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.streams[table]; ok {
+		return st, nil
+	}
+	st, err := s.db.Table(table).NewStream(ctx, vortex.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	s.streams[table] = st
+	return st, nil
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table meta.TableID        `json:"table"`
+		Rows  [][]json.RawMessage `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.db.Table(req.Table).Schema(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	rows := make([]schema.Row, 0, len(req.Rows))
+	for i, raw := range req.Rows {
+		row, err := jsonToRow(sc, raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		rows = append(rows, row)
+	}
+	st, err := s.stream(r.Context(), req.Table)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	off, err := st.Append(r.Context(), rows, vortex.AppendOptions{Offset: -1})
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"offset": off, "rows": len(rows)})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.db.Query(r.Context(), req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := map[string]any{
+		"columns": res.Columns,
+		"rows":    renderRows(res),
+		"stats": map[string]any{
+			"assignments_total":  res.Stats.AssignmentsTotal,
+			"assignments_pruned": res.Stats.AssignmentsPruned,
+			"rows_scanned":       res.Stats.RowsScanned,
+			"rows_affected":      res.Stats.RowsAffected,
+		},
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table meta.TableID `json:"table"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.db.Heartbeat(r.Context())
+	res, err := s.db.Optimize(r.Context(), req.Table)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	merged, err := s.db.Recluster(r.Context(), req.Table, false)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"fragments_converted": res.FragmentsConverted,
+		"files_written":       res.FilesWritten,
+		"rows_converted":      res.RowsConverted,
+		"partitions_merged":   merged,
+	})
+}
+
+func renderRows(res *vortex.Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = v.String()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// jsonToRow converts a JSON array (parallel to the schema fields) to a Row.
+func jsonToRow(sc *schema.Schema, raw []json.RawMessage) (schema.Row, error) {
+	if len(raw) > len(sc.Fields) {
+		return schema.Row{}, fmt.Errorf("%d values for %d fields", len(raw), len(sc.Fields))
+	}
+	values := make([]schema.Value, len(raw))
+	for i, rm := range raw {
+		v, err := jsonToValue(sc.Fields[i], rm)
+		if err != nil {
+			return schema.Row{}, fmt.Errorf("field %q: %w", sc.Fields[i].Name, err)
+		}
+		values[i] = v
+	}
+	return schema.Row{Values: values}, nil
+}
+
+func jsonToValue(f *schema.Field, raw json.RawMessage) (schema.Value, error) {
+	if string(raw) == "null" {
+		return schema.Null(), nil
+	}
+	if f.Mode == schema.Repeated {
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return schema.Value{}, err
+		}
+		out := make([]schema.Value, len(elems))
+		scalar := *f
+		scalar.Mode = schema.Nullable
+		for i, e := range elems {
+			v, err := jsonToValue(&scalar, e)
+			if err != nil {
+				return schema.Value{}, err
+			}
+			out[i] = v
+		}
+		return schema.List(out...), nil
+	}
+	switch f.Kind {
+	case schema.KindInt64:
+		var n int64
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Int64(n), nil
+	case schema.KindFloat64:
+		var x float64
+		if err := json.Unmarshal(raw, &x); err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Float64(x), nil
+	case schema.KindBool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Bool(b), nil
+	case schema.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return schema.Value{}, err
+		}
+		return schema.String(s), nil
+	case schema.KindJSON:
+		return schema.JSON(string(raw))
+	case schema.KindTimestamp:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return schema.Value{}, err
+		}
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Timestamp(t), nil
+	case schema.KindDate:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return schema.Value{}, err
+		}
+		t, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Date(t), nil
+	case schema.KindNumeric:
+		var s json.Number
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return schema.Value{}, err
+		}
+		return schema.NumericFromString(s.String())
+	case schema.KindStruct:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return schema.Value{}, err
+		}
+		if len(elems) > len(f.Fields) {
+			return schema.Value{}, fmt.Errorf("%d values for %d struct fields", len(elems), len(f.Fields))
+		}
+		out := make([]schema.Value, len(elems))
+		for i, e := range elems {
+			v, err := jsonToValue(f.Fields[i], e)
+			if err != nil {
+				return schema.Value{}, err
+			}
+			out[i] = v
+		}
+		return schema.Struct(out...), nil
+	}
+	return schema.Value{}, fmt.Errorf("unsupported kind %v", f.Kind)
+}

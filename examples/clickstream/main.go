@@ -1,0 +1,106 @@
+// Clickstream: the paper's motivating log-analytics scenario (§1) —
+// many resource-constrained producers push events straight to the
+// warehouse (no local buffering, no batch loads, no extra copies), while
+// continuous SQL queries watch the stream with sub-second freshness and
+// the storage optimizer keeps layout query-friendly in the background.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"vortex"
+	"vortex/internal/workload"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	db := vortex.Open()
+	const table = "web.clicks"
+	if err := db.CreateTable(ctx, table, workload.EventsSchema()); err != nil {
+		log.Fatal(err)
+	}
+	// Background heartbeats + optimization, as in production (§5.5, §6.1).
+	db.RunBackground(ctx, 100*time.Millisecond, table)
+
+	// 8 producers, each with its own dedicated stream (§4.1: "tens of
+	// thousands of clients ... each of them typically using their own
+	// dedicated Stream").
+	const producers = 8
+	const eventsPerProducer = 400
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := workload.NewGen(int64(p), 200)
+			s, err := db.Table(table).NewStream(ctx, vortex.Unbuffered)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < eventsPerProducer; i += 20 {
+				rows := gen.EventRows(time.Now(), 20, time.Millisecond)
+				if _, err := s.Append(ctx, rows, vortex.AppendOptions{Offset: int64(i)}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(p)
+	}
+
+	// A continuous dashboard query running WHILE ingestion is happening.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	ticker := time.NewTicker(150 * time.Millisecond)
+	defer ticker.Stop()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		case <-ticker.C:
+		}
+		res, err := db.Query(ctx, `
+			SELECT eventType, COUNT(*) AS n
+			FROM web.clicks
+			GROUP BY eventType
+			ORDER BY eventType`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total int64
+		line := ""
+		for _, r := range res.Rows {
+			line += fmt.Sprintf("  %s=%d", r[0].AsString(), r[1].AsInt64())
+			total += r[1].AsInt64()
+		}
+		fmt.Printf("[live] total=%-6d%s\n", total, line)
+	}
+
+	// Final checks: exact totals and a clustered point lookup.
+	res, err := db.Query(ctx, "SELECT COUNT(*) FROM web.clicks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal count: %s (expected %d)\n", res.Rows[0][0], producers*eventsPerProducer)
+
+	res, err = db.Query(ctx, `
+		SELECT deviceId, COUNT(*) AS n
+		FROM web.clicks
+		WHERE eventType = 'purchase'
+		GROUP BY deviceId ORDER BY n DESC LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top purchasing devices:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-14s %d purchases\n", r[0].AsString(), r[1].AsInt64())
+	}
+	st, err := db.ClusteringRatio(ctx, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering: ratio=%.2f baseline=%d delta=%d fragments\n", st.Ratio, st.BaselineFragments, st.DeltaFragments)
+}

@@ -1,0 +1,162 @@
+package bloom
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("customer-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.ContainsString(fmt.Sprintf("customer-%d", i)) {
+			t.Fatalf("false negative for customer-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", f.Count())
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	// The invariant partition elimination relies on: a filter may keep a
+	// fragment in the scan set unnecessarily, but must never prune one
+	// that holds the key (§7.2).
+	f := func(keys [][]byte, probe []byte) bool {
+		fl := New(len(keys), 0.01)
+		added := false
+		for _, k := range keys {
+			fl.Add(k)
+			if bytes.Equal(k, probe) {
+				added = true
+			}
+		}
+		fl.Add(probe)
+		_ = added
+		return fl.Contains(probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	const n = 10000
+	f := New(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Split-block filters trade some FP rate for locality; accept <5%.
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high at target 0.01", rate)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(500, 0.01)
+	rng := rand.New(rand.NewSource(5))
+	keys := make([][]byte, 500)
+	for i := range keys {
+		keys[i] = make([]byte, 1+rng.Intn(30))
+		rng.Read(keys[i])
+		f.Add(keys[i])
+	}
+	data := f.Marshal()
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != f.Count() {
+		t.Fatalf("count after round trip = %d, want %d", g.Count(), f.Count())
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("unmarshaled filter lost key %x", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 15),
+		[]byte("not a bloom filter at all"),
+		append(New(10, 0.01).Marshal(), 0xff), // trailing byte
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: Unmarshal accepted invalid input", i)
+		}
+	}
+}
+
+func TestMergeUnionsKeySets(t *testing.T) {
+	a := New(100, 0.01)
+	b := New(100, 0.01)
+	a.AddString("only-in-a")
+	b.AddString("only-in-b")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ContainsString("only-in-a") || !a.ContainsString("only-in-b") {
+		t.Fatal("merged filter must contain keys from both inputs")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d, want 2", a.Count())
+	}
+}
+
+func TestMergeRejectsMismatchedSizes(t *testing.T) {
+	a := New(10, 0.01)
+	b := New(1_000_000, 0.01)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge accepted mismatched block counts")
+	}
+}
+
+func TestEmptyFilterContainsNothingMuch(t *testing.T) {
+	f := New(100, 0.01)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if f.ContainsString(fmt.Sprintf("k%d", i)) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("empty filter reported %d hits", hits)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<20, 0.01)
+	key := []byte("customerKey-ACME-ENTERPRISES")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(1<<20, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	key := []byte("key-55555")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Contains(key)
+	}
+}

@@ -1,0 +1,596 @@
+// Package client implements the Vortex thick client library (§5.4): the
+// write path (stream creation, pipelined appends with offset validation,
+// retries that rotate streamlets across Stream Servers, schema refresh,
+// adaptive unary/bi-di connections) and the read path (direct-Colossus
+// fragment reads, commit-rule tail handling, reconciliation of the final
+// append, decryption and decompression).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/colossus"
+	"vortex/internal/meta"
+	"vortex/internal/rowenc"
+	"vortex/internal/rpc"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+// Errors surfaced by the client API.
+var (
+	ErrWrongOffset     = errors.New("client: append offset does not match stream length")
+	ErrStreamFinalized = errors.New("client: stream is finalized")
+	ErrExhausted       = errors.New("client: retries exhausted")
+)
+
+// Router resolves the SMS task for a table (Slicer-backed, §5.2.1).
+type Router interface {
+	SMSFor(table meta.TableID) (string, error)
+}
+
+// Options configures a Client.
+type Options struct {
+	// LocalCluster is the cluster whose Colossus replica reads prefer
+	// (§5.4.6). Empty picks the first cluster of each fragment.
+	LocalCluster string
+	// UnaryAppendThreshold is the number of appends on a stream before
+	// the client switches from pooled unary calls to a persistent
+	// bi-directional connection (§5.4.2: most streams are small, hot
+	// streams deserve a dedicated connection).
+	UnaryAppendThreshold int
+	// FlowControlWindow is the bi-di stream's in-flight byte budget.
+	FlowControlWindow int
+	// ForceUnary/ForceBidi pin the connection type (for experiments).
+	ForceUnary bool
+	ForceBidi  bool
+}
+
+// DefaultOptions returns production-like client options.
+func DefaultOptions() Options {
+	return Options{UnaryAppendThreshold: 3, FlowControlWindow: 16 << 20}
+}
+
+// Client is a Vortex client handle. It is safe for concurrent use; each
+// Stream it creates is owned by one writer at a time (the paper's model:
+// each client appends to its own dedicated stream).
+type Client struct {
+	net     *rpc.Network
+	router  Router
+	region  *colossus.Region
+	keyring *blockenc.Keyring
+	clock   truetime.Clock
+	opts    Options
+
+	sealer *blockenc.Sealer
+
+	mu      sync.Mutex
+	schemas map[meta.TableID]*schema.Schema
+}
+
+// New returns a Client.
+func New(net *rpc.Network, router Router, region *colossus.Region, keyring *blockenc.Keyring, clock truetime.Clock, opts Options) *Client {
+	if opts.UnaryAppendThreshold <= 0 {
+		opts.UnaryAppendThreshold = 3
+	}
+	if opts.FlowControlWindow <= 0 {
+		opts.FlowControlWindow = 16 << 20
+	}
+	return &Client{
+		net:     net,
+		router:  router,
+		region:  region,
+		keyring: keyring,
+		sealer:  blockenc.NewSealer(keyring),
+		clock:   clock,
+		opts:    opts,
+		schemas: make(map[meta.TableID]*schema.Schema),
+	}
+}
+
+func (c *Client) sms(ctx context.Context, table meta.TableID, method string, req any) (any, error) {
+	addr, err := c.router.SMSFor(table)
+	if err != nil {
+		return nil, err
+	}
+	return c.net.Unary(ctx, addr, method, req)
+}
+
+// CreateTable creates a table.
+func (c *Client) CreateTable(ctx context.Context, table meta.TableID, s *schema.Schema) error {
+	_, err := c.sms(ctx, table, wire.MethodCreateTable, &wire.CreateTableRequest{Table: table, Schema: s})
+	return err
+}
+
+// GetSchema fetches (and caches) a table's current schema.
+func (c *Client) GetSchema(ctx context.Context, table meta.TableID) (*schema.Schema, error) {
+	resp, err := c.sms(ctx, table, wire.MethodGetTable, &wire.GetTableRequest{Table: table})
+	if err != nil {
+		return nil, err
+	}
+	sc := resp.(*wire.GetTableResponse).Schema
+	c.mu.Lock()
+	c.schemas[table] = sc
+	c.mu.Unlock()
+	return sc, nil
+}
+
+// UpdateSchema adds a field to the table schema (§5.4.1).
+func (c *Client) UpdateSchema(ctx context.Context, table meta.TableID, f *schema.Field) (*schema.Schema, error) {
+	resp, err := c.sms(ctx, table, wire.MethodUpdateSchema, &wire.UpdateSchemaRequest{Table: table, Field: f})
+	if err != nil {
+		return nil, err
+	}
+	sc := resp.(*wire.UpdateSchemaResponse).Schema
+	c.mu.Lock()
+	c.schemas[table] = sc
+	c.mu.Unlock()
+	return sc, nil
+}
+
+// Stream is a writable Vortex stream handle (§4.1). Not safe for
+// concurrent use: a stream has a single append point.
+type Stream struct {
+	c      *Client
+	info   meta.StreamInfo
+	schema *schema.Schema
+
+	sl    *meta.StreamletInfo
+	epoch int64
+
+	// length is the client's view of the stream's current row count,
+	// advanced by successful appends (§4.2.2).
+	length int64
+
+	appendsSeen  int
+	lastBatchSeq int64
+	conn         *rpc.ClientStream
+	connServer   string
+	pending      []*PendingAppend
+	pendingMu    sync.Mutex
+
+	finalized bool
+}
+
+// CreateStream creates a stream on a table (§4.2.1).
+func (c *Client) CreateStream(ctx context.Context, table meta.TableID, typ meta.StreamType) (*Stream, error) {
+	resp, err := c.sms(ctx, table, wire.MethodCreateStream, &wire.CreateStreamRequest{Table: table, Type: typ})
+	if err != nil {
+		return nil, err
+	}
+	r := resp.(*wire.CreateStreamResponse)
+	return &Stream{c: c, info: r.Stream, schema: r.Schema}, nil
+}
+
+// AttachStream opens a handle to an existing stream (e.g. a re-delivered
+// Dataflow worker reattaching to its dedicated stream, §7.4). The handle
+// resumes at the stream's current length.
+func (c *Client) AttachStream(ctx context.Context, id meta.StreamID) (*Stream, error) {
+	resp, err := c.sms(ctx, "", wire.MethodGetStream, &wire.GetStreamRequest{Stream: id})
+	if err != nil {
+		return nil, err
+	}
+	info := resp.(*wire.GetStreamResponse).Stream
+	sc, err := c.GetSchema(ctx, info.Table)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{c: c, info: info, schema: sc, finalized: info.Finalized}, nil
+}
+
+// Info returns the stream's metadata.
+func (s *Stream) Info() meta.StreamInfo { return s.info }
+
+// Schema returns the schema the stream currently serializes under.
+func (s *Stream) Schema() *schema.Schema { return s.schema }
+
+// Length returns the client's view of the stream's row count.
+func (s *Stream) Length() int64 { return s.length }
+
+// ensureStreamlet acquires a writable streamlet from the SMS.
+func (s *Stream) ensureStreamlet(ctx context.Context, exclude string) error {
+	resp, err := s.c.sms(ctx, s.info.Table, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{
+		Stream:        s.info.ID,
+		ExcludeServer: exclude,
+	})
+	if err != nil {
+		return err
+	}
+	r := resp.(*wire.GetWritableStreamletResponse)
+	sl := r.Streamlet
+	s.sl = &sl
+	s.epoch = r.Epoch
+	if r.Schema.Version > s.schema.Version {
+		s.schema = r.Schema
+	}
+	// The stream's length resumes from the new streamlet's start.
+	if sl.StartOffset+sl.RowCount > s.length {
+		s.length = sl.StartOffset + sl.RowCount
+	}
+	s.closeConn()
+	return nil
+}
+
+func (s *Stream) closeConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.connServer = ""
+	}
+	s.failPending(fmt.Errorf("%w: connection closed", rpc.ErrClosed))
+}
+
+// AppendOptions modify one append call.
+type AppendOptions struct {
+	// Offset, when >= 0, is the stream offset the rows must land at —
+	// the exactly-once retry mechanism of §4.2.2. Negative means "append
+	// at the current end" (at-least-once).
+	Offset int64
+}
+
+// Append appends rows and returns the stream offset of the first row.
+// It retries transparently across Stream Server failures, streamlet
+// rotations and schema changes; offset conflicts surface as
+// ErrWrongOffset.
+func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts AppendOptions) (int64, error) {
+	if s.finalized {
+		return 0, ErrStreamFinalized
+	}
+	if opts.Offset < 0 {
+		opts.Offset = -1
+	}
+	if err := s.validateRows(ctx, rows); err != nil {
+		return 0, err
+	}
+	payload := rowenc.EncodeRows(rows)
+	crc := blockenc.Checksum(payload)
+
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if s.sl == nil {
+			exclude := ""
+			if attempt > 0 && s.connServer != "" {
+				exclude = s.connServer
+			}
+			if err := s.ensureStreamlet(ctx, exclude); err != nil {
+				return 0, err
+			}
+		}
+		req := &wire.AppendRequest{
+			Streamlet:            s.sl.ID,
+			Payload:              payload,
+			CRC:                  crc,
+			ExpectedStreamOffset: opts.Offset,
+			SchemaVersion:        s.schema.Version,
+		}
+		resp, err := s.send(ctx, req)
+		if err != nil {
+			// Transport-level failure: reconcile the streamlet and rotate
+			// to a new one on a different server (§5.4).
+			lastErr = err
+			s.rotate(ctx)
+			continue
+		}
+		if resp.Error == "" {
+			if end := resp.StreamOffset + resp.RowCount; end > s.length {
+				s.length = end
+			}
+			s.appendsSeen++
+			s.lastBatchSeq = int64(resp.Timestamp)
+			return resp.StreamOffset, nil
+		}
+		code := resp.Error
+		if i := strings.IndexByte(code, ':'); i >= 0 {
+			code = code[:i]
+		}
+		switch code {
+		case wire.ErrCodeWrongOffset:
+			return 0, fmt.Errorf("%w: %s", ErrWrongOffset, resp.Error)
+		case wire.ErrCodeSchemaStale:
+			// Fetch the latest schema and retry (§5.4.1).
+			sc, err := s.c.GetSchema(ctx, s.info.Table)
+			if err != nil {
+				return 0, err
+			}
+			s.schema = sc
+			for _, r := range rows {
+				if err := sc.ValidateRow(r); err != nil {
+					return 0, err
+				}
+			}
+			lastErr = errors.New(resp.Error)
+		case wire.ErrCodeBadPayload:
+			return 0, errors.New(resp.Error)
+		default: // STREAMLET_CLOSED, UNKNOWN_STREAMLET, IO_ERROR
+			lastErr = errors.New(resp.Error)
+			s.rotate(ctx)
+		}
+	}
+	return 0, fmt.Errorf("%w: %v", ErrExhausted, lastErr)
+}
+
+// AppendTracked is Append plus the storage sequence (the TrueTime
+// timestamp) assigned to the batch's first row; the verification
+// pipelines (§6.3) record it to locate acked rows later.
+func (s *Stream) AppendTracked(ctx context.Context, rows []schema.Row, opts AppendOptions) (offset, firstSeq int64, err error) {
+	off, err := s.Append(ctx, rows, opts)
+	if err != nil {
+		return off, 0, err
+	}
+	return off, s.lastBatchSeq, nil
+}
+
+// validateRows checks rows against the stream's schema, refreshing the
+// schema once if validation fails — the table may have evolved since the
+// stream handle cached it (§5.4.1).
+func (s *Stream) validateRows(ctx context.Context, rows []schema.Row) error {
+	var firstErr error
+	for _, r := range rows {
+		if err := s.schema.ValidateRow(r); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		return nil
+	}
+	sc, err := s.c.GetSchema(ctx, s.info.Table)
+	if err != nil || sc.Version <= s.schema.Version {
+		return firstErr
+	}
+	s.schema = sc
+	for _, r := range rows {
+		if err := sc.ValidateRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate abandons the current streamlet: the SMS reconciles its true
+// length and the next ensureStreamlet places a fresh one elsewhere.
+func (s *Stream) rotate(ctx context.Context) {
+	if s.sl == nil {
+		return
+	}
+	failed := s.sl
+	s.closeConn()
+	s.sl = nil
+	s.connServer = failed.Server
+	_, _ = s.c.sms(ctx, s.info.Table, wire.MethodReconcile, &wire.ReconcileRequest{
+		Table:     failed.Table,
+		Stream:    failed.Stream,
+		Streamlet: failed.ID,
+	})
+}
+
+// send dispatches one append over the adaptively chosen connection type.
+func (s *Stream) send(ctx context.Context, req *wire.AppendRequest) (*wire.AppendResponse, error) {
+	if s.useBidi() {
+		return s.sendBidi(ctx, req)
+	}
+	resp, err := s.c.net.Unary(ctx, s.sl.Server, wire.MethodAppend, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*wire.AppendResponse), nil
+}
+
+func (s *Stream) useBidi() bool {
+	if s.c.opts.ForceUnary {
+		return false
+	}
+	if s.c.opts.ForceBidi {
+		return true
+	}
+	return s.appendsSeen >= s.c.opts.UnaryAppendThreshold
+}
+
+func (s *Stream) sendBidi(ctx context.Context, req *wire.AppendRequest) (*wire.AppendResponse, error) {
+	if err := s.ensureConn(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.conn.Send(req); err != nil {
+		return nil, err
+	}
+	m, err := s.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return m.(*wire.AppendResponse), nil
+}
+
+func (s *Stream) ensureConn(ctx context.Context) error {
+	if s.conn != nil && s.connServer == s.sl.Server {
+		return nil
+	}
+	s.closeConn()
+	conn, err := s.c.net.OpenStream(ctx, s.sl.Server, wire.MethodAppend, s.c.opts.FlowControlWindow)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	s.connServer = s.sl.Server
+	return nil
+}
+
+// PendingAppend is an in-flight pipelined append (§4.2.2).
+type PendingAppend struct {
+	offset   int64
+	rowCount int64
+	done     chan struct{}
+	resp     *wire.AppendResponse
+	err      error
+}
+
+// Wait blocks for the append's result, returning the stream offset the
+// rows landed at.
+func (p *PendingAppend) Wait() (int64, error) {
+	<-p.done
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.resp.Error != "" {
+		return 0, errors.New(p.resp.Error)
+	}
+	return p.resp.StreamOffset, nil
+}
+
+// AppendAsync pipelines an append over the bi-di connection without
+// waiting for prior appends to complete. Results must be awaited in
+// order. Pipelined appends do not retry: a failure surfaces on Wait and
+// the caller resubmits through Append.
+func (s *Stream) AppendAsync(ctx context.Context, rows []schema.Row, opts AppendOptions) (*PendingAppend, error) {
+	if s.finalized {
+		return nil, ErrStreamFinalized
+	}
+	if err := s.validateRows(ctx, rows); err != nil {
+		return nil, err
+	}
+	if s.sl == nil {
+		if err := s.ensureStreamlet(ctx, ""); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.ensureConn(ctx); err != nil {
+		return nil, err
+	}
+	payload := rowenc.EncodeRows(rows)
+	if opts.Offset < 0 {
+		opts.Offset = -1
+	}
+	req := &wire.AppendRequest{
+		Streamlet:            s.sl.ID,
+		Payload:              payload,
+		CRC:                  blockenc.Checksum(payload),
+		ExpectedStreamOffset: opts.Offset,
+		SchemaVersion:        s.schema.Version,
+	}
+	p := &PendingAppend{offset: opts.Offset, rowCount: int64(len(rows)), done: make(chan struct{})}
+	s.pendingMu.Lock()
+	first := len(s.pending) == 0
+	s.pending = append(s.pending, p)
+	s.pendingMu.Unlock()
+	if err := s.conn.Send(req); err != nil {
+		s.dropPending(p, err)
+		return nil, err
+	}
+	if first {
+		go s.collectResponses(s.conn)
+	}
+	s.appendsSeen++
+	return p, nil
+}
+
+// collectResponses drains bi-di responses in order onto the pending queue.
+func (s *Stream) collectResponses(conn *rpc.ClientStream) {
+	for {
+		m, err := conn.Recv()
+		s.pendingMu.Lock()
+		if len(s.pending) == 0 {
+			s.pendingMu.Unlock()
+			return
+		}
+		p := s.pending[0]
+		s.pending = s.pending[1:]
+		empty := len(s.pending) == 0
+		s.pendingMu.Unlock()
+		if err != nil {
+			p.err = err
+			close(p.done)
+			s.failPending(err)
+			return
+		}
+		p.resp = m.(*wire.AppendResponse)
+		if p.resp.Error == "" {
+			if end := p.resp.StreamOffset + p.resp.RowCount; end > s.length {
+				s.length = end
+			}
+		}
+		close(p.done)
+		if empty {
+			return
+		}
+	}
+}
+
+func (s *Stream) dropPending(p *PendingAppend, err error) {
+	s.pendingMu.Lock()
+	for i, q := range s.pending {
+		if q == p {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.pendingMu.Unlock()
+	p.err = err
+	close(p.done)
+}
+
+func (s *Stream) failPending(err error) {
+	s.pendingMu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.pendingMu.Unlock()
+	for _, p := range pending {
+		p.err = err
+		close(p.done)
+	}
+}
+
+// Flush makes all rows up to (excluding) offset visible on a BUFFERED
+// stream (§4.2.3). Idempotent; flushing behind the frontier is a no-op.
+func (s *Stream) Flush(ctx context.Context, offset int64) error {
+	// Durable flush record in the WOS log (§5.4.4), best effort when the
+	// streamlet is unreachable — the SMS frontier is authoritative.
+	if s.sl != nil {
+		_, _ = s.c.net.Unary(ctx, s.sl.Server, wire.MethodFlush, &wire.FlushRequest{
+			Streamlet:    s.sl.ID,
+			StreamOffset: offset,
+		})
+	}
+	_, err := s.c.sms(ctx, s.info.Table, wire.MethodFlushStream, &wire.FlushStreamRequest{
+		Stream: s.info.ID,
+		Offset: offset,
+	})
+	return err
+}
+
+// Finalize prevents further appends (§4.2.5) and returns the stream's
+// final row count.
+func (s *Stream) Finalize(ctx context.Context) (int64, error) {
+	s.closeConn()
+	resp, err := s.c.sms(ctx, s.info.Table, wire.MethodFinalizeStream, &wire.FinalizeStreamRequest{Stream: s.info.ID})
+	if err != nil {
+		return 0, err
+	}
+	s.finalized = true
+	s.sl = nil
+	return resp.(*wire.FinalizeStreamResponse).RowCount, nil
+}
+
+// BatchCommit atomically commits PENDING streams (§4.2.4). All streams
+// must belong to the same table.
+func (c *Client) BatchCommit(ctx context.Context, table meta.TableID, streams []meta.StreamID) (truetime.Timestamp, error) {
+	resp, err := c.sms(ctx, table, wire.MethodBatchCommit, &wire.BatchCommitRequest{Streams: streams})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*wire.BatchCommitResponse).CommitTS, nil
+}
+
+// WriteCommitRecord asks the stream's server to flush its pending commit
+// record (normally written with the next append or after idling, §7.1).
+func (s *Stream) WriteCommitRecord(ctx context.Context) error {
+	if s.sl == nil {
+		return nil
+	}
+	_, err := s.c.net.Unary(ctx, s.sl.Server, wire.MethodWriteCommitRecord, &wire.WriteCommitRecordRequest{Streamlet: s.sl.ID})
+	return err
+}

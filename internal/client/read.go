@@ -1,0 +1,518 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vortex/internal/dml"
+	"vortex/internal/fragment"
+	"vortex/internal/meta"
+	"vortex/internal/ros"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+	"vortex/internal/streamserver"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+// Assignment is one independently scannable unit of a table snapshot —
+// what the Query Coordinator dispatches to Dremel shards (§7).
+type Assignment struct {
+	// Frag describes the fragment; for undiscovered tail files only
+	// Path, Clusters, Streamlet and Format are meaningful.
+	Frag meta.FragmentInfo
+	// Mask is the fragment-local deletion mask (§7.3).
+	Mask *dml.Mask
+	// Vis is the owning stream's visibility state at the snapshot.
+	Vis wire.StreamVisibility
+	// StreamStart is the stream row offset of the fragment's first row.
+	StreamStart int64
+	// TailMask is the streamlet-tail deletion mask in stream-offset
+	// coordinates (live streamlets only).
+	TailMask *dml.Mask
+	// Live marks fragments of writable streamlets: the reader must scan
+	// the file itself and apply the commit rule (§7.1).
+	Live bool
+	// StreamletStart is the streamlet's start offset in the stream.
+	StreamletStart int64
+	// StreamletID/Stream identify the streamlet for reconciliation.
+	Stream meta.StreamID
+	// NextPath is the path of the streamlet's next log file, if one
+	// exists: its File Map header bounds this file's committed size
+	// (§7.1 disaster resilience). Empty when this is the last file.
+	NextPath string
+	// FragIndex is the fragment index parsed from the path (live files).
+	FragIndex int
+}
+
+// ScanPlan is the set of assignments covering a table snapshot.
+type ScanPlan struct {
+	Table       meta.TableID
+	SnapshotTS  truetime.Timestamp
+	Schema      *schema.Schema
+	Assignments []Assignment
+	// Projection, when non-nil, names the top-level columns a scan needs;
+	// ROS scans then decode only those columns (WOS rows are row-major
+	// and always decode fully — the asymmetry the LSM of formats exists
+	// for, §6.1). Nil means all columns.
+	Projection map[string]bool
+}
+
+// Plan obtains the read view from the SMS and expands it — including
+// discovering tail files the SMS has not heard about — into assignments.
+func (c *Client) Plan(ctx context.Context, table meta.TableID, snapshotTS truetime.Timestamp) (*ScanPlan, error) {
+	resp, err := c.sms(ctx, table, wire.MethodReadView, &wire.ReadViewRequest{Table: table, SnapshotTS: snapshotTS})
+	if err != nil {
+		return nil, err
+	}
+	view := resp.(*wire.ReadViewResponse)
+	plan := &ScanPlan{Table: table, SnapshotTS: view.SnapshotTS, Schema: view.Schema}
+	for _, rf := range view.Fragments {
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Frag:        rf.Info,
+			Mask:        rf.Mask,
+			Vis:         rf.Vis,
+			StreamStart: rf.StreamStart,
+		})
+	}
+	for _, rsl := range view.Streamlets {
+		as, err := c.planStreamletTail(ctx, table, view.SnapshotTS, rsl)
+		if err != nil {
+			return nil, err
+		}
+		plan.Assignments = append(plan.Assignments, as...)
+	}
+	return plan, nil
+}
+
+// planStreamletTail lists a live streamlet's log files and produces one
+// assignment per non-deleted file.
+func (c *Client) planStreamletTail(ctx context.Context, table meta.TableID, ts truetime.Timestamp, rsl wire.ReadStreamlet) ([]Assignment, error) {
+	prefix := streamserver.StreamletPrefix(table, rsl.Info.ID)
+	paths, err := c.listReplicated(rsl.Info.Clusters, prefix)
+	if err != nil {
+		return nil, err
+	}
+	deletedPaths := make(map[string]bool, len(rsl.DeletedFragments))
+	masksByPath := make(map[string]*dml.Mask)
+	for _, fid := range rsl.DeletedFragments {
+		idx := meta.FragmentIndexFromID(fid)
+		deletedPaths[streamserver.FragmentPath(table, rsl.Info.ID, idx)] = true
+	}
+	for fid, m := range rsl.FragmentMasks {
+		idx := meta.FragmentIndexFromID(fid)
+		masksByPath[streamserver.FragmentPath(table, rsl.Info.ID, idx)] = m
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return fragIndexFromPath(paths[i]) < fragIndexFromPath(paths[j])
+	})
+	var out []Assignment
+	for i, p := range paths {
+		if deletedPaths[p] {
+			continue
+		}
+		next := ""
+		if i+1 < len(paths) {
+			next = paths[i+1]
+		}
+		out = append(out, Assignment{
+			Frag: meta.FragmentInfo{
+				Streamlet: rsl.Info.ID,
+				Table:     table,
+				Format:    meta.WOS,
+				Path:      p,
+				Clusters:  rsl.Info.Clusters,
+			},
+			Mask:           masksByPath[p],
+			Vis:            rsl.Vis,
+			TailMask:       rsl.TailMask,
+			Live:           true,
+			StreamletStart: rsl.Info.StartOffset,
+			Stream:         rsl.Info.Stream,
+			NextPath:       next,
+			FragIndex:      fragIndexFromPath(p),
+		})
+	}
+	return out, nil
+}
+
+// fragIndexFromPath parses the trailing "/f-N" of a fragment path.
+func fragIndexFromPath(p string) int {
+	i := strings.LastIndex(p, "/f-")
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(p[i+3:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// listReplicated lists a prefix from the first reachable replica.
+func (c *Client) listReplicated(clusters [2]string, prefix string) ([]string, error) {
+	var lastErr error
+	for _, name := range c.replicaOrder(clusters) {
+		cl := c.region.Cluster(name)
+		if cl == nil {
+			continue
+		}
+		paths, err := cl.List(prefix)
+		if err == nil {
+			return paths, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: no cluster of %v exists", clusters)
+	}
+	return nil, lastErr
+}
+
+// replicaOrder prefers the configured local cluster (§5.4.6).
+func (c *Client) replicaOrder(clusters [2]string) []string {
+	if clusters[0] == "" && clusters[1] == "" {
+		return nil
+	}
+	if c.opts.LocalCluster != "" && clusters[1] == c.opts.LocalCluster {
+		return []string{clusters[1], clusters[0]}
+	}
+	return []string{clusters[0], clusters[1]}
+}
+
+// readReplicated reads a whole file from the first replica that serves it.
+func (c *Client) readReplicated(clusters [2]string, path string) ([]byte, string, error) {
+	var lastErr error
+	for _, name := range c.replicaOrder(clusters) {
+		cl := c.region.Cluster(name)
+		if cl == nil {
+			continue
+		}
+		data, err := cl.Read(path, 0, -1)
+		if err == nil {
+			return data, name, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: no cluster of %v exists", clusters)
+	}
+	return nil, "", lastErr
+}
+
+// PosRow is a visible row with its physical position — the provenance
+// DML statements need to build deletion masks (§7.3).
+type PosRow struct {
+	Stamped rowenc.Stamped
+	// FragID identifies the fragment for SMS-known fragments ("" for
+	// undiscovered live tail files).
+	FragID meta.FragmentID
+	// FragLocal is the row's physical index within its fragment.
+	FragLocal int64
+	// StreamOffset is the row's offset within its stream (-1 for ROS).
+	StreamOffset int64
+	// Live marks rows read from a writable streamlet's files: deletions
+	// target the streamlet tail (stream-offset coordinates).
+	Live      bool
+	Streamlet meta.StreamletID
+	Stream    meta.StreamID
+}
+
+// Scan reads one assignment and returns its visible rows, stamped with
+// their storage sequence numbers.
+func (c *Client) Scan(ctx context.Context, plan *ScanPlan, a Assignment) ([]rowenc.Stamped, error) {
+	detailed, err := c.ScanDetailed(ctx, plan, a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rowenc.Stamped, len(detailed))
+	for i, d := range detailed {
+		out[i] = d.Stamped
+	}
+	return out, nil
+}
+
+// ScanDetailed reads one assignment with per-row provenance.
+func (c *Client) ScanDetailed(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	if a.Frag.Format == meta.ROS {
+		return c.scanROS(plan, a)
+	}
+	return c.scanWOS(ctx, plan, a)
+}
+
+func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := ros.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := rd.RowsProjected(plan.Schema, plan.Projection)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PosRow, 0, len(rows))
+	for i, r := range rows {
+		if !a.Mask.Empty() && a.Mask.Deleted(int64(i)) {
+			continue
+		}
+		out = append(out, PosRow{Stamped: r, FragID: a.Frag.ID, FragLocal: int64(i), StreamOffset: -1})
+	}
+	return out, nil
+}
+
+// scanWOS reads a WOS fragment file and extracts the visible rows. For
+// live files it applies the §7.1 commit rule, consulting the second
+// replica or SMS reconciliation for the final append.
+func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	order := c.replicaOrder(a.Frag.Clusters)
+	data, usedCluster, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := fragment.Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	blocks := scan.CommittedBlocks
+
+	if a.Live {
+		if bound, ok := c.fileMapBound(a); ok {
+			// A successor file exists: its File Map records this file's
+			// committed final size — the authoritative bound (§7.1).
+			blocks = nil
+			for _, b := range scan.Blocks {
+				if b.Offset+b.Size <= bound {
+					blocks = append(blocks, b)
+				}
+			}
+		} else if scan.TailBlock != nil {
+			include, err := c.decideTail(ctx, plan, a, scan, usedCluster, order)
+			if err != nil {
+				return nil, err
+			}
+			if include {
+				blocks = append(append([]fragment.Block(nil), blocks...), *scan.TailBlock)
+			}
+		}
+	} else if a.Frag.CommittedBytes > 0 {
+		// Finalized fragment: metadata bounds what is committed. "Clients
+		// will not read past the logical finalized size" (§7.1).
+		var bounded []fragment.Block
+		for _, b := range scan.Blocks {
+			if b.Offset+b.Size <= a.Frag.CommittedBytes {
+				bounded = append(bounded, b)
+			}
+		}
+		blocks = bounded
+	}
+
+	fragStartRow := a.Frag.StartRow
+	if a.Live {
+		// Live files carry their own streamlet-local offsets; the header
+		// is authoritative.
+		if len(blocks) > 0 {
+			first := firstDataBlock(blocks)
+			if first != nil {
+				fragStartRow = first.StartRow
+			}
+		}
+	}
+
+	fragID := a.Frag.ID
+	if a.Live {
+		fragID = meta.FragmentIDFor(a.Frag.Streamlet, a.FragIndex)
+	}
+	var out []PosRow
+	for _, b := range blocks {
+		if b.Kind != fragment.BlockData {
+			continue
+		}
+		// Snapshot bound: stop at appends newer than the read time (§7.1).
+		if b.Timestamp > plan.SnapshotTS {
+			break
+		}
+		plain, err := c.openSealed(b.Payload)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := rowenc.DecodeRows(plain)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rows {
+			seq := int64(b.Timestamp) + int64(i)
+			if truetime.Timestamp(seq) > plan.SnapshotTS {
+				break
+			}
+			streamletLocal := b.StartRow + int64(i)
+			streamOffset := a.streamletStart() + streamletLocal
+			fragLocal := streamletLocal - fragStartRow
+			if !c.rowVisible(a, streamOffset, fragLocal) {
+				continue
+			}
+			out = append(out, PosRow{
+				Stamped:      rowenc.Stamped{Row: r, Seq: seq},
+				FragID:       fragID,
+				FragLocal:    fragLocal,
+				StreamOffset: streamOffset,
+				Live:         a.Live,
+				Streamlet:    a.Frag.Streamlet,
+				Stream:       a.Stream,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (a Assignment) streamletStart() int64 {
+	if a.Live {
+		return a.StreamletStart
+	}
+	return a.StreamStart - a.Frag.StartRow
+}
+
+func firstDataBlock(blocks []fragment.Block) *fragment.Block {
+	for i := range blocks {
+		if blocks[i].Kind == fragment.BlockData {
+			return &blocks[i]
+		}
+	}
+	return nil
+}
+
+// rowVisible applies stream-type visibility and deletion masks.
+func (c *Client) rowVisible(a Assignment, streamOffset, fragLocal int64) bool {
+	switch a.Vis.Type {
+	case meta.Buffered:
+		if streamOffset >= a.Vis.FlushedOffset {
+			return false
+		}
+	case meta.Pending:
+		if !a.Vis.Committed {
+			return false
+		}
+	}
+	if a.Mask != nil && fragLocal >= 0 && a.Mask.Deleted(fragLocal) {
+		return false
+	}
+	if a.TailMask != nil && a.TailMask.Deleted(streamOffset) {
+		return false
+	}
+	return true
+}
+
+// fileMapBound reads the successor file's header and returns this
+// file's committed size from its File Map, if recorded.
+func (c *Client) fileMapBound(a Assignment) (int64, bool) {
+	if a.NextPath == "" {
+		return 0, false
+	}
+	data, _, err := c.readReplicated(a.Frag.Clusters, a.NextPath)
+	if err != nil {
+		return 0, false
+	}
+	hdr, _, err := fragment.ParseHeader(data)
+	if err != nil {
+		return 0, false
+	}
+	for _, e := range hdr.FileMap {
+		if e.Index == a.FragIndex {
+			return e.CommittedSize, true
+		}
+	}
+	return 0, false
+}
+
+// decideTail resolves the commit status of a live file's final append.
+// Local decision first: if the other replica holds the identical tail,
+// the dual write succeeded and the append is committed. Otherwise ask
+// the SMS to reconcile (§7.1 "Reconciliation of the final append").
+func (c *Client) decideTail(ctx context.Context, plan *ScanPlan, a Assignment, scan *fragment.ScanResult, usedCluster string, order []string) (bool, error) {
+	var other string
+	for _, name := range order {
+		if name != usedCluster {
+			other = name
+		}
+	}
+	if cl := c.region.Cluster(other); cl != nil {
+		data, err := cl.Read(a.Frag.Path, 0, -1)
+		if err == nil {
+			oscan, serr := fragment.Scan(data)
+			if serr == nil && replicaHasBlock(oscan, scan.TailBlock) {
+				// The dual write reached both replicas: committed.
+				return true, nil
+			}
+		}
+	}
+	// Replicas disagree or one is unreachable: only the SMS can make a
+	// consistent decision for all readers.
+	resp, err := c.sms(ctx, a.Frag.Table, wire.MethodReconcile, &wire.ReconcileRequest{
+		Table:     a.Frag.Table,
+		Stream:    a.Stream,
+		Streamlet: a.Frag.Streamlet,
+	})
+	if err != nil {
+		return false, fmt.Errorf("client: reconcile: %w", err)
+	}
+	rec := resp.(*wire.ReconcileResponse)
+	for _, f := range rec.Fragments {
+		if f.Path == a.Frag.Path {
+			return scan.TailBlock.Offset+scan.TailBlock.Size <= f.CommittedBytes, nil
+		}
+	}
+	return false, nil
+}
+
+// replicaHasBlock reports whether a scan of the other replica contains
+// an identically-placed block.
+func replicaHasBlock(scan *fragment.ScanResult, b *fragment.Block) bool {
+	if b == nil {
+		return false
+	}
+	for _, ob := range scan.Blocks {
+		if ob.Offset == b.Offset && ob.Size == b.Size {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Client) openSealed(sealed []byte) ([]byte, error) {
+	return c.sealer.Open(sealed)
+}
+
+// ReadAll scans every assignment of a snapshot (in parallel) and returns
+// all visible rows. Row order across assignments is by storage sequence.
+func (c *Client) ReadAll(ctx context.Context, table meta.TableID, snapshotTS truetime.Timestamp) ([]rowenc.Stamped, *ScanPlan, error) {
+	plan, err := c.Plan(ctx, table, snapshotTS)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([][]rowenc.Stamped, len(plan.Assignments))
+	errs := make([]error, len(plan.Assignments))
+	var wg sync.WaitGroup
+	for i, a := range plan.Assignments {
+		wg.Add(1)
+		go func(i int, a Assignment) {
+			defer wg.Done()
+			results[i], errs[i] = c.Scan(ctx, plan, a)
+		}(i, a)
+	}
+	wg.Wait()
+	var all []rowenc.Stamped
+	for i := range results {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		all = append(all, results[i]...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all, plan, nil
+}

@@ -1,0 +1,263 @@
+package colossus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"vortex/internal/blockenc"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	r := NewRegion("a", "b")
+	c := r.Cluster("a")
+	data := []byte("hello fragment")
+	size, err := c.Append("t/frag-1", data, blockenc.Checksum(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(data)) {
+		t.Fatalf("size = %d, want %d", size, len(data))
+	}
+	got, err := c.Read("t/frag-1", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read mismatch")
+	}
+	// Ranged read.
+	got, err = c.Read("t/frag-1", 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fragment" {
+		t.Fatalf("ranged read = %q", got)
+	}
+	// Past-EOF range truncates.
+	got, err = c.Read("t/frag-1", 6, 1000)
+	if err != nil || string(got) != "fragment" {
+		t.Fatalf("over-long read = %q, %v", got, err)
+	}
+	// Bad offset errors.
+	if _, err := c.Read("t/frag-1", 1000, 1); err == nil {
+		t.Fatal("read at offset past EOF accepted")
+	}
+}
+
+func TestAppendRejectsBadCRC(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	data := []byte("rows")
+	if _, err := c.Append("f", data, blockenc.Checksum(data)+1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if c.Exists("f") {
+		t.Fatal("failed write must not create the file")
+	}
+}
+
+func TestUnavailabilityFailsEverything(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	data := []byte("x")
+	if _, err := c.Append("f", data, blockenc.Checksum(data)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetAvailable(false)
+	if _, err := c.Append("f", data, blockenc.Checksum(data)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append err = %v", err)
+	}
+	if _, err := c.Read("f", 0, -1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read err = %v", err)
+	}
+	if _, err := c.Size("f"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("size err = %v", err)
+	}
+	if _, err := c.List(""); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("list err = %v", err)
+	}
+	if c.Exists("f") {
+		t.Fatal("Exists should report false when unreachable")
+	}
+	c.SetAvailable(true)
+	if _, err := c.Read("f", 0, -1); err != nil {
+		t.Fatalf("recovered cluster still failing: %v", err)
+	}
+}
+
+func TestFailNextWritesInjectsExactlyN(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	c.FailNextWrites(2)
+	data := []byte("d")
+	crc := blockenc.Checksum(data)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Append("f", data, crc); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := c.Append("f", data, crc); err != nil {
+		t.Fatalf("third write should succeed: %v", err)
+	}
+	// Reads are unaffected by write fault injection.
+	if _, err := c.Read("f", 0, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAndDeleteSemantics(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	if err := c.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	if err := c.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("f"); err != nil {
+		t.Fatalf("idempotent delete failed: %v", err)
+	}
+	if _, err := c.Read("f", 0, -1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read deleted file err = %v", err)
+	}
+}
+
+func TestListByPrefix(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	for _, p := range []string{"t1/s1/f2", "t1/s1/f1", "t2/s1/f1"} {
+		if err := c.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.List("t1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "t1/s1/f1" || got[1] != "t1/s1/f2" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestConcurrentAppendsSerialize(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := []byte{byte(w)}
+			crc := blockenc.Checksum(data)
+			for i := 0; i < per; i++ {
+				if _, err := c.Append("f", data, crc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := c.Read("f", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*per {
+		t.Fatalf("file has %d bytes, want %d (torn appends?)", len(got), writers*per)
+	}
+	counts := map[byte]int{}
+	for _, b := range got {
+		counts[b]++
+	}
+	for w := 0; w < writers; w++ {
+		if counts[byte(w)] != per {
+			t.Fatalf("writer %d contributed %d bytes, want %d", w, counts[byte(w)], per)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := NewRegion("a", "b")
+	data := bytes.Repeat([]byte("x"), 100)
+	crc := blockenc.Checksum(data)
+	if _, err := r.Cluster("a").Append("f", data, crc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cluster("b").Append("f", data, crc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cluster("a").Read("f", 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.WriteOps != 2 || s.BytesWritten != 200 || s.ReadOps != 1 || s.BytesRead != 40 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAppendAtConditionalSemantics(t *testing.T) {
+	c := NewRegion("a").Cluster("a")
+	data := []byte("block-1")
+	crc := blockenc.Checksum(data)
+	// Creating write must expect size 0.
+	if _, err := c.AppendAt("f", 5, data, crc); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	size, err := c.AppendAt("f", 0, data, crc)
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("create: %d, %v", size, err)
+	}
+	// Zombie write with stale expectation fails and changes nothing.
+	if _, err := c.AppendAt("f", 0, data, crc); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("stale append err = %v", err)
+	}
+	got, _ := c.Read("f", 0, -1)
+	if len(got) != len(data) {
+		t.Fatal("failed conditional append mutated the file")
+	}
+	// Correct expectation succeeds.
+	if _, err := c.AppendAt("f", int64(len(data)), data, crc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAtRace(t *testing.T) {
+	// Two writers race conditional appends at the same offset: exactly
+	// one wins — the primitive the zombie-poisoning protocol rests on.
+	c := NewRegion("a").Cluster("a")
+	data := []byte("x")
+	crc := blockenc.Checksum(data)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.AppendAt("f", 0, data, crc)
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for _, err := range errs {
+		if err == nil {
+			wins++
+		} else if !errors.Is(err, ErrSizeMismatch) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d writers won the offset-0 race, want exactly 1", wins)
+	}
+}
+
+func TestRegionClusterNamesStable(t *testing.T) {
+	r := NewRegion("c1", "c2", "c3")
+	names := r.ClusterNames()
+	if fmt.Sprint(names) != "[c1 c2 c3]" {
+		t.Fatalf("names = %v", names)
+	}
+	if r.Cluster("nope") != nil {
+		t.Fatal("unknown cluster should be nil")
+	}
+}

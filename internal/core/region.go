@@ -1,0 +1,281 @@
+// Package core wires the Vortex subsystems into a running region: two or
+// more Colossus clusters, a regional Spanner database, a pool of SMS
+// tasks sharded by Slicer, a pool of Stream Servers per cluster, and the
+// placement logic that assigns streamlets to servers by load and health
+// (§5.2, §5.3). This is the paper's "BigQuery region" in one process.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vortex/internal/bigmeta"
+	"vortex/internal/blockenc"
+	"vortex/internal/client"
+	"vortex/internal/colossus"
+	"vortex/internal/latencymodel"
+	"vortex/internal/meta"
+	"vortex/internal/rpc"
+	"vortex/internal/slicer"
+	"vortex/internal/sms"
+	"vortex/internal/spanner"
+	"vortex/internal/streamserver"
+	"vortex/internal/truetime"
+)
+
+// Config sizes a region.
+type Config struct {
+	// Clusters names the Borg/Colossus clusters (≥2, §5.1).
+	Clusters []string
+	// SMSTasks is the number of control-plane tasks (§5.2.1).
+	SMSTasks int
+	// StreamServersPerCluster sizes the data plane (§5.3).
+	StreamServersPerCluster int
+	// Latency is the injected latency profile (zero for tests).
+	Latency latencymodel.Profile
+	// Seed makes latency sampling deterministic.
+	Seed int64
+	// ClockEpsilon is the TrueTime uncertainty (default ±4ms).
+	ClockEpsilon time.Duration
+	// MaxFragmentBytes overrides the fragment rotation size.
+	MaxFragmentBytes int64
+}
+
+// DefaultConfig returns a two-cluster region with a small server pool.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:                []string{"alpha", "beta"},
+		SMSTasks:                2,
+		StreamServersPerCluster: 3,
+		ClockEpsilon:            4 * time.Millisecond,
+	}
+}
+
+// Region is a running single-process Vortex region.
+type Region struct {
+	Colossus *colossus.Region
+	DB       *spanner.DB
+	Net      *rpc.Network
+	Clock    truetime.Clock
+	Keyring  *blockenc.Keyring
+	Slicer   *slicer.Slicer
+
+	SMSTasks      []*sms.Task
+	StreamServers map[string]*streamserver.Server // by address
+	BigMeta       *bigmeta.Index
+
+	placer *placer
+	router *router
+
+	mu sync.Mutex
+}
+
+// NewRegion builds and starts a region.
+func NewRegion(cfg Config) *Region {
+	if len(cfg.Clusters) < 2 {
+		cfg.Clusters = []string{"alpha", "beta"}
+	}
+	if cfg.SMSTasks <= 0 {
+		cfg.SMSTasks = 2
+	}
+	if cfg.StreamServersPerCluster <= 0 {
+		cfg.StreamServersPerCluster = 3
+	}
+	if cfg.ClockEpsilon <= 0 {
+		cfg.ClockEpsilon = 4 * time.Millisecond
+	}
+	clock := truetime.NewSystem(cfg.ClockEpsilon, 0)
+	var sampler *latencymodel.Sampler
+	if !cfg.Latency.Zero() {
+		sampler = latencymodel.NewSampler(cfg.Latency, cfg.Seed)
+	}
+	r := &Region{
+		Colossus:      colossus.NewRegion(cfg.Clusters...),
+		DB:            spanner.NewDB(clock),
+		Net:           rpc.NewNetwork(sampler),
+		Clock:         clock,
+		Keyring:       blockenc.NewKeyring(),
+		Slicer:        slicer.New(nil),
+		StreamServers: make(map[string]*streamserver.Server),
+	}
+	if sampler != nil {
+		r.Colossus.SetSampler(sampler)
+	}
+	r.placer = newPlacer(cfg.Clusters)
+	r.router = &router{slicer: r.Slicer}
+	r.BigMeta = bigmeta.NewIndex()
+
+	for i := 0; i < cfg.SMSTasks; i++ {
+		addr := fmt.Sprintf("sms-%d", i)
+		task := sms.New(addr, r.DB, r.Net, r.placer)
+		task.SetColossus(r.Colossus)
+		task.SetFragmentListener(r.BigMeta)
+		r.SMSTasks = append(r.SMSTasks, task)
+		r.Slicer.AddTask(addr)
+	}
+	for _, cl := range cfg.Clusters {
+		for i := 0; i < cfg.StreamServersPerCluster; i++ {
+			addr := fmt.Sprintf("ss-%s-%d", cl, i)
+			sscfg := streamserver.DefaultConfig(addr)
+			if cfg.MaxFragmentBytes > 0 {
+				sscfg.MaxFragmentBytes = cfg.MaxFragmentBytes
+			}
+			srv := streamserver.New(sscfg, r.Colossus, clock, r.Keyring, r.router, r.Net)
+			r.StreamServers[addr] = srv
+			r.placer.addServer(addr, cl)
+		}
+	}
+	return r
+}
+
+// NewClient returns a client bound to this region.
+func (r *Region) NewClient(opts client.Options) *client.Client {
+	return client.New(r.Net, r.router, r.Colossus, r.Keyring, r.Clock, opts)
+}
+
+// Router exposes the table→SMS routing (used by tools and the optimizer).
+func (r *Region) Router() client.Router { return r.router }
+
+// HeartbeatAll drives one heartbeat round on every live Stream Server —
+// the simulation's stand-in for the paper's periodic heartbeats (§5.5).
+func (r *Region) HeartbeatAll(ctx context.Context, full bool) {
+	r.mu.Lock()
+	servers := make([]*streamserver.Server, 0, len(r.StreamServers))
+	for _, s := range r.StreamServers {
+		servers = append(servers, s)
+	}
+	r.mu.Unlock()
+	for _, s := range servers {
+		_ = s.HeartbeatNow(ctx, full)
+	}
+}
+
+// CrashStreamServer simulates a hard Stream Server crash.
+func (r *Region) CrashStreamServer(addr string) {
+	r.mu.Lock()
+	srv := r.StreamServers[addr]
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Crash()
+		r.placer.markDead(addr)
+	}
+}
+
+// RunHeartbeats starts a background heartbeat loop until ctx ends.
+func (r *Region) RunHeartbeats(ctx context.Context, every time.Duration) {
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		n := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				n++
+				r.HeartbeatAll(ctx, n%10 == 0) // periodic full snapshot (§5.4.3)
+			}
+		}
+	}()
+}
+
+// router implements client.Router / streamserver.Router via Slicer.
+type router struct {
+	slicer *slicer.Slicer
+}
+
+// SMSFor returns the SMS task responsible for the table.
+func (rt *router) SMSFor(table meta.TableID) (string, error) {
+	return rt.slicer.Lookup("table:" + string(table))
+}
+
+// placer implements sms.Placer: least-loaded healthy server wins, and
+// the replica pair is the server's home cluster plus the next cluster in
+// the region (§5.2, §5.6).
+type placer struct {
+	mu       sync.Mutex
+	clusters []string
+	servers  map[string]*serverState
+}
+
+type serverState struct {
+	cluster    string
+	load       float64
+	quarantine bool
+	dead       bool
+	placements int
+}
+
+func newPlacer(clusters []string) *placer {
+	return &placer{clusters: clusters, servers: make(map[string]*serverState)}
+}
+
+func (p *placer) addServer(addr, cluster string) {
+	p.mu.Lock()
+	p.servers[addr] = &serverState{cluster: cluster}
+	p.mu.Unlock()
+}
+
+func (p *placer) markDead(addr string) {
+	p.mu.Lock()
+	if s, ok := p.servers[addr]; ok {
+		s.dead = true
+	}
+	p.mu.Unlock()
+}
+
+// Pick implements sms.Placer.
+func (p *placer) Pick(exclude string) (string, [2]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	type cand struct {
+		addr string
+		cost float64
+	}
+	var cands []cand
+	for addr, st := range p.servers {
+		if st.dead || st.quarantine || addr == exclude {
+			continue
+		}
+		// Load plus a placement-count term keeps assignment spread even
+		// before the first heartbeats arrive.
+		cands = append(cands, cand{addr, st.load + float64(st.placements)*0.01})
+	}
+	if len(cands) == 0 {
+		return "", [2]string{}, errors.New("core: no healthy stream server available")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].addr < cands[j].addr
+	})
+	chosen := cands[0].addr
+	st := p.servers[chosen]
+	st.placements++
+	home := st.cluster
+	second := home
+	for i, c := range p.clusters {
+		if c == home {
+			second = p.clusters[(i+1)%len(p.clusters)]
+			break
+		}
+	}
+	return chosen, [2]string{home, second}, nil
+}
+
+// ReportLoad implements sms.Placer.
+func (p *placer) ReportLoad(addr string, cpu, mem, throughput float64, quarantine bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.servers[addr]
+	if !ok {
+		return
+	}
+	st.load = cpu + mem
+	st.quarantine = quarantine
+}

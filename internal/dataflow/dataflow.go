@@ -1,0 +1,322 @@
+// Package dataflow reproduces the slice of Google Cloud Dataflow (the
+// Apache Beam runner) that §7.4 describes: a parallel pipeline whose
+// BigQuery sink achieves end-to-end exactly-once output through Vortex
+// BUFFERED streams.
+//
+// The sink runs in two stages. Append-stage workers each own a key
+// partition and a dedicated BUFFERED stream; they append bundles at a
+// tracked row offset and atomically (a) mark the bundle processed,
+// (b) write the flush instruction to shuffle and (c) advance the
+// stream offset in the state store. Flush-stage workers consume the
+// instructions and call FlushStream — idempotent and monotonic — making
+// the rows visible. Zombie workers (duplicate deliveries of a bundle)
+// are harmless: Vortex offset validation makes the duplicate append
+// land nowhere, and the state store's atomic commit admits exactly one
+// completion per bundle.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"vortex/internal/client"
+	"vortex/internal/meta"
+	"vortex/internal/schema"
+)
+
+// Bundle is one unit of work: a batch of rows for one key partition.
+type Bundle struct {
+	Partition int
+	ID        int // sequence within the partition
+	Rows      []schema.Row
+}
+
+// flushRec is a flush instruction written to shuffle by the append stage.
+type flushRec struct {
+	stream meta.StreamID
+	offset int64
+	part   int
+}
+
+// stateStore is the runner's per-partition checkpoint state. Its Commit
+// is atomic: Dataflow "guarantees that these three modifications are
+// committed atomically" (§7.4).
+type stateStore struct {
+	mu    sync.Mutex
+	parts map[int]*partState
+}
+
+type partState struct {
+	processed  map[int]bool
+	stream     meta.StreamID
+	nextOffset int64
+}
+
+func newStateStore() *stateStore { return &stateStore{parts: map[int]*partState{}} }
+
+func (s *stateStore) get(part int) partState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.parts[part]
+	if ps == nil {
+		return partState{processed: map[int]bool{}}
+	}
+	cp := partState{processed: make(map[int]bool, len(ps.processed)), stream: ps.stream, nextOffset: ps.nextOffset}
+	for k := range ps.processed {
+		cp.processed[k] = true
+	}
+	return cp
+}
+
+func (s *stateStore) setStream(part int, id meta.StreamID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.parts[part]
+	if ps == nil {
+		ps = &partState{processed: map[int]bool{}}
+		s.parts[part] = ps
+	}
+	if ps.stream == "" {
+		ps.stream = id
+	}
+}
+
+// errAlreadyProcessed is returned when a zombie tries to commit a bundle
+// a twin already completed.
+var errAlreadyProcessed = errors.New("dataflow: bundle already processed")
+
+// commit atomically marks the bundle processed, records the flush
+// instruction and advances the offset. It fails for zombies.
+func (s *stateStore) commit(part, bundleID int, newOffset int64, rec flushRec, shuffle chan<- flushRec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.parts[part]
+	if ps == nil {
+		ps = &partState{processed: map[int]bool{}}
+		s.parts[part] = ps
+	}
+	if ps.processed[bundleID] {
+		return errAlreadyProcessed
+	}
+	ps.processed[bundleID] = true
+	if newOffset > ps.nextOffset {
+		ps.nextOffset = newOffset
+	}
+	shuffle <- rec
+	return nil
+}
+
+// SinkOptions tune the exactly-once sink.
+type SinkOptions struct {
+	// Partitions is the key-space partition count (append-stage width).
+	Partitions int
+	// BundleSize is the number of rows per bundle.
+	BundleSize int
+	// DuplicateDeliveries re-delivers every bundle this many extra times
+	// concurrently — the zombie-worker scenario of §7.4.
+	DuplicateDeliveries int
+	// CrashAfterAppend makes the FIRST delivery of every nth bundle die
+	// between its append and its state commit (0 = never), exercising
+	// re-delivery over a partially-completed bundle.
+	CrashAfterAppend int
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	BundlesProcessed  int
+	ZombiesDefeated   int // commits rejected or appends refused for duplicates
+	RowsWritten       int64
+	FlushInstructions int
+}
+
+// WriteTableRows runs the two-stage exactly-once sink: it partitions
+// rows by a deterministic key hash, processes bundles in parallel (with
+// optional duplicate deliveries and crashes), flushes, and returns.
+// This is `BigQueryIO.writeTableRows()` (§7.4, Listing 7).
+func WriteTableRows(ctx context.Context, c *client.Client, table meta.TableID, rows []schema.Row, opts SinkOptions) (*Result, error) {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 4
+	}
+	if opts.BundleSize <= 0 {
+		opts.BundleSize = 16
+	}
+	sc, err := c.GetSchema(ctx, table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic partitioning of the key space.
+	partRows := make([][]schema.Row, opts.Partitions)
+	for i, r := range rows {
+		h := fnv.New32a()
+		if len(sc.PrimaryKey) > 0 {
+			if pk, err := sc.PrimaryKeyOf(r); err == nil {
+				h.Write([]byte(pk))
+			} else {
+				fmt.Fprintf(h, "row-%d", i)
+			}
+		} else {
+			fmt.Fprintf(h, "row-%d", i)
+		}
+		p := int(h.Sum32()) % opts.Partitions
+		partRows[p] = append(partRows[p], r)
+	}
+	var bundles []Bundle
+	for p, rs := range partRows {
+		id := 0
+		for lo := 0; lo < len(rs); lo += opts.BundleSize {
+			hi := lo + opts.BundleSize
+			if hi > len(rs) {
+				hi = len(rs)
+			}
+			bundles = append(bundles, Bundle{Partition: p, ID: id, Rows: rs[lo:hi]})
+			id++
+		}
+	}
+
+	store := newStateStore()
+	shuffle := make(chan flushRec, len(bundles)*(opts.DuplicateDeliveries+2))
+	res := &Result{}
+
+	// One dedicated BUFFERED stream per partition (§7.4: "Each worker in
+	// the Append stage creates its own dedicated BUFFERED stream"). Each
+	// delivery attaches its own handle — worker incarnations (including
+	// zombies) do not share client state.
+	streamIDs := make([]meta.StreamID, opts.Partitions)
+	var streamMu sync.Mutex
+	streamFor := func(part int) (*client.Stream, error) {
+		streamMu.Lock()
+		if streamIDs[part] == "" {
+			s, err := c.CreateStream(ctx, table, meta.Buffered)
+			if err != nil {
+				streamMu.Unlock()
+				return nil, err
+			}
+			streamIDs[part] = s.Info().ID
+			store.setStream(part, s.Info().ID)
+			streamMu.Unlock()
+			return s, nil
+		}
+		id := streamIDs[part]
+		streamMu.Unlock()
+		return c.AttachStream(ctx, id)
+	}
+
+	// Append stage: bundles of a partition run in order; different
+	// partitions run concurrently. Duplicate deliveries of the same
+	// bundle run concurrently with the original.
+	var mu sync.Mutex
+	var firstErr error
+	var zombies int64
+	var rowsWritten int64
+	var wg sync.WaitGroup
+	byPart := map[int][]Bundle{}
+	for _, b := range bundles {
+		byPart[b.Partition] = append(byPart[b.Partition], b)
+	}
+	for part, bs := range byPart {
+		wg.Add(1)
+		go func(part int, bs []Bundle) {
+			defer wg.Done()
+			for bi, b := range bs {
+				crash := opts.CrashAfterAppend > 0 && (bi+1)%opts.CrashAfterAppend == 0
+				var dwg sync.WaitGroup
+				deliveries := 1 + opts.DuplicateDeliveries
+				for d := 0; d < deliveries; d++ {
+					dwg.Add(1)
+					go func(d int, b Bundle) {
+						defer dwg.Done()
+						dieBeforeCommit := crash && d == 0
+						err := processBundle(ctx, c, store, streamFor, shuffle, b, dieBeforeCommit)
+						mu.Lock()
+						defer mu.Unlock()
+						switch {
+						case err == nil:
+							res.BundlesProcessed++
+							rowsWritten += int64(len(b.Rows))
+						case errors.Is(err, errAlreadyProcessed):
+							zombies++
+						case errors.Is(err, errDied):
+							// crashed worker: re-delivered below
+						default:
+							if firstErr == nil {
+								firstErr = err
+							}
+						}
+					}(d, b)
+				}
+				dwg.Wait()
+				if crash {
+					// Runner re-delivers the bundle after the crash.
+					if err := processBundle(ctx, c, store, streamFor, shuffle, b, false); err != nil && !errors.Is(err, errAlreadyProcessed) {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					} else {
+						mu.Lock()
+						if err == nil {
+							res.BundlesProcessed++
+							rowsWritten += int64(len(b.Rows))
+						} else {
+							zombies++
+						}
+						mu.Unlock()
+					}
+				}
+			}
+		}(part, bs)
+	}
+	wg.Wait()
+	close(shuffle)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Flush stage: consume instructions; FlushStream is idempotent and
+	// the frontier monotonic, so order does not matter.
+	for rec := range shuffle {
+		s, err := c.AttachStream(ctx, rec.stream)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: flush stage: %w", err)
+		}
+		if err := s.Flush(ctx, rec.offset); err != nil {
+			return nil, fmt.Errorf("dataflow: flush stage: %w", err)
+		}
+		res.FlushInstructions++
+	}
+	res.ZombiesDefeated = int(zombies)
+	res.RowsWritten = rowsWritten
+	return res, nil
+}
+
+var errDied = errors.New("dataflow: worker died before commit")
+
+// processBundle is one delivery of one bundle through the Append stage.
+func processBundle(ctx context.Context, c *client.Client, store *stateStore, streamFor func(int) (*client.Stream, error), shuffle chan<- flushRec, b Bundle, dieBeforeCommit bool) error {
+	st := store.get(b.Partition)
+	if st.processed[b.ID] {
+		return errAlreadyProcessed
+	}
+	s, err := streamFor(b.Partition)
+	if err != nil {
+		return err
+	}
+	off := st.nextOffset
+	_, appendErr := s.Append(ctx, b.Rows, client.AppendOptions{Offset: off})
+	if appendErr != nil && !errors.Is(appendErr, client.ErrWrongOffset) {
+		return appendErr
+	}
+	// ErrWrongOffset means a twin already appended this bundle at off
+	// with identical content (partitioning and bundle order are
+	// deterministic): proceed to commit — exactly one of us wins.
+	if dieBeforeCommit {
+		return errDied
+	}
+	end := off + int64(len(b.Rows))
+	return store.commit(b.Partition, b.ID, end, flushRec{stream: s.Info().ID, offset: end, part: b.Partition}, shuffle)
+}

@@ -1,0 +1,155 @@
+// Package dml implements the mutation machinery of §7.3: deletion masks
+// over row ranges of Fragments and Streamlets, and the reinserted-row
+// bookkeeping that UPDATE/DELETE/MERGE statements commit atomically with
+// their masks.
+package dml
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open interval [Start, End) of row indexes.
+type Range struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// Mask marks rows of one fragment (or streamlet tail) as deleted. Ranges
+// are kept sorted and disjoint. The zero Mask deletes nothing.
+type Mask struct {
+	Ranges []Range `json:"ranges,omitempty"`
+}
+
+// Empty reports whether the mask deletes no rows.
+func (m *Mask) Empty() bool { return m == nil || len(m.Ranges) == 0 }
+
+// Add marks [start, end) deleted, normalizing overlaps. It panics on an
+// invalid range — callers compute ranges from row indexes they hold.
+func (m *Mask) Add(start, end int64) {
+	if start < 0 || end < start {
+		panic(fmt.Sprintf("dml: invalid mask range [%d,%d)", start, end))
+	}
+	if start == end {
+		return
+	}
+	m.Ranges = append(m.Ranges, Range{Start: start, End: end})
+	m.normalize()
+}
+
+// AddMask merges all ranges of other into m.
+func (m *Mask) AddMask(other *Mask) {
+	if other.Empty() {
+		return
+	}
+	m.Ranges = append(m.Ranges, other.Ranges...)
+	m.normalize()
+}
+
+func (m *Mask) normalize() {
+	sort.Slice(m.Ranges, func(i, j int) bool { return m.Ranges[i].Start < m.Ranges[j].Start })
+	out := m.Ranges[:0]
+	for _, r := range m.Ranges {
+		if n := len(out); n > 0 && r.Start <= out[n-1].End {
+			if r.End > out[n-1].End {
+				out[n-1].End = r.End
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	m.Ranges = out
+}
+
+// Deleted reports whether row index i is masked.
+func (m *Mask) Deleted(i int64) bool {
+	if m.Empty() {
+		return false
+	}
+	// Binary search for the last range with Start <= i.
+	lo, hi := 0, len(m.Ranges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.Ranges[mid].Start <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return false
+	}
+	return i < m.Ranges[lo-1].End
+}
+
+// DeletedCount returns the number of masked rows below limit.
+func (m *Mask) DeletedCount(limit int64) int64 {
+	if m.Empty() {
+		return 0
+	}
+	var n int64
+	for _, r := range m.Ranges {
+		s, e := r.Start, r.End
+		if s >= limit {
+			break
+		}
+		if e > limit {
+			e = limit
+		}
+		n += e - s
+	}
+	return n
+}
+
+// Shift returns a copy of the mask with every range offset by delta,
+// clamped to [0, limit). Used to map a streamlet-tail mask (stream-offset
+// coordinates) onto a fragment's local row indexes (§7.3).
+func (m *Mask) Shift(delta, limit int64) *Mask {
+	out := &Mask{}
+	if m.Empty() {
+		return out
+	}
+	for _, r := range m.Ranges {
+		s, e := r.Start+delta, r.End+delta
+		if e <= 0 || s >= limit {
+			continue
+		}
+		if s < 0 {
+			s = 0
+		}
+		if e > limit {
+			e = limit
+		}
+		out.Ranges = append(out.Ranges, Range{Start: s, End: e})
+	}
+	out.normalize()
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Mask) Clone() *Mask {
+	if m == nil {
+		return &Mask{}
+	}
+	return &Mask{Ranges: append([]Range(nil), m.Ranges...)}
+}
+
+// Marshal serializes the mask (stored in Spanner next to the fragment).
+func (m *Mask) Marshal() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("dml: marshal mask: %v", err))
+	}
+	return b
+}
+
+// Unmarshal parses a mask serialized by Marshal.
+func Unmarshal(data []byte) (*Mask, error) {
+	var m Mask
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dml: unmarshal mask: %w", err)
+	}
+	m.normalize()
+	return &m, nil
+}

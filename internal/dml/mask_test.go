@@ -1,0 +1,154 @@
+package dml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndDeleted(t *testing.T) {
+	var m Mask
+	m.Add(5, 10)
+	m.Add(20, 25)
+	for i := int64(0); i < 30; i++ {
+		want := (i >= 5 && i < 10) || (i >= 20 && i < 25)
+		if m.Deleted(i) != want {
+			t.Fatalf("Deleted(%d) = %v, want %v", i, m.Deleted(i), want)
+		}
+	}
+	if m.DeletedCount(30) != 10 {
+		t.Fatalf("count = %d", m.DeletedCount(30))
+	}
+	if m.DeletedCount(8) != 3 {
+		t.Fatalf("count(8) = %d", m.DeletedCount(8))
+	}
+	if m.DeletedCount(22) != 7 {
+		t.Fatalf("count(22) = %d", m.DeletedCount(22))
+	}
+}
+
+func TestOverlapNormalization(t *testing.T) {
+	var m Mask
+	m.Add(0, 10)
+	m.Add(5, 15)  // overlaps
+	m.Add(15, 20) // adjacent
+	m.Add(30, 31)
+	if len(m.Ranges) != 2 {
+		t.Fatalf("ranges = %v, want merged [0,20) and [30,31)", m.Ranges)
+	}
+	if m.Ranges[0] != (Range{0, 20}) {
+		t.Fatalf("merged = %v", m.Ranges[0])
+	}
+	m.Add(0, 0) // empty: no-op
+	if len(m.Ranges) != 2 {
+		t.Fatal("empty range changed the mask")
+	}
+}
+
+func TestAddPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for reversed range")
+		}
+	}()
+	var m Mask
+	m.Add(10, 5)
+}
+
+func TestMaskProperty(t *testing.T) {
+	// The mask must agree with a reference boolean array under any
+	// sequence of Add calls.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const limit = 200
+		ref := make([]bool, limit)
+		var m Mask
+		for k := 0; k < int(n%20); k++ {
+			s := int64(rng.Intn(limit))
+			e := s + int64(rng.Intn(limit/4))
+			if e > limit {
+				e = limit
+			}
+			m.Add(s, e)
+			for i := s; i < e; i++ {
+				ref[i] = true
+			}
+		}
+		var count int64
+		for i := int64(0); i < limit; i++ {
+			if m.Deleted(i) != ref[i] {
+				return false
+			}
+			if ref[i] {
+				count++
+			}
+		}
+		return m.DeletedCount(limit) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftMapsTailMaskToFragment(t *testing.T) {
+	// A streamlet-tail mask in stream coordinates [100, 150) mapped onto
+	// a fragment whose rows cover stream offsets [120, 140): the fragment
+	// (20 rows, local indexes 0..20) is fully masked.
+	var tail Mask
+	tail.Add(100, 150)
+	frag := tail.Shift(-120, 20)
+	if frag.DeletedCount(20) != 20 {
+		t.Fatalf("fragment mask = %v", frag.Ranges)
+	}
+	// Partial overlap: fragment at [140, 170), 30 rows → masked [0,10).
+	frag = tail.Shift(-140, 30)
+	if frag.DeletedCount(30) != 10 || !frag.Deleted(9) || frag.Deleted(10) {
+		t.Fatalf("partial mask = %v", frag.Ranges)
+	}
+	// No overlap.
+	frag = tail.Shift(-150, 30)
+	if !frag.Empty() {
+		t.Fatalf("no-overlap mask = %v", frag.Ranges)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	var m Mask
+	m.Add(1, 5)
+	m.Add(9, 12)
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ranges) != 2 || got.Ranges[1] != (Range{9, 12}) {
+		t.Fatalf("round trip = %v", got.Ranges)
+	}
+	empty, err := Unmarshal((&Mask{}).Marshal())
+	if err != nil || !empty.Empty() {
+		t.Fatalf("empty round trip: %v, %v", empty, err)
+	}
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestAddMaskAndClone(t *testing.T) {
+	var a, b Mask
+	a.Add(0, 5)
+	b.Add(3, 8)
+	c := a.Clone()
+	c.AddMask(&b)
+	if c.DeletedCount(10) != 8 {
+		t.Fatalf("union count = %d", c.DeletedCount(10))
+	}
+	if a.DeletedCount(10) != 5 {
+		t.Fatal("Clone aliased the source")
+	}
+	var nilMask *Mask
+	if !nilMask.Empty() || nilMask.Deleted(3) || nilMask.DeletedCount(10) != 0 {
+		t.Fatal("nil mask must behave as empty")
+	}
+	if got := nilMask.Clone(); got == nil || !got.Empty() {
+		t.Fatal("nil clone")
+	}
+}

@@ -1,0 +1,65 @@
+package dml
+
+import (
+	"sort"
+
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+)
+
+// ResolveChanges replays a set of stamped rows in storage-sequence order
+// and applies `_CHANGE_TYPE` semantics (§4.2.6):
+//
+//   - INSERT appends the row (primary keys are unenforced for inserts);
+//   - UPSERT replaces every earlier row with the same primary key, or
+//     inserts when none exists;
+//   - DELETE removes every earlier row with the same primary key.
+//
+// When dropTombstones is false (compaction of a *subset* of the table's
+// fragments), surviving UPSERT/DELETE rows keep their change types so a
+// later merge against older fragments still replaces/deletes; a final
+// read (or a merge covering every fragment) passes dropTombstones=true.
+// Tables without a primary key are returned unchanged (order aside).
+func ResolveChanges(s *schema.Schema, rows []rowenc.Stamped, dropTombstones bool) []rowenc.Stamped {
+	out := append([]rowenc.Stamped(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if len(s.PrimaryKey) == 0 {
+		return out
+	}
+	// prior tracks every surviving row (including kept tombstones) per
+	// primary key; a later UPSERT/DELETE subsumes all of them.
+	prior := make(map[string][]int, len(out))
+	dead := make([]bool, len(out))
+	for i := range out {
+		r := out[i]
+		pk, err := s.PrimaryKeyOf(r.Row)
+		if err != nil {
+			// Rows with NULL/missing keys cannot participate in keyed
+			// replacement; treat as plain inserts.
+			continue
+		}
+		switch r.Row.Change {
+		case schema.ChangeInsert:
+			prior[pk] = append(prior[pk], i)
+		case schema.ChangeUpsert, schema.ChangeDelete:
+			for _, j := range prior[pk] {
+				dead[j] = true
+			}
+			prior[pk] = prior[pk][:0]
+			if r.Row.Change == schema.ChangeUpsert {
+				prior[pk] = append(prior[pk], i)
+			} else if dropTombstones {
+				dead[i] = true
+			} else {
+				prior[pk] = append(prior[pk], i) // kept tombstone, subsumable
+			}
+		}
+	}
+	result := out[:0]
+	for i := range out {
+		if !dead[i] {
+			result = append(result, out[i])
+		}
+	}
+	return result
+}

@@ -1,0 +1,104 @@
+package latencymodel
+
+import (
+	"testing"
+	"time"
+
+	"vortex/internal/metrics"
+)
+
+func TestLogNormalClamping(t *testing.T) {
+	s := NewSampler(Profile{
+		ColossusWrite: LogNormal{Median: 5 * time.Millisecond, Sigma: 2.0, Floor: 4 * time.Millisecond, Cap: 6 * time.Millisecond},
+	}, 1)
+	for i := 0; i < 1000; i++ {
+		d := s.ColossusWrite(0)
+		if d < 4*time.Millisecond || d > 6*time.Millisecond {
+			t.Fatalf("sample %v escaped [4ms,6ms]", d)
+		}
+	}
+}
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	var p Profile
+	if !p.Zero() {
+		t.Fatal("zero profile should report Zero")
+	}
+	s := NewSampler(p, 1)
+	if s.RPCHop() != 0 || s.ReplicatedWrite(1<<20) != 0 || s.ColossusRead(1<<20) != 0 || s.ConnectionSetup() != 0 {
+		t.Fatal("zero profile must sample zero durations")
+	}
+	if ProductionLike().Zero() {
+		t.Fatal("production profile must not be Zero")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := NewSampler(ProductionLike(), 99)
+	b := NewSampler(ProductionLike(), 99)
+	for i := 0; i < 100; i++ {
+		if a.ColossusWrite(1024) != b.ColossusWrite(1024) {
+			t.Fatal("samplers with equal seeds diverged")
+		}
+	}
+}
+
+func TestBandwidthTermScalesWithSize(t *testing.T) {
+	p := Profile{BytesPerSecond: 100 << 20} // only the transfer term
+	s := NewSampler(p, 1)
+	small := s.ColossusWrite(1 << 10)
+	large := s.ColossusWrite(100 << 20)
+	if large < 900*time.Millisecond || large > 1100*time.Millisecond {
+		t.Fatalf("100MB at 100MB/s should take ~1s, got %v", large)
+	}
+	if small > time.Millisecond {
+		t.Fatalf("1KB transfer should be ~10µs, got %v", small)
+	}
+}
+
+// TestAppendShapeMatchesPaper checks that the production-like profile
+// reproduces the paper's Figure 7 distribution shape: composing
+// 2 RPC hops + a dual-cluster replicated write for a typical small batch
+// must land p50 near 10ms and p99 near but not above ~40ms.
+func TestAppendShapeMatchesPaper(t *testing.T) {
+	s := NewSampler(ProductionLike(), 2024)
+	h := metrics.NewLatencyHistogram()
+	for i := 0; i < 30000; i++ {
+		d := s.RPCHop() + s.ReplicatedWrite(64<<10) + s.RPCHop()
+		h.Record(d)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 7*time.Millisecond || p50 > 14*time.Millisecond {
+		t.Errorf("p50 = %v, want ~10ms", p50)
+	}
+	if p99 < 18*time.Millisecond || p99 > 45*time.Millisecond {
+		t.Errorf("p99 = %v, want ~30ms", p99)
+	}
+	if p99 <= p50 {
+		t.Errorf("p99 (%v) must exceed p50 (%v)", p99, p50)
+	}
+}
+
+func TestReplicatedWriteIsMaxShaped(t *testing.T) {
+	// The max of two draws must stochastically dominate a single draw:
+	// compare means over many samples.
+	s := NewSampler(ProductionLike(), 7)
+	var single, repl time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		single += s.ColossusWrite(0)
+		repl += s.ReplicatedWrite(0)
+	}
+	if repl <= single {
+		t.Fatalf("replicated mean (%v) should exceed single-cluster mean (%v)", repl/n, single/n)
+	}
+}
+
+func TestSleepHandlesNonPositive(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Sleep of non-positive durations must return immediately")
+	}
+}

@@ -1,0 +1,371 @@
+// Package metrics provides the latency accounting used to reproduce the
+// paper's evaluation: log-bucketed histograms with percentile queries
+// (Figures 7 and 8 report p50/p90/p95/p99 append latencies) and windowed
+// time series of percentiles (Figure 7 plots them over a two-week window).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe latency histogram with geometric
+// buckets. Bucket boundaries grow by a fixed ratio, giving a bounded
+// relative quantile error (~ratio) over an unbounded range — the same
+// trade HDR-style histograms make.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  []uint64
+	min     time.Duration
+	max     time.Duration
+	sum     time.Duration
+	total   uint64
+	base    float64 // lower bound of bucket 0, in ns
+	gamma   float64 // bucket growth ratio
+	logGam  float64
+	nbucket int
+}
+
+// NewHistogram returns a histogram covering [lo, hi] with the given
+// relative error (e.g. 0.01 for 1%). Values outside the range are clamped
+// into the edge buckets.
+func NewHistogram(lo, hi time.Duration, relErr float64) *Histogram {
+	if lo <= 0 || hi <= lo || relErr <= 0 || relErr >= 1 {
+		panic("metrics: invalid histogram parameters")
+	}
+	gamma := (1 + relErr) / (1 - relErr)
+	n := int(math.Ceil(math.Log(float64(hi)/float64(lo))/math.Log(gamma))) + 1
+	return &Histogram{
+		counts:  make([]uint64, n),
+		base:    float64(lo),
+		gamma:   gamma,
+		logGam:  math.Log(gamma),
+		nbucket: n,
+		min:     math.MaxInt64,
+	}
+}
+
+// NewLatencyHistogram returns a histogram tuned for append latencies:
+// 10µs .. 10s at 1% relative error.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(10*time.Microsecond, 10*time.Second, 0.01)
+}
+
+func (h *Histogram) bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := int(math.Floor(math.Log(float64(d)/h.base) / h.logGam))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= h.nbucket {
+		return h.nbucket - 1
+	}
+	return idx
+}
+
+// bucketValue is the representative (geometric midpoint) value of bucket i.
+func (h *Histogram) bucketValue(i int) time.Duration {
+	return time.Duration(h.base * math.Pow(h.gamma, float64(i)+0.5))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	i := h.bucketOf(d)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of all observations, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with the histogram's
+// relative error, or 0 if the histogram is empty. Exact minima and maxima
+// are returned for q=0 and q=1.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return h.bucketValue(i)
+		}
+	}
+	return h.max
+}
+
+// Quantiles returns several quantiles in one lock acquisition.
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy of the histogram state.
+func (h *Histogram) Snapshot() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := &Histogram{
+		counts:  append([]uint64(nil), h.counts...),
+		min:     h.min,
+		max:     h.max,
+		sum:     h.sum,
+		total:   h.total,
+		base:    h.base,
+		gamma:   h.gamma,
+		logGam:  h.logGam,
+		nbucket: h.nbucket,
+	}
+	return c
+}
+
+// Merge adds all observations from other into h. Both histograms must
+// share bucket parameters (they do if built by the same constructor).
+func (h *Histogram) Merge(other *Histogram) {
+	o := other.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.counts) != len(o.counts) || h.base != o.base || h.gamma != o.gamma {
+		panic("metrics: merging histograms with different bucket layouts")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.total > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset clears all recorded observations, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// PercentilePoint is one time-window sample of the standard percentile
+// set reported by the paper's figures.
+type PercentilePoint struct {
+	Window time.Duration // offset of the window start from series start
+	Count  uint64
+	P50    time.Duration
+	P90    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+}
+
+// Series accumulates observations into fixed-width time windows and
+// reports the per-window percentile set. It reproduces the x-axis of
+// Figure 7 (percentiles over time).
+type Series struct {
+	mu     sync.Mutex
+	width  time.Duration
+	start  time.Time
+	hists  []*Histogram
+	newHis func() *Histogram
+}
+
+// NewSeries returns a Series with the given window width, starting now.
+func NewSeries(width time.Duration, start time.Time) *Series {
+	if width <= 0 {
+		panic("metrics: series window width must be positive")
+	}
+	return &Series{width: width, start: start, newHis: NewLatencyHistogram}
+}
+
+// Record adds an observation made at time at.
+func (s *Series) Record(at time.Time, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := int(at.Sub(s.start) / s.width)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(s.hists) <= idx {
+		s.hists = append(s.hists, s.newHis())
+	}
+	s.hists[idx].Record(d)
+}
+
+// Points returns one PercentilePoint per non-empty window, in order.
+func (s *Series) Points() []PercentilePoint {
+	s.mu.Lock()
+	hists := append([]*Histogram(nil), s.hists...)
+	width := s.width
+	s.mu.Unlock()
+	var out []PercentilePoint
+	for i, h := range hists {
+		if h.Count() == 0 {
+			continue
+		}
+		qs := h.Quantiles(0.50, 0.90, 0.95, 0.99)
+		out = append(out, PercentilePoint{
+			Window: time.Duration(i) * width,
+			Count:  h.Count(),
+			P50:    qs[0], P90: qs[1], P95: qs[2], P99: qs[3],
+		})
+	}
+	return out
+}
+
+// Overall returns a single histogram merging every window.
+func (s *Series) Overall() *Histogram {
+	s.mu.Lock()
+	hists := append([]*Histogram(nil), s.hists...)
+	s.mu.Unlock()
+	total := NewLatencyHistogram()
+	for _, h := range hists {
+		total.Merge(h)
+	}
+	return total
+}
+
+// Counter is a simple atomic counter with a name, used for the byte/op
+// accounting the verification pipelines and benches read.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// FormatTable renders rows of [label, p50, p90, p95, p99, count] as an
+// aligned text table, the output format of cmd/vortex-bench.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, hh := range header {
+		widths[i] = len(hh)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortDurations sorts a slice of durations ascending (helper for tests
+// and exact small-sample percentiles).
+func SortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}
+
+// ExactQuantile computes a quantile exactly from raw samples (nearest
+// rank). Used by tests to bound histogram error.
+func ExactQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	SortDurations(s)
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(42))
+	var samples []time.Duration
+	for i := 0; i < 50000; i++ {
+		// Log-normal-ish latencies centered around 10ms.
+		d := time.Duration(math.Exp(rng.NormFloat64()*0.5+math.Log(10)) * float64(time.Millisecond))
+		samples = append(samples, d)
+		h.Record(d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := ExactQuantile(samples, q)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("q=%v: histogram %v vs exact %v (ratio %.3f)", q, got, want, ratio)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(time.Nanosecond)   // below range: clamped
+	h.Record(100 * time.Second) // above range: clamped
+	h.Record(15 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Quantile(0) != time.Nanosecond {
+		t.Fatalf("q0 should be the exact min, got %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 100*time.Second {
+		t.Fatalf("q1 should be the exact max, got %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramMergePreservesTotals(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Record(5 * time.Millisecond)
+	a.Record(10 * time.Millisecond)
+	b.Record(20 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+	if a.Max() != 20*time.Millisecond {
+		t.Fatalf("merged max = %v, want 20ms", a.Max())
+	}
+	if a.Min() != 5*time.Millisecond {
+		t.Fatalf("merged min = %v, want 5ms", a.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset histogram should be empty")
+	}
+	h.Record(2 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(rng.Intn(1_000_000)) * time.Microsecond)
+	}
+	f := func(a, b float64) bool {
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	start := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSeries(time.Minute, start)
+	s.Record(start.Add(10*time.Second), 10*time.Millisecond)
+	s.Record(start.Add(20*time.Second), 12*time.Millisecond)
+	s.Record(start.Add(90*time.Second), 30*time.Millisecond)
+	// An observation before series start lands in window 0, not a panic.
+	s.Record(start.Add(-time.Second), 5*time.Millisecond)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d windows, want 2", len(pts))
+	}
+	if pts[0].Window != 0 || pts[0].Count != 3 {
+		t.Fatalf("window 0 = %+v", pts[0])
+	}
+	if pts[1].Window != time.Minute || pts[1].Count != 1 {
+		t.Fatalf("window 1 = %+v", pts[1])
+	}
+	if total := s.Overall().Count(); total != 4 {
+		t.Fatalf("overall count = %d, want 4", total)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Add(5) }()
+	}
+	wg.Wait()
+	if c.Value() != 50 {
+		t.Fatalf("counter = %d, want 50", c.Value())
+	}
+}
+
+func TestFormatTableAligns(t *testing.T) {
+	out := FormatTable([]string{"bucket", "p99"}, [][]string{{"<1MB/s", "28ms"}, {">=1GB/s", "30ms"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) && !strings.HasPrefix(lines[1], "-") {
+			t.Fatalf("misaligned row %q vs header %q", l, lines[0])
+		}
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	samples := []time.Duration{5, 1, 3, 2, 4}
+	if got := ExactQuantile(samples, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+	// Input must not be mutated.
+	if samples[0] != 5 {
+		t.Fatal("ExactQuantile mutated its input")
+	}
+}

@@ -1,0 +1,381 @@
+// Package query is the reproduction's Dremel stand-in (§3.1, §7): it
+// executes the SQL subset against Vortex snapshots. A query plans a
+// snapshot scan through the client library (the union of WOS and ROS),
+// prunes fragments with Big Metadata column properties (§7.2), scans the
+// survivors in parallel leaf shards, resolves `_CHANGE_TYPE` semantics
+// for primary-key tables, and runs a two-stage (partial → final)
+// aggregation — the leaf/aggregate DAG shape of Dremel. UPDATE and
+// DELETE statements implement §7.3: deletion masks, streamlet-tail
+// masks, reinserted rows and atomic commit.
+package query
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vortex/internal/bigmeta"
+	"vortex/internal/client"
+	"vortex/internal/dml"
+	"vortex/internal/meta"
+	"vortex/internal/rowenc"
+	"vortex/internal/rpc"
+	"vortex/internal/schema"
+	"vortex/internal/sql"
+	"vortex/internal/truetime"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Shards is the leaf-stage degree of parallelism (0 = NumCPU).
+	Shards int
+	// MaxMaskRanges triggers mask coalescing with reinserted rows when a
+	// fragment's deletion mask would exceed this many ranges (§7.3).
+	MaxMaskRanges int
+}
+
+// Engine executes queries against one region.
+type Engine struct {
+	c      *client.Client
+	index  *bigmeta.Index
+	net    *rpc.Network
+	router client.Router
+	cfg    Config
+}
+
+// New returns an Engine.
+func New(c *client.Client, index *bigmeta.Index, net *rpc.Network, router client.Router, cfg Config) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.NumCPU()
+	}
+	if cfg.MaxMaskRanges <= 0 {
+		cfg.MaxMaskRanges = 16
+	}
+	return &Engine{c: c, index: index, net: net, router: router, cfg: cfg}
+}
+
+// ExecStats reports how a statement executed.
+type ExecStats struct {
+	AssignmentsTotal  int
+	AssignmentsPruned int
+	RowsScanned       int64
+	RowsAffected      int64
+	SnapshotTS        truetime.Timestamp
+}
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]schema.Value
+	Stats   ExecStats
+}
+
+// Query parses and executes one SQL statement at the current snapshot.
+func (e *Engine) Query(ctx context.Context, sqlText string) (*Result, error) {
+	return e.QueryAt(ctx, sqlText, 0)
+}
+
+// QueryAt executes at a specific snapshot timestamp (0 = now).
+func (e *Engine) QueryAt(ctx context.Context, sqlText string, ts truetime.Timestamp) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.execSelect(ctx, st, ts)
+	case *sql.UpdateStmt:
+		return e.execUpdate(ctx, st)
+	case *sql.DeleteStmt:
+		return e.execDelete(ctx, st)
+	}
+	return nil, fmt.Errorf("query: unsupported statement %T", stmt)
+}
+
+// scanTable plans, prunes and scans a table snapshot in parallel.
+func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.Timestamp, where sql.Expr, projection map[string]bool, stats *ExecStats) (*client.ScanPlan, []client.PosRow, error) {
+	plan, err := e.c.Plan(ctx, table, ts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.Projection = projection
+	stats.SnapshotTS = plan.SnapshotTS
+	assignments := plan.Assignments
+	stats.AssignmentsTotal = len(assignments)
+
+	// Partition elimination (§7.2). Pruning is sound only when replacing
+	// change types cannot hide per-key state in pruned fragments, so it
+	// is applied to tables without a primary key.
+	if where != nil && len(plan.Schema.PrimaryKey) == 0 {
+		preds := sql.ExtractPredicates(where)
+		if len(preds) > 0 {
+			kept := assignments[:0:0]
+			for _, a := range assignments {
+				if a.Frag.ID == "" {
+					kept = append(kept, a) // undiscovered tail: unprunable
+					continue
+				}
+				entry := e.index.Lookup(table, a.Frag.ID)
+				if entry == nil {
+					if en, err := bigmeta.EntryFromFragment(&a.Frag); err == nil {
+						entry = en
+					}
+				}
+				if bigmeta.CanMatch(entry, plan.Schema, preds) {
+					kept = append(kept, a)
+				} else {
+					stats.AssignmentsPruned++
+				}
+			}
+			assignments = kept
+		}
+	}
+
+	// Leaf stage: parallel shard scans (the Dremel leaf dispatch, §3.1).
+	results := make([][]client.PosRow, len(assignments))
+	errs := make([]error, len(assignments))
+	sem := make(chan struct{}, e.cfg.Shards)
+	var wg sync.WaitGroup
+	for i, a := range assignments {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, a client.Assignment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.c.ScanDetailed(ctx, plan, a)
+		}(i, a)
+	}
+	wg.Wait()
+	var rows []client.PosRow
+	for i := range results {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		rows = append(rows, results[i]...)
+	}
+	stats.RowsScanned = int64(len(rows))
+	return plan, rows, nil
+}
+
+// projectionOf collects the top-level columns a SELECT touches, plus the
+// primary key (needed for change resolution). SELECT * scans everything.
+func projectionOf(st *sql.SelectStmt, sc *schema.Schema) map[string]bool {
+	if st.Star {
+		return nil
+	}
+	proj := map[string]bool{}
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.ColumnRef:
+			proj[x.Path[0]] = true
+		case *sql.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *sql.Not:
+			walk(x.E)
+		case *sql.IsNull:
+			walk(x.E)
+		case *sql.Aggregate:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		case *sql.DateOf:
+			walk(x.E)
+		}
+	}
+	for _, it := range st.Items {
+		walk(it.Expr)
+	}
+	if st.Where != nil {
+		walk(st.Where)
+	}
+	for _, g := range st.GroupBy {
+		proj[g.Path[0]] = true
+	}
+	for _, o := range st.OrderBy {
+		proj[o.Column.Path[0]] = true
+	}
+	for _, pk := range sc.PrimaryKey {
+		proj[pk] = true
+	}
+	return proj
+}
+
+// resolveIfKeyed applies `_CHANGE_TYPE` replacement semantics when the
+// table has a primary key.
+func resolveIfKeyed(s *schema.Schema, rows []client.PosRow) []client.PosRow {
+	if len(s.PrimaryKey) == 0 {
+		return rows
+	}
+	stamped := make([]rowenc.Stamped, len(rows))
+	bySeq := make(map[int64]client.PosRow, len(rows))
+	for i, r := range rows {
+		stamped[i] = r.Stamped
+		bySeq[r.Stamped.Seq] = r
+	}
+	resolved := dml.ResolveChanges(s, stamped, true)
+	out := make([]client.PosRow, 0, len(resolved))
+	for _, r := range resolved {
+		out = append(out, bySeq[r.Seq])
+	}
+	return out
+}
+
+func (e *Engine) execSelect(ctx context.Context, st *sql.SelectStmt, ts truetime.Timestamp) (*Result, error) {
+	sc, err := e.c.GetSchema(ctx, meta.TableID(st.Table))
+	if err != nil {
+		return nil, err
+	}
+	if err := sql.Resolve(st, sc); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	proj := projectionOf(st, sc)
+	_, posRows, err := e.scanTable(ctx, meta.TableID(st.Table), ts, st.Where, proj, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	posRows = resolveIfKeyed(sc, posRows)
+
+	// Filter.
+	var rows []schema.Row
+	for _, pr := range posRows {
+		row := pr.Stamped.Row
+		if st.Where != nil {
+			v, err := sql.Eval(st.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			if !sql.Truthy(v) {
+				continue
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	hasAgg := len(st.GroupBy) > 0
+	for _, it := range st.Items {
+		if _, ok := it.Expr.(*sql.Aggregate); ok {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return e.aggregate(st, sc, rows, res)
+	}
+	return e.project(st, sc, rows, res)
+}
+
+// project emits plain (non-aggregate) select output.
+func (e *Engine) project(st *sql.SelectStmt, sc *schema.Schema, rows []schema.Row, res *Result) (*Result, error) {
+	if st.Star {
+		for _, f := range sc.Fields {
+			res.Columns = append(res.Columns, f.Name)
+		}
+	} else {
+		for _, it := range st.Items {
+			res.Columns = append(res.Columns, itemName(it))
+		}
+	}
+	// ORDER BY before projection (keys may not be projected). Aliases of
+	// plain column items order by the underlying column.
+	aliasTo := map[string]*sql.ColumnRef{}
+	for _, it := range st.Items {
+		if ref, ok := it.Expr.(*sql.ColumnRef); ok && it.Alias != "" {
+			aliasTo[it.Alias] = ref
+		}
+	}
+	for i := range st.OrderBy {
+		if st.OrderBy[i].Column.Leaf == nil {
+			if ref, ok := aliasTo[st.OrderBy[i].Column.Name()]; ok {
+				st.OrderBy[i].Column = ref
+			} else {
+				return nil, fmt.Errorf("query: cannot ORDER BY %q (alias of a non-column expression)", st.OrderBy[i].Column.Name())
+			}
+		}
+	}
+	if err := orderRows(st, rows); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		var out []schema.Value
+		if st.Star {
+			out = make([]schema.Value, len(sc.Fields))
+			copy(out, row.Values)
+			for i := len(row.Values); i < len(sc.Fields); i++ {
+				out[i] = schema.Null()
+			}
+		} else {
+			out = make([]schema.Value, len(st.Items))
+			for i, it := range st.Items {
+				v, err := sql.Eval(it.Expr, row)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+		}
+		res.Rows = append(res.Rows, out)
+		if st.Limit >= 0 && int64(len(res.Rows)) >= st.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+func itemName(it sql.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sql.ColumnRef); ok {
+		return ref.Name()
+	}
+	return "f0"
+}
+
+func orderRows(st *sql.SelectStmt, rows []schema.Row) error {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, o := range st.OrderBy {
+			a := o.Column.FieldValue(rows[i])
+			b := o.Column.FieldValue(rows[j])
+			c := compareForOrder(a, b)
+			if c != 0 {
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func compareForOrder(a, b schema.Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Kind() == b.Kind() && a.Kind().Comparable() {
+		return a.Compare(b)
+	}
+	af, bf := a.AsFloat64(), b.AsFloat64()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}

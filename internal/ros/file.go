@@ -1,0 +1,854 @@
+package ros
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/bloom"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+)
+
+// Errors returned by the ROS codec.
+var (
+	ErrCorrupt        = errors.New("ros: corrupt file")
+	ErrSchemaMismatch = errors.New("ros: schema fingerprint mismatch")
+)
+
+const (
+	fileMagic = "VXR1"
+	// dictionary encoding is chosen when it pays for itself.
+	maxDictSize = 1024
+)
+
+// Encoding identifies how a column's values are stored.
+type Encoding byte
+
+// Column encodings.
+const (
+	EncodingPlain Encoding = iota
+	EncodingDict
+)
+
+// ColumnStats are the per-column properties carried by every ROS file
+// and indexed by Big Metadata (§6.2, §7.2).
+type ColumnStats struct {
+	Path      string
+	Kind      schema.Kind
+	Entries   int64
+	Values    int64
+	NullCount int64
+	HasRange  bool
+	Min, Max  schema.Value
+	Encoding  Encoding
+}
+
+// Writer builds one ROS file from rows added in storage order.
+type Writer struct {
+	schema   *schema.Schema
+	striper  *striper
+	changes  []byte
+	seqs     []int64
+	rowCount int64
+
+	partition    int64
+	hasPartition bool
+	partitionSet bool
+	allowMixed   bool
+	mixed        bool
+	partitions   []int64
+
+	clusterMin []schema.Value
+	clusterMax []schema.Value
+	filter     *bloom.Filter
+}
+
+// bloomCapacity sizes the per-file clustering bloom filter.
+const bloomCapacity = 1 << 16
+
+// NewWriter returns a Writer for rows of schema s.
+func NewWriter(s *schema.Schema) *Writer {
+	return &Writer{
+		schema:  s,
+		striper: newStriper(s),
+		filter:  bloom.New(bloomCapacity, 0.01),
+	}
+}
+
+// AllowMixedPartitions permits rows from several partitions in one file
+// (the stable 1:1 WOS→ROS conversion of §7.3 preserves the source
+// fragment verbatim, and a WOS fragment may span partitions). The file's
+// partition id is then unset; PartitionSet returns the full set.
+func (w *Writer) AllowMixedPartitions() { w.allowMixed = true }
+
+// Add appends one row with its storage sequence number. Rows must be
+// schema-valid; all rows of a file must belong to the same partition
+// (the optimizer splits by partition, Figure 5).
+func (w *Writer) Add(r schema.Row, seq int64) error {
+	if err := w.schema.ValidateRow(r); err != nil {
+		return err
+	}
+	part, ok := w.schema.PartitionOf(r)
+	if w.rowCount == 0 {
+		w.partition, w.hasPartition = part, ok
+		w.partitionSet = true
+	} else if ok != w.hasPartition || (ok && part != w.partition) {
+		if !w.allowMixed {
+			return fmt.Errorf("ros: row partition %d differs from file partition %d", part, w.partition)
+		}
+		w.mixed = true
+		w.hasPartition = false
+	}
+	w.striper.addRow(r)
+	w.changes = append(w.changes, byte(r.Change))
+	w.seqs = append(w.seqs, seq)
+	w.rowCount++
+
+	// Clustering bookkeeping: range and bloom membership.
+	ck := w.schema.ClusterKeyOf(r)
+	if len(ck) > 0 {
+		if w.clusterMin == nil {
+			w.clusterMin = append([]schema.Value(nil), ck...)
+			w.clusterMax = append([]schema.Value(nil), ck...)
+		} else {
+			if schema.CompareClusterKeys(ck, w.clusterMin) < 0 {
+				w.clusterMin = append([]schema.Value(nil), ck...)
+			}
+			if schema.CompareClusterKeys(ck, w.clusterMax) > 0 {
+				w.clusterMax = append([]schema.Value(nil), ck...)
+			}
+		}
+		for _, v := range ck {
+			if !v.IsNull() {
+				w.filter.AddString(v.Key())
+			}
+		}
+	}
+	if ok {
+		w.filter.AddString(fmt.Sprintf("__part:%d", part))
+		w.addPartition(part)
+	}
+	return nil
+}
+
+func (w *Writer) addPartition(p int64) {
+	for _, q := range w.partitions {
+		if q == p {
+			return
+		}
+	}
+	w.partitions = append(w.partitions, p)
+}
+
+// Partitions returns every partition id seen by the writer.
+func (w *Writer) Partitions() []int64 { return append([]int64(nil), w.partitions...) }
+
+// RowCount returns the number of rows added so far.
+func (w *Writer) RowCount() int64 { return w.rowCount }
+
+// ClusterBounds returns the clustering-key range of the added rows.
+func (w *Writer) ClusterBounds() (min, max []schema.Value) { return w.clusterMin, w.clusterMax }
+
+// BloomFilter returns the file's clustering/partition bloom filter.
+func (w *Writer) BloomFilter() *bloom.Filter { return w.filter }
+
+// SeqBounds returns the min and max sequence numbers of the added rows.
+func (w *Writer) SeqBounds() (min, max int64) {
+	for i, s := range w.seqs {
+		if i == 0 || s < min {
+			min = s
+		}
+		if i == 0 || s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Finish encodes the file.
+func (w *Writer) Finish() ([]byte, error) {
+	out := []byte(fileMagic)
+	out = append(out, 1) // version
+	var fp [8]byte
+	binary.LittleEndian.PutUint64(fp[:], w.schema.Fingerprint())
+	out = append(out, fp[:]...)
+	out = binary.AppendUvarint(out, uint64(w.schema.Version))
+	out = binary.AppendUvarint(out, uint64(w.rowCount))
+
+	if w.hasPartition {
+		out = append(out, 1)
+		out = binary.AppendVarint(out, w.partition)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendValueList(out, w.clusterMin)
+	out = appendValueList(out, w.clusterMax)
+	fb := w.filter.Marshal()
+	out = binary.AppendUvarint(out, uint64(len(fb)))
+	out = append(out, fb...)
+
+	// Row metadata: change types and sequence numbers.
+	out = append(out, w.changes...)
+	for _, s := range w.seqs {
+		out = binary.AppendVarint(out, s)
+	}
+
+	out = binary.AppendUvarint(out, uint64(len(w.striper.cols)))
+	for _, c := range w.striper.cols {
+		out = encodeColumn(out, c)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], blockenc.Checksum(out))
+	return append(out, crc[:]...), nil
+}
+
+func appendValueList(dst []byte, vs []schema.Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = rowenc.AppendValue(dst, v)
+	}
+	return dst
+}
+
+func decodeValueList(data []byte, pos int) ([]schema.Value, int, error) {
+	n, used := binary.Uvarint(data[pos:])
+	if used <= 0 || n > 1<<16 {
+		return nil, 0, ErrCorrupt
+	}
+	pos += used
+	out := make([]schema.Value, n)
+	for i := range out {
+		v, used, err := rowenc.DecodeValue(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = v
+		pos += used
+	}
+	return out, pos, nil
+}
+
+// rleEncode run-length encodes a byte slice as (count, value) pairs.
+func rleEncode(levels []uint8) []byte {
+	var out []byte
+	for i := 0; i < len(levels); {
+		j := i + 1
+		for j < len(levels) && levels[j] == levels[i] {
+			j++
+		}
+		out = binary.AppendUvarint(out, uint64(j-i))
+		out = append(out, levels[i])
+		i = j
+	}
+	return out
+}
+
+func rleDecode(data []byte, total int) ([]uint8, error) {
+	out := make([]uint8, 0, total)
+	pos := 0
+	for len(out) < total {
+		n, used := binary.Uvarint(data[pos:])
+		if used <= 0 || int(n) > total-len(out) {
+			return nil, ErrCorrupt
+		}
+		pos += used
+		if pos >= len(data) && n > 0 {
+			return nil, ErrCorrupt
+		}
+		v := data[pos]
+		pos++
+		for k := uint64(0); k < n; k++ {
+			out = append(out, v)
+		}
+	}
+	if pos != len(data) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// encodeColumn serializes one column chunk.
+func encodeColumn(out []byte, c *columnData) []byte {
+	out = binary.AppendUvarint(out, uint64(len(c.leaf.Path)))
+	out = append(out, c.leaf.Path...)
+	out = append(out, byte(c.leaf.Kind), byte(c.leaf.MaxRep), byte(c.leaf.MaxDef))
+	out = binary.AppendUvarint(out, uint64(len(c.reps)))
+	out = binary.AppendUvarint(out, uint64(len(c.values)))
+
+	// Stats.
+	stats := computeStats(c)
+	if stats.HasRange {
+		out = append(out, 1)
+		out = rowenc.AppendValue(out, stats.Min)
+		out = rowenc.AppendValue(out, stats.Max)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.AppendUvarint(out, uint64(stats.NullCount))
+
+	// Levels.
+	reps := rleEncode(c.reps)
+	out = binary.AppendUvarint(out, uint64(len(reps)))
+	out = append(out, reps...)
+	defs := rleEncode(c.defs)
+	out = binary.AppendUvarint(out, uint64(len(defs)))
+	out = append(out, defs...)
+
+	// Values: choose dictionary encoding when it pays.
+	enc, page := encodeValues(c.values)
+	out = append(out, byte(enc))
+	out = binary.AppendUvarint(out, uint64(len(page)))
+	return append(out, page...)
+}
+
+func computeStats(c *columnData) ColumnStats {
+	s := ColumnStats{
+		Path:    c.leaf.Path,
+		Kind:    c.leaf.Kind,
+		Entries: int64(len(c.reps)),
+		Values:  int64(len(c.values)),
+	}
+	s.NullCount = s.Entries - s.Values
+	if !c.leaf.Kind.Comparable() {
+		return s
+	}
+	for _, v := range c.values {
+		if !s.HasRange {
+			s.Min, s.Max, s.HasRange = v, v, true
+			continue
+		}
+		if v.Compare(s.Min) < 0 {
+			s.Min = v
+		}
+		if v.Compare(s.Max) > 0 {
+			s.Max = v
+		}
+	}
+	return s
+}
+
+func encodeValues(values []schema.Value) (Encoding, []byte) {
+	// Count distinct values by rendered key (cheap and kind-faithful for
+	// the scalar kinds we store).
+	if len(values) >= 8 {
+		distinct := make(map[string]int, maxDictSize+1)
+		keys := make([]string, len(values))
+		ok := true
+		for i, v := range values {
+			k := v.String()
+			keys[i] = k
+			if _, seen := distinct[k]; !seen {
+				if len(distinct) >= maxDictSize {
+					ok = false
+					break
+				}
+				distinct[k] = len(distinct)
+			}
+		}
+		if ok && len(distinct)*2 <= len(values) {
+			// Dictionary page: dict entries in first-seen order, then indexes.
+			var out []byte
+			out = binary.AppendUvarint(out, uint64(len(distinct)))
+			emitted := make(map[string]bool, len(distinct))
+			for i, v := range values {
+				if !emitted[keys[i]] {
+					emitted[keys[i]] = true
+					out = rowenc.AppendValue(out, v)
+				}
+			}
+			// Re-walk to emit dictionary ids in first-seen numbering.
+			ids := make(map[string]uint64, len(distinct))
+			next := uint64(0)
+			for _, k := range keys {
+				if _, seen := ids[k]; !seen {
+					ids[k] = next
+					next++
+				}
+			}
+			for _, k := range keys {
+				out = binary.AppendUvarint(out, ids[k])
+			}
+			return EncodingDict, out
+		}
+	}
+	var out []byte
+	for _, v := range values {
+		out = rowenc.AppendValue(out, v)
+	}
+	return EncodingPlain, out
+}
+
+func decodeValues(enc Encoding, data []byte, n int) ([]schema.Value, error) {
+	switch enc {
+	case EncodingPlain:
+		out := make([]schema.Value, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			v, used, err := rowenc.DecodeValue(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			pos += used
+		}
+		if pos != len(data) {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	case EncodingDict:
+		dn, used := binary.Uvarint(data)
+		if used <= 0 || dn > maxDictSize {
+			return nil, ErrCorrupt
+		}
+		pos := used
+		dict := make([]schema.Value, dn)
+		for i := range dict {
+			v, u, err := rowenc.DecodeValue(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			dict[i] = v
+			pos += u
+		}
+		out := make([]schema.Value, n)
+		for i := 0; i < n; i++ {
+			id, u := binary.Uvarint(data[pos:])
+			if u <= 0 || id >= dn {
+				return nil, ErrCorrupt
+			}
+			out[i] = dict[id]
+			pos += u
+		}
+		if pos != len(data) {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: encoding %d", ErrCorrupt, enc)
+}
+
+// Column is one column chunk. Level and value pages are decoded lazily:
+// a projected scan materializes only the columns it touches, which is
+// where the read-optimized format earns its name.
+type Column struct {
+	Leaf   schema.LeafColumn
+	Reps   []uint8
+	Defs   []uint8
+	Values []schema.Value
+	Stats  ColumnStats
+
+	rawReps   []byte
+	rawDefs   []byte
+	rawValues []byte
+	decoded   bool
+}
+
+// materialize decodes the column's level and value pages.
+func (c *Column) materialize() error {
+	if c.decoded {
+		return nil
+	}
+	var err error
+	c.Reps, err = rleDecode(c.rawReps, int(c.Stats.Entries))
+	if err != nil {
+		return err
+	}
+	c.Defs, err = rleDecode(c.rawDefs, int(c.Stats.Entries))
+	if err != nil {
+		return err
+	}
+	c.Values, err = decodeValues(c.Stats.Encoding, c.rawValues, int(c.Stats.Values))
+	if err != nil {
+		return err
+	}
+	c.decoded = true
+	return nil
+}
+
+// Reader provides access to one ROS file.
+type Reader struct {
+	fingerprint   uint64
+	schemaVersion int
+	rowCount      int64
+	partition     int64
+	hasPartition  bool
+	clusterMin    []schema.Value
+	clusterMax    []schema.Value
+	filter        *bloom.Filter
+	changes       []byte
+	seqs          []int64
+	columns       map[string]*Column
+	order         []string
+}
+
+// Open parses a ROS file image.
+func Open(data []byte) (*Reader, error) {
+	if len(data) < 4+1+8+4 || string(data[:4]) != fileMagic {
+		return nil, ErrCorrupt
+	}
+	body := data[:len(data)-4]
+	if binary.LittleEndian.Uint32(data[len(data)-4:]) != blockenc.Checksum(body) {
+		return nil, fmt.Errorf("%w: checksum", ErrCorrupt)
+	}
+	if data[4] != 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, data[4])
+	}
+	r := &Reader{columns: make(map[string]*Column)}
+	r.fingerprint = binary.LittleEndian.Uint64(data[5:13])
+	pos := 13
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, n := binary.Varint(body[pos:])
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		return v, nil
+	}
+	schemaV, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	r.schemaVersion = int(schemaV)
+	rc, err := uv()
+	if err != nil || rc > 1<<40 {
+		return nil, ErrCorrupt
+	}
+	r.rowCount = int64(rc)
+	if pos >= len(body) {
+		return nil, ErrCorrupt
+	}
+	hasPart := body[pos]
+	pos++
+	if hasPart == 1 {
+		p, err := sv()
+		if err != nil {
+			return nil, err
+		}
+		r.partition, r.hasPartition = p, true
+	} else if hasPart != 0 {
+		return nil, ErrCorrupt
+	}
+	r.clusterMin, pos, err = decodeValueList(body, pos)
+	if err != nil {
+		return nil, err
+	}
+	r.clusterMax, pos, err = decodeValueList(body, pos)
+	if err != nil {
+		return nil, err
+	}
+	fl, err := uv()
+	if err != nil || pos+int(fl) > len(body) {
+		return nil, ErrCorrupt
+	}
+	r.filter, err = bloom.Unmarshal(body[pos : pos+int(fl)])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bloom: %v", ErrCorrupt, err)
+	}
+	pos += int(fl)
+
+	// Row metadata.
+	if pos+int(r.rowCount) > len(body) {
+		return nil, ErrCorrupt
+	}
+	r.changes = append([]byte(nil), body[pos:pos+int(r.rowCount)]...)
+	pos += int(r.rowCount)
+	r.seqs = make([]int64, r.rowCount)
+	for i := range r.seqs {
+		s, err := sv()
+		if err != nil {
+			return nil, err
+		}
+		r.seqs[i] = s
+	}
+
+	ncols, err := uv()
+	if err != nil || ncols > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < int(ncols); i++ {
+		col, next, err := decodeColumn(body, pos)
+		if err != nil {
+			return nil, fmt.Errorf("column %d: %w", i, err)
+		}
+		r.columns[col.Leaf.Path] = col
+		r.order = append(r.order, col.Leaf.Path)
+		pos = next
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-pos)
+	}
+	return r, nil
+}
+
+func decodeColumn(body []byte, pos int) (*Column, int, error) {
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		return v, nil
+	}
+	plen, err := uv()
+	if err != nil || pos+int(plen) > len(body) || plen > 1<<12 {
+		return nil, 0, ErrCorrupt
+	}
+	path := string(body[pos : pos+int(plen)])
+	pos += int(plen)
+	if pos+3 > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	kind := schema.Kind(body[pos])
+	maxRep := int(body[pos+1])
+	maxDef := int(body[pos+2])
+	pos += 3
+	nEntries, err := uv()
+	if err != nil || nEntries > 1<<40 {
+		return nil, 0, ErrCorrupt
+	}
+	nValues, err := uv()
+	if err != nil || nValues > nEntries {
+		return nil, 0, ErrCorrupt
+	}
+	col := &Column{Leaf: schema.LeafColumn{Path: path, Kind: kind, MaxRep: maxRep, MaxDef: maxDef}}
+	col.Stats = ColumnStats{Path: path, Kind: kind, Entries: int64(nEntries), Values: int64(nValues)}
+	if pos >= len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	hasRange := body[pos]
+	pos++
+	if hasRange == 1 {
+		mn, used, err := rowenc.DecodeValue(body[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		mx, used, err := rowenc.DecodeValue(body[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += used
+		col.Stats.Min, col.Stats.Max, col.Stats.HasRange = mn, mx, true
+	} else if hasRange != 0 {
+		return nil, 0, ErrCorrupt
+	}
+	nulls, err := uv()
+	if err != nil {
+		return nil, 0, err
+	}
+	col.Stats.NullCount = int64(nulls)
+
+	repLen, err := uv()
+	if err != nil || pos+int(repLen) > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	col.rawReps = body[pos : pos+int(repLen)]
+	pos += int(repLen)
+	defLen, err := uv()
+	if err != nil || pos+int(defLen) > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	col.rawDefs = body[pos : pos+int(defLen)]
+	pos += int(defLen)
+	if pos >= len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	enc := Encoding(body[pos])
+	pos++
+	col.Stats.Encoding = enc
+	vLen, err := uv()
+	if err != nil || pos+int(vLen) > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	col.rawValues = body[pos : pos+int(vLen)]
+	pos += int(vLen)
+	return col, pos, nil
+}
+
+// RowCount returns the number of rows in the file.
+func (r *Reader) RowCount() int64 { return r.rowCount }
+
+// SchemaFingerprint returns the fingerprint the file was written under.
+func (r *Reader) SchemaFingerprint() uint64 { return r.fingerprint }
+
+// SchemaVersion returns the schema version the file was written under.
+func (r *Reader) SchemaVersion() int { return r.schemaVersion }
+
+// Partition returns the file's partition id (days since epoch).
+func (r *Reader) Partition() (int64, bool) { return r.partition, r.hasPartition }
+
+// ClusterRange returns the min and max clustering keys of the file.
+func (r *Reader) ClusterRange() (min, max []schema.Value) { return r.clusterMin, r.clusterMax }
+
+// Bloom returns the clustering/partition bloom filter.
+func (r *Reader) Bloom() *bloom.Filter { return r.filter }
+
+// Column returns the decoded column at path, or nil. It returns nil
+// also when the column's pages fail to decode; Rows reports such errors.
+func (r *Reader) Column(path string) *Column {
+	c := r.columns[path]
+	if c == nil {
+		return nil
+	}
+	if err := c.materialize(); err != nil {
+		return nil
+	}
+	return c
+}
+
+// ColumnPaths returns the column paths in file order.
+func (r *Reader) ColumnPaths() []string { return append([]string(nil), r.order...) }
+
+// Stats returns the stats for every column, in file order.
+func (r *Reader) Stats() []ColumnStats {
+	out := make([]ColumnStats, 0, len(r.order))
+	for _, p := range r.order {
+		out = append(out, r.columns[p].Stats)
+	}
+	return out
+}
+
+// Rows re-assembles every row in the file under schema s (which must
+// have the same fingerprint the file was written with, or be an evolved
+// superset of it — the caller resolves schema versions via the SMS).
+func (r *Reader) Rows(s *schema.Schema) ([]rowenc.Stamped, error) {
+	return r.RowsProjected(s, nil)
+}
+
+// RowsProjected assembles only the named top-level columns (nil = all):
+// the projected read path of a columnar store. Unprojected fields read
+// as NULL; row count, order, sequences and change types are unaffected.
+func (r *Reader) RowsProjected(s *schema.Schema, projection map[string]bool) ([]rowenc.Stamped, error) {
+	// Assemble only the leaves present in the file; columns for fields
+	// added by schema evolution are absent and read as NULL.
+	present := make(map[string]bool, len(r.order))
+	for _, p := range r.order {
+		if projection != nil {
+			top := p
+			if i := indexByte(p, '.'); i >= 0 {
+				top = p[:i]
+			}
+			if !projection[top] {
+				continue
+			}
+		}
+		present[p] = true
+	}
+	var cols []*columnData
+	for _, p := range r.order {
+		if !present[p] {
+			continue
+		}
+		c := r.columns[p]
+		if err := c.materialize(); err != nil {
+			return nil, err
+		}
+		cols = append(cols, &columnData{leaf: c.Leaf, reps: c.Reps, defs: c.Defs, values: c.Values})
+	}
+	fileSchema, err := restrictSchema(s, present)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rowenc.Stamped, 0, r.rowCount)
+	if len(cols) == 0 {
+		// Nothing projected: emit bare rows (COUNT(*)-style scans still
+		// need row multiplicity, sequences and change types).
+		for i := int64(0); i < r.rowCount; i++ {
+			row := expandRow(s, &schema.Schema{}, schema.Row{})
+			row.Change = schema.ChangeType(r.changes[i])
+			out = append(out, rowenc.Stamped{Row: row, Seq: r.seqs[i]})
+		}
+		return out, nil
+	}
+	a := newAssembler(fileSchema, cols)
+	for i := int64(0); i < r.rowCount; i++ {
+		row, ok, err := a.nextRow()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: columns exhausted at row %d of %d", ErrCorrupt, i, r.rowCount)
+		}
+		// Re-expand to the full schema arity: missing trailing fields NULL.
+		row = expandRow(s, fileSchema, row)
+		row.Change = schema.ChangeType(r.changes[i])
+		out = append(out, rowenc.Stamped{Row: row, Seq: r.seqs[i]})
+	}
+	if !a.exhausted() {
+		return nil, fmt.Errorf("%w: trailing column entries after %d rows", ErrCorrupt, r.rowCount)
+	}
+	return out, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// restrictSchema returns s limited to top-level fields all of whose
+// leaves are present in the file (fields added after the file was
+// written are dropped and re-added as NULL by expandRow).
+func restrictSchema(s *schema.Schema, present map[string]bool) (*schema.Schema, error) {
+	out := &schema.Schema{
+		PrimaryKey:     s.PrimaryKey,
+		PartitionField: s.PartitionField,
+		ClusterBy:      s.ClusterBy,
+		Version:        s.Version,
+	}
+	for _, f := range s.Fields {
+		leaves := (&schema.Schema{Fields: []*schema.Field{f}}).Leaves()
+		all, any := true, false
+		for _, l := range leaves {
+			if present[l.Path] {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		if any && !all {
+			return nil, fmt.Errorf("%w: field %q partially present", ErrSchemaMismatch, f.Name)
+		}
+		if all {
+			out.Fields = append(out.Fields, f)
+		}
+	}
+	return out, nil
+}
+
+// expandRow maps a row assembled under fileSchema back to full's arity.
+func expandRow(full, fileSchema *schema.Schema, row schema.Row) schema.Row {
+	if len(fileSchema.Fields) == len(full.Fields) {
+		return row
+	}
+	values := make([]schema.Value, len(full.Fields))
+	j := 0
+	for i, f := range full.Fields {
+		if j < len(fileSchema.Fields) && fileSchema.Fields[j].Name == f.Name {
+			values[i] = row.Values[j]
+			j++
+		} else {
+			values[i] = schema.Null()
+		}
+	}
+	return schema.Row{Values: values}
+}
+
+// ChangeAt returns the change type of row i.
+func (r *Reader) ChangeAt(i int64) schema.ChangeType { return schema.ChangeType(r.changes[i]) }
+
+// SeqAt returns the sequence number of row i.
+func (r *Reader) SeqAt(i int64) int64 { return r.seqs[i] }

@@ -1,0 +1,349 @@
+// Package rowenc implements the binary row serialization used on the
+// wire and inside WOS fragments. The paper's clients serialize rows "to
+// a binary format" (protocol buffers or Avro, §4.2.2) before appending;
+// this package plays that role with a compact, self-describing,
+// proto-style encoding (varint tags, zig-zag integers, length-delimited
+// strings) so the Stream Server can store and relay rows without knowing
+// the table schema, while readers decode and validate against it.
+package rowenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vortex/internal/schema"
+)
+
+// Wire-format value tags. The low nibble carries the scalar kind; flags
+// mark NULL and repeated values.
+const (
+	flagNull = 0x10
+	flagList = 0x20
+)
+
+// ErrCorrupt is returned for any malformed input.
+var ErrCorrupt = errors.New("rowenc: corrupt row data")
+
+// maxDecodeElems caps per-collection element counts as a hostile-input
+// guard; it is far above anything the engine encodes.
+const maxDecodeElems = 1 << 24
+
+// AppendRow appends the encoding of r to dst and returns the result.
+func AppendRow(dst []byte, r schema.Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(r.Change))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
+	for _, v := range r.Values {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func appendValue(dst []byte, v schema.Value) []byte {
+	if v.IsNull() {
+		return append(dst, flagNull)
+	}
+	if v.IsList() {
+		dst = append(dst, flagList)
+		dst = binary.AppendUvarint(dst, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			dst = appendValue(dst, v.Index(i))
+		}
+		return dst
+	}
+	k := v.Kind()
+	dst = append(dst, byte(k))
+	switch k {
+	case schema.KindInt64, schema.KindTimestamp, schema.KindDate, schema.KindNumeric:
+		dst = binary.AppendVarint(dst, v.AsInt64())
+	case schema.KindFloat64:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.AsFloat64()))
+		dst = append(dst, buf[:]...)
+	case schema.KindBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		dst = append(dst, b)
+	case schema.KindString, schema.KindJSON:
+		s := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	case schema.KindBytes:
+		b := v.AsBytes()
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	case schema.KindStruct:
+		dst = binary.AppendUvarint(dst, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			dst = appendValue(dst, v.FieldValue(i))
+		}
+	default:
+		panic(fmt.Sprintf("rowenc: cannot encode kind %v", k))
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from the front of data, returning the row and
+// the number of bytes consumed.
+func DecodeRow(data []byte) (schema.Row, int, error) {
+	d := &decoder{data: data}
+	change, err := d.uvarint()
+	if err != nil {
+		return schema.Row{}, 0, err
+	}
+	if change > uint64(schema.ChangeDelete) {
+		return schema.Row{}, 0, fmt.Errorf("%w: change type %d", ErrCorrupt, change)
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return schema.Row{}, 0, err
+	}
+	if n > maxDecodeElems {
+		return schema.Row{}, 0, fmt.Errorf("%w: %d values", ErrCorrupt, n)
+	}
+	values := make([]schema.Value, n)
+	for i := range values {
+		values[i], err = d.value(0)
+		if err != nil {
+			return schema.Row{}, 0, err
+		}
+	}
+	return schema.Row{Values: values, Change: schema.ChangeType(change)}, d.pos, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, ErrCorrupt
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+const maxValueDepth = 32
+
+func (d *decoder) value(depth int) (schema.Value, error) {
+	if depth > maxValueDepth {
+		return schema.Value{}, fmt.Errorf("%w: nesting too deep", ErrCorrupt)
+	}
+	if d.pos >= len(d.data) {
+		return schema.Value{}, ErrCorrupt
+	}
+	tag := d.data[d.pos]
+	d.pos++
+	if tag == flagNull {
+		return schema.Null(), nil
+	}
+	if tag == flagList {
+		n, err := d.uvarint()
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if n > maxDecodeElems {
+			return schema.Value{}, fmt.Errorf("%w: %d list elements", ErrCorrupt, n)
+		}
+		elems := make([]schema.Value, n)
+		for i := range elems {
+			elems[i], err = d.value(depth + 1)
+			if err != nil {
+				return schema.Value{}, err
+			}
+		}
+		return schema.List(elems...), nil
+	}
+	switch k := schema.Kind(tag); k {
+	case schema.KindInt64, schema.KindTimestamp, schema.KindDate, schema.KindNumeric:
+		i, err := d.varint()
+		if err != nil {
+			return schema.Value{}, err
+		}
+		switch k {
+		case schema.KindInt64:
+			return schema.Int64(i), nil
+		case schema.KindTimestamp:
+			return schema.TimestampNanos(i), nil
+		case schema.KindDate:
+			return schema.DateDays(i), nil
+		default:
+			return schema.Numeric(i), nil
+		}
+	case schema.KindFloat64:
+		b, err := d.take(8)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Float64(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case schema.KindBool:
+		b, err := d.take(1)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if b[0] > 1 {
+			return schema.Value{}, fmt.Errorf("%w: bool byte %d", ErrCorrupt, b[0])
+		}
+		return schema.Bool(b[0] == 1), nil
+	case schema.KindString, schema.KindJSON:
+		n, err := d.uvarint()
+		if err != nil {
+			return schema.Value{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if k == schema.KindString {
+			return schema.String(string(b)), nil
+		}
+		return schema.RawJSON(string(b)), nil
+	case schema.KindBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return schema.Value{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Bytes(b), nil
+	case schema.KindStruct:
+		n, err := d.uvarint()
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if n > maxDecodeElems {
+			return schema.Value{}, fmt.Errorf("%w: %d struct fields", ErrCorrupt, n)
+		}
+		fields := make([]schema.Value, n)
+		for i := range fields {
+			fields[i], err = d.value(depth + 1)
+			if err != nil {
+				return schema.Value{}, err
+			}
+		}
+		return schema.Struct(fields...), nil
+	}
+	return schema.Value{}, fmt.Errorf("%w: tag 0x%02x", ErrCorrupt, tag)
+}
+
+// AppendValue appends the encoding of a single value to dst. The ROS
+// format reuses this codec for column statistics and PLAIN value pages.
+func AppendValue(dst []byte, v schema.Value) []byte { return appendValue(dst, v) }
+
+// DecodeValue decodes a single value from the front of data, returning
+// the value and the number of bytes consumed.
+func DecodeValue(data []byte) (schema.Value, int, error) {
+	d := &decoder{data: data}
+	v, err := d.value(0)
+	if err != nil {
+		return schema.Value{}, 0, err
+	}
+	return v, d.pos, nil
+}
+
+// EncodeValues concatenates the encodings of vs (cluster-key bounds in
+// fragment metadata use this form).
+func EncodeValues(vs []schema.Value) []byte {
+	var out []byte
+	for _, v := range vs {
+		out = AppendValue(out, v)
+	}
+	return out
+}
+
+// DecodeValues decodes a concatenation produced by EncodeValues.
+func DecodeValues(data []byte) ([]schema.Value, error) {
+	var out []schema.Value
+	pos := 0
+	for pos < len(data) {
+		v, used, err := DecodeValue(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		pos += used
+	}
+	return out, nil
+}
+
+// Stamped is a row paired with its storage sequence number: a total
+// order over a table's committed rows (derived from the TrueTime block
+// timestamp and the row's position) used to resolve UPSERT/DELETE
+// precedence when reading (§4.2.6) and preserved by WOS→ROS conversion.
+type Stamped struct {
+	Row schema.Row
+	Seq int64
+}
+
+// EncodeRows encodes a batch of rows: a count followed by each row.
+// This is the payload format of an AppendStream request's RowSet and of
+// WOS data blocks.
+func EncodeRows(rows []schema.Row) []byte {
+	dst := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, r := range rows {
+		dst = AppendRow(dst, r)
+	}
+	return dst
+}
+
+// DecodeRows decodes a batch encoded by EncodeRows. The input must be
+// exactly one batch: trailing bytes are an error (WOS blocks are exact).
+func DecodeRows(data []byte) ([]schema.Row, error) {
+	n, read := binary.Uvarint(data)
+	if read <= 0 {
+		return nil, ErrCorrupt
+	}
+	if n > maxDecodeElems {
+		return nil, fmt.Errorf("%w: %d rows", ErrCorrupt, n)
+	}
+	rows := make([]schema.Row, n)
+	pos := read
+	for i := range rows {
+		r, used, err := DecodeRow(data[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		rows[i] = r
+		pos += used
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	return rows, nil
+}
+
+// RowCount returns the number of rows in an EncodeRows payload without
+// decoding them (the Stream Server tracks row counts but never parses
+// row contents).
+func RowCount(data []byte) (int, error) {
+	n, read := binary.Uvarint(data)
+	if read <= 0 || n > maxDecodeElems {
+		return 0, ErrCorrupt
+	}
+	return int(n), nil
+}

@@ -1,0 +1,320 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type sizedMsg struct {
+	id   int
+	size int
+}
+
+func (m sizedMsg) WireSize() int { return m.size }
+
+func echoServer() *Server {
+	s := NewServer()
+	s.RegisterUnary("echo", func(_ context.Context, req any) (any, error) {
+		return req, nil
+	})
+	s.RegisterStream("echo", func(_ context.Context, ss *ServerStream) error {
+		for {
+			m, err := ss.Recv()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := ss.Send(m); err != nil {
+				return err
+			}
+		}
+	})
+	return s
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("server-1", echoServer())
+	resp, err := n.Unary(context.Background(), "server-1", "echo", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "hello" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if _, err := n.Unary(context.Background(), "server-1", "nope", nil); !errors.Is(err, ErrNoMethod) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.Unary(context.Background(), "ghost", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnaryConnectionPooling(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	for i := 0; i < 10; i++ {
+		if _, err := n.Unary(context.Background(), "s", "echo", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.UnaryCalls != 10 {
+		t.Fatalf("calls = %d", st.UnaryCalls)
+	}
+	// Sequential calls set up one connection and reuse it nine times.
+	if st.ConnectionSetups != 1 || st.PooledReuses != 9 {
+		t.Fatalf("setups = %d, reuses = %d; pooling broken", st.ConnectionSetups, st.PooledReuses)
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	n.SetPartitioned("s", true)
+	if _, err := n.Unary(context.Background(), "s", "echo", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	n.SetPartitioned("s", false)
+	if _, err := n.Unary(context.Background(), "s", "echo", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamEchoPipelined(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	cs, err := n.OpenStream(context.Background(), "s", "echo", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline sends without waiting for responses.
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		if err := cs.Send(sizedMsg{id: i, size: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		m, err := cs.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.(sizedMsg).id != i {
+			t.Fatalf("response %d arrived out of order: %v", i, m)
+		}
+	}
+	cs.CloseSend()
+	if _, err := cs.Recv(); err != io.EOF {
+		t.Fatalf("after clean close, Recv err = %v, want EOF", err)
+	}
+}
+
+func TestStreamFlowControlThrottles(t *testing.T) {
+	n := NewNetwork(nil)
+	s := NewServer()
+	gate := make(chan struct{})
+	var received atomic.Int64
+	s.RegisterStream("slow", func(_ context.Context, ss *ServerStream) error {
+		for {
+			<-gate // only consume when the test allows
+			_, err := ss.Recv()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			received.Add(1)
+		}
+	})
+	n.Register("s", s)
+	cs, err := n.OpenStream(context.Background(), "s", "slow", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window fits two 400-byte messages; the third Send must block.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 3; i++ {
+			if err := cs.Send(sizedMsg{id: i, size: 400}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("third send completed despite full window (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// Blocked, as required.
+	}
+	gate <- struct{}{} // server consumes one message, releasing credit
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not unblock after credit release")
+	}
+	gate <- struct{}{}
+	gate <- struct{}{}
+	cs.CloseSend()
+	close(gate)
+	cs.Recv() // wait for handler exit via EOF path
+	if received.Load() != 3 {
+		t.Fatalf("server received %d messages, want 3", received.Load())
+	}
+}
+
+func TestStreamOversizeMessageRejected(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	cs, err := n.OpenStream(context.Background(), "s", "echo", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Send(sizedMsg{size: 101}); err == nil {
+		t.Fatal("oversize message accepted")
+	}
+}
+
+func TestStreamHandlerErrorPropagates(t *testing.T) {
+	n := NewNetwork(nil)
+	s := NewServer()
+	boom := errors.New("schema mismatch")
+	s.RegisterStream("fail", func(_ context.Context, ss *ServerStream) error {
+		ss.Recv()
+		return boom
+	})
+	n.Register("s", s)
+	cs, err := n.OpenStream(context.Background(), "s", "fail", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Send(sizedMsg{size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Recv(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want handler error", err)
+	}
+}
+
+func TestStreamDiesOnPartition(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	cs, err := n.OpenStream(context.Background(), "s", "echo", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Send(sizedMsg{id: 1, size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	n.SetPartitioned("s", true)
+	if err := cs.Send(sizedMsg{id: 2, size: 10}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send through partition: err = %v", err)
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	n := NewNetwork(nil)
+	s := NewServer()
+	s.RegisterStream("hang", func(ctx context.Context, ss *ServerStream) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	n.Register("s", s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cs, err := n.OpenStream(ctx, "s", "hang", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := cs.Recv(); err == nil || err == io.EOF {
+		t.Fatalf("recv after cancel: err = %v, want cancellation", err)
+	}
+}
+
+func TestStreamCloseUnblocksAndStopsHandler(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	cs, err := n.OpenStream(context.Background(), "s", "echo", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Close() // must wait for handler exit without deadlock
+	if err := cs.Send(sizedMsg{size: 1}); err == nil {
+		t.Fatal("send on closed stream accepted")
+	}
+}
+
+func TestConcurrentStreamsIsolated(t *testing.T) {
+	n := NewNetwork(nil)
+	n.Register("s", echoServer())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cs, err := n.OpenStream(context.Background(), "s", "echo", 1<<20)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cs.Close()
+			for i := 0; i < 50; i++ {
+				want := fmt.Sprintf("g%d-m%d", g, i)
+				if err := cs.Send(want); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := cs.Recv()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					t.Errorf("stream %d: got %v, want %v (cross-talk)", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerSendAfterClientClose(t *testing.T) {
+	n := NewNetwork(nil)
+	s := NewServer()
+	errCh := make(chan error, 1)
+	s.RegisterStream("m", func(_ context.Context, ss *ServerStream) error {
+		ss.Recv()
+		// Give the client time to Close.
+		time.Sleep(20 * time.Millisecond)
+		errCh <- ss.Send("late")
+		return nil
+	})
+	n.Register("s", s)
+	cs, err := n.OpenStream(context.Background(), "s", "m", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Send(sizedMsg{size: 1})
+	cs.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("server Send on torn-down stream accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// SalesSchema builds the paper's Listing 1 table: nested salesOrderLines,
+// partition by DATE(orderTimestamp), cluster by customerKey.
+func SalesSchema() *Schema {
+	return &Schema{
+		Fields: []*Field{
+			{Name: "orderTimestamp", Kind: KindTimestamp, Mode: Required},
+			{Name: "salesOrderKey", Kind: KindString, Mode: Required},
+			{Name: "customerKey", Kind: KindString, Mode: Required},
+			{Name: "salesOrderLines", Kind: KindStruct, Mode: Repeated, Fields: []*Field{
+				{Name: "salesOrderLineKey", Kind: KindInt64, Mode: Required},
+				{Name: "dueDate", Kind: KindDate, Mode: Nullable},
+				{Name: "shipDate", Kind: KindDate, Mode: Nullable},
+				{Name: "quantity", Kind: KindInt64, Mode: Nullable},
+				{Name: "unitPrice", Kind: KindNumeric, Mode: Nullable},
+			}},
+			{Name: "totalSale", Kind: KindNumeric, Mode: Nullable},
+			{Name: "currencyKey", Kind: KindInt64, Mode: Nullable},
+		},
+		PrimaryKey:     []string{"salesOrderKey"},
+		PartitionField: "orderTimestamp",
+		ClusterBy:      []string{"customerKey"},
+	}
+}
+
+func TestSalesSchemaValidates(t *testing.T) {
+	s := SalesSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ddl := s.String()
+	for _, want := range []string{"ARRAY<STRUCT<", "PARTITION BY DATE(orderTimestamp)", "CLUSTER BY customerKey"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL %q missing %q", ddl, want)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schema
+	}{
+		{"empty", &Schema{}},
+		{"dup field", &Schema{Fields: []*Field{{Name: "a", Kind: KindInt64}, {Name: "a", Kind: KindString}}}},
+		{"struct without subfields", &Schema{Fields: []*Field{{Name: "a", Kind: KindStruct}}}},
+		{"scalar with subfields", &Schema{Fields: []*Field{{Name: "a", Kind: KindInt64, Fields: []*Field{{Name: "b", Kind: KindInt64}}}}}},
+		{"reserved name", &Schema{Fields: []*Field{{Name: "_CHANGE_TYPE", Kind: KindString}}}},
+		{"missing pk col", &Schema{Fields: []*Field{{Name: "a", Kind: KindInt64}}, PrimaryKey: []string{"b"}}},
+		{"repeated pk", &Schema{Fields: []*Field{{Name: "a", Kind: KindInt64, Mode: Repeated}}, PrimaryKey: []string{"a"}}},
+		{"partition on string", &Schema{Fields: []*Field{{Name: "a", Kind: KindString}}, PartitionField: "a"}},
+		{"cluster on struct", &Schema{Fields: []*Field{
+			{Name: "a", Kind: KindStruct, Fields: []*Field{{Name: "b", Kind: KindInt64}}},
+		}, ClusterBy: []string{"a"}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid schema", c.name)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := SalesSchema()
+	got, err := Unmarshal(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != s.Fingerprint() {
+		t.Fatal("fingerprint changed across marshal round trip")
+	}
+	if !got.CanReadWith(s) || !s.CanReadWith(got) {
+		t.Fatal("round-tripped schema is not read-compatible with the original")
+	}
+}
+
+func TestAddFieldEvolution(t *testing.T) {
+	s := SalesSchema()
+	s2, err := s.AddField(&Field{Name: "discountCode", Kind: KindString, Mode: Nullable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Version != s.Version+1 {
+		t.Fatalf("version = %d, want %d", s2.Version, s.Version+1)
+	}
+	if !s2.CanReadWith(s) {
+		t.Fatal("evolved schema must read rows written under the old schema")
+	}
+	if s2.CanReadWith(s2) != true {
+		t.Fatal("schema must read its own rows")
+	}
+	if s.Field("discountCode") != nil {
+		t.Fatal("AddField mutated the receiver")
+	}
+	if _, err := s.AddField(&Field{Name: "mandatory", Kind: KindInt64, Mode: Required}); err == nil {
+		t.Fatal("adding a REQUIRED field must fail")
+	}
+	if _, err := s.AddField(&Field{Name: "customerKey", Kind: KindString, Mode: Nullable}); err == nil {
+		t.Fatal("adding a duplicate field must fail")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	s := SalesSchema()
+	s2 := s.Clone()
+	s2.ClusterBy = []string{"salesOrderKey"}
+	if s.Fingerprint() == s2.Fingerprint() {
+		t.Fatal("fingerprint ignores clustering change")
+	}
+	s3 := s.Clone()
+	s3.Fields[0].Name = "ts"
+	s3.PartitionField = "ts"
+	if s.Fingerprint() == s3.Fingerprint() {
+		t.Fatal("fingerprint ignores field rename")
+	}
+	s4 := s.Clone()
+	s4.Version = 99
+	if s.Fingerprint() != s4.Fingerprint() {
+		t.Fatal("fingerprint must not include Version")
+	}
+}
+
+func TestLeavesRepDefLevels(t *testing.T) {
+	s := SalesSchema()
+	leaves := s.Leaves()
+	byPath := map[string]LeafColumn{}
+	for _, l := range leaves {
+		byPath[l.Path] = l
+	}
+	// Required top-level scalar: def 0, rep 0.
+	if l := byPath["orderTimestamp"]; l.MaxDef != 0 || l.MaxRep != 0 {
+		t.Fatalf("orderTimestamp levels = %+v", l)
+	}
+	// Nullable top-level scalar: def 1.
+	if l := byPath["totalSale"]; l.MaxDef != 1 || l.MaxRep != 0 {
+		t.Fatalf("totalSale levels = %+v", l)
+	}
+	// Required leaf under a repeated struct: def 1 (the repetition), rep 1.
+	if l := byPath["salesOrderLines.salesOrderLineKey"]; l.MaxDef != 1 || l.MaxRep != 1 {
+		t.Fatalf("salesOrderLineKey levels = %+v", l)
+	}
+	// Nullable leaf under a repeated struct: def 2, rep 1.
+	if l := byPath["salesOrderLines.quantity"]; l.MaxDef != 2 || l.MaxRep != 1 {
+		t.Fatalf("quantity levels = %+v", l)
+	}
+	if len(leaves) != 10 {
+		t.Fatalf("Sales schema has %d leaves, want 10", len(leaves))
+	}
+}
+
+func TestLeavesDeeplyNested(t *testing.T) {
+	s := &Schema{Fields: []*Field{
+		{Name: "a", Kind: KindStruct, Mode: Repeated, Fields: []*Field{
+			{Name: "b", Kind: KindStruct, Mode: Repeated, Fields: []*Field{
+				{Name: "c", Kind: KindInt64, Mode: Nullable},
+			}},
+		}},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 1 {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+	l := leaves[0]
+	if l.Path != "a.b.c" || l.MaxRep != 2 || l.MaxDef != 3 {
+		t.Fatalf("a.b.c levels = %+v, want rep 2 def 3", l)
+	}
+}
+
+func TestValidateRowAndEvolutionArity(t *testing.T) {
+	s := SalesSchema()
+	now := time.Date(2023, 10, 1, 12, 0, 0, 0, time.UTC)
+	row := NewRow(
+		Timestamp(now),
+		String("SO-1"),
+		String("ACME"),
+		List(Struct(Int64(1), Null(), Null(), Int64(3), Numeric(5*NumericScale))),
+		Numeric(15*NumericScale),
+		Int64(840),
+	)
+	if err := s.ValidateRow(row); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong kind.
+	bad := row.Clone()
+	bad.Values[1] = Int64(7)
+	if err := s.ValidateRow(bad); err == nil {
+		t.Fatal("accepted wrong kind for salesOrderKey")
+	}
+	// NULL in REQUIRED.
+	bad = row.Clone()
+	bad.Values[0] = Null()
+	if err := s.ValidateRow(bad); err == nil {
+		t.Fatal("accepted NULL orderTimestamp")
+	}
+	// Non-list for REPEATED.
+	bad = row.Clone()
+	bad.Values[3] = Int64(1)
+	if err := s.ValidateRow(bad); err == nil {
+		t.Fatal("accepted scalar for repeated field")
+	}
+	// Too many values.
+	bad = row.Clone()
+	bad.Values = append(bad.Values, Int64(1))
+	if err := s.ValidateRow(bad); err == nil {
+		t.Fatal("accepted row with extra values")
+	}
+	// Short row (old-schema row read under evolved schema) is fine when
+	// the missing tail is not REQUIRED.
+	s2, err := s.AddField(&Field{Name: "note", Kind: KindString, Mode: Nullable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ValidateRow(row); err != nil {
+		t.Fatalf("evolved schema rejected old row: %v", err)
+	}
+	// UPSERT without a primary key on the table fails.
+	noPK := s.Clone()
+	noPK.PrimaryKey = nil
+	if err := noPK.ValidateRow(row.WithChange(ChangeUpsert)); err == nil {
+		t.Fatal("UPSERT accepted without a primary key")
+	}
+}
+
+func TestPrimaryKeyAndPartition(t *testing.T) {
+	s := SalesSchema()
+	ts := time.Date(2023, 10, 2, 23, 59, 0, 0, time.UTC)
+	row := NewRow(Timestamp(ts), String("SO-9"), String("Jerry"), List(), Null(), Null())
+	pk, err := s.PrimaryKeyOf(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk != `"SO-9"` {
+		t.Fatalf("pk = %q", pk)
+	}
+	days, ok := s.PartitionOf(row)
+	if !ok {
+		t.Fatal("expected a partition")
+	}
+	wantDays := ts.Unix() / 86400
+	if days != wantDays {
+		t.Fatalf("partition days = %d, want %d", days, wantDays)
+	}
+	ck := s.ClusterKeyOf(row)
+	if len(ck) != 1 || ck[0].AsString() != "Jerry" {
+		t.Fatalf("cluster key = %v", ck)
+	}
+}
+
+func TestRandomRowsAlwaysValidate(t *testing.T) {
+	s := SalesSchema()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		r := RandomRow(rng, s)
+		if err := s.ValidateRow(r); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !r.Values[0].Equal(r.Values[0]) {
+			t.Fatal("Equal not reflexive")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNumericFromString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", NumericScale, true},
+		{"-1", -NumericScale, true},
+		{"123.456", 123*NumericScale + 456_000_000, true},
+		{"-0.5", -NumericScale / 2, true},
+		{".25", NumericScale / 4, true},
+		{"99.999999999", 99*NumericScale + 999_999_999, true},
+		{"1.0000000001", 0, false}, // beyond 1e-9 resolution
+		{"abc", 0, false},
+		{"", 0, false},
+		{".", 0, false},
+	}
+	for _, c := range cases {
+		v, err := NumericFromString(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("NumericFromString(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && v.AsNumericScaled() != c.want {
+			t.Errorf("NumericFromString(%q) = %d, want %d", c.in, v.AsNumericScaled(), c.want)
+		}
+	}
+}
+
+func TestNumericStringRoundTrip(t *testing.T) {
+	f := func(scaled int64) bool {
+		v := Numeric(scaled % (1_000_000 * NumericScale))
+		back, err := NumericFromString(v.String())
+		return err == nil && back.AsNumericScaled() == v.AsNumericScaled()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONCanonicalization(t *testing.T) {
+	a, err := JSON(`{"b": 1,   "a": [1, 2]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSON(`{"a":[1,2],"b":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("equivalent JSON documents compare unequal: %s vs %s", a, b)
+	}
+	if _, err := JSON(`{not json`); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+func TestCompareOrderings(t *testing.T) {
+	if Int64(1).Compare(Int64(2)) != -1 || Int64(2).Compare(Int64(1)) != 1 || Int64(2).Compare(Int64(2)) != 0 {
+		t.Fatal("int ordering broken")
+	}
+	if String("a").Compare(String("b")) != -1 {
+		t.Fatal("string ordering broken")
+	}
+	if Null().Compare(Int64(-1<<62)) != -1 {
+		t.Fatal("NULL must sort before all values")
+	}
+	if Null().Compare(Null()) != 0 {
+		t.Fatal("NULL == NULL under Compare")
+	}
+	if Bytes([]byte{1}).Compare(Bytes([]byte{1, 0})) != -1 {
+		t.Fatal("bytes prefix ordering broken")
+	}
+	now := time.Now()
+	if Timestamp(now).Compare(Timestamp(now.Add(time.Nanosecond))) != -1 {
+		t.Fatal("timestamp ordering broken")
+	}
+}
+
+func TestComparePanicsOnKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare across kinds did not panic")
+		}
+	}()
+	Int64(1).Compare(String("1"))
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if !Float64(math.NaN()).Equal(Float64(math.NaN())) {
+		t.Fatal("NaN should equal NaN for storage round-trip purposes")
+	}
+	if Float64(0).Equal(Int64(0)) {
+		t.Fatal("different kinds must not be equal")
+	}
+	if !List(Int64(1), Int64(2)).Equal(List(Int64(1), Int64(2))) {
+		t.Fatal("list equality broken")
+	}
+	if List(Int64(1)).Equal(List(Int64(1), Int64(2))) {
+		t.Fatal("lists of different lengths equal")
+	}
+	if !Struct(Int64(1), Null()).Equal(Struct(Int64(1), Null())) {
+		t.Fatal("struct equality broken")
+	}
+	if Null().Equal(Int64(0)) {
+		t.Fatal("NULL equals 0")
+	}
+}
+
+func TestBytesValueIsCopied(t *testing.T) {
+	buf := []byte{1, 2, 3}
+	v := Bytes(buf)
+	buf[0] = 99
+	if v.AsBytes()[0] != 1 {
+		t.Fatal("Bytes constructor aliased the caller's slice")
+	}
+	out := v.AsBytes()
+	out[1] = 98
+	if v.AsBytes()[1] != 2 {
+		t.Fatal("AsBytes leaked the internal slice")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int64(-5), "-5"},
+		{Bool(true), "true"},
+		{String("hi"), `"hi"`},
+		{Numeric(1_500_000_000), "1.5"},
+		{Numeric(-2_500_000_000), "-2.5"},
+		{DateDays(19631), "2023-10-01"},
+		{List(Int64(1), Int64(2)), "[1, 2]"},
+		{Struct(Int64(1), String("x")), `{1, "x"}`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDateFromTimeHandlesPreEpoch(t *testing.T) {
+	d := Date(time.Date(1969, 12, 31, 23, 0, 0, 0, time.UTC))
+	if d.AsDateDays() != -1 {
+		t.Fatalf("1969-12-31 = day %d, want -1", d.AsDateDays())
+	}
+	d = Date(time.Date(1970, 1, 1, 1, 0, 0, 0, time.UTC))
+	if d.AsDateDays() != 0 {
+		t.Fatalf("1970-01-01 = day %d, want 0", d.AsDateDays())
+	}
+}
+
+func TestCompareClusterKeys(t *testing.T) {
+	a := []Value{String("Alice"), Int64(1)}
+	b := []Value{String("Alice"), Int64(2)}
+	c := []Value{String("Bob")}
+	if CompareClusterKeys(a, b) != -1 {
+		t.Fatal("tuple ordering broken on second element")
+	}
+	if CompareClusterKeys(a, c) != -1 {
+		t.Fatal("tuple ordering broken on first element")
+	}
+	if CompareClusterKeys(a, a) != 0 {
+		t.Fatal("tuple not equal to itself")
+	}
+	if CompareClusterKeys(c, []Value{String("Bob"), Int64(0)}) >= 0 {
+		t.Fatal("shorter tuple must sort first on equal prefix")
+	}
+}

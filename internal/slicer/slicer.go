@@ -1,0 +1,250 @@
+// Package slicer simulates Slicer, Google's auto-sharding service, as
+// the Vortex control plane uses it (§5.2.1): it assigns keys (tables) to
+// tasks (SMS instances), redistributes assignments when tasks fail or
+// report load, and — crucially — is only *eventually* consistent:
+// "there can be rare times when two SMS tasks think that they both
+// manage the table's metadata". The simulation exposes that window
+// explicitly so tests can drive the double-ownership race the paper says
+// Spanner transactions make safe.
+package slicer
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// ErrNoTasks is returned by Lookup when no tasks are registered.
+var ErrNoTasks = errors.New("slicer: no tasks registered")
+
+// Slicer assigns string keys to named tasks.
+type Slicer struct {
+	mu sync.Mutex
+	// tasks maps task name -> reported load.
+	tasks map[string]float64
+	// assign maps key -> current owner task.
+	assign map[string]string
+	// stale maps key -> previous owner that has not yet observed the
+	// reassignment (the eventual-consistency window).
+	stale map[string]string
+	// notify receives assignment changes: (key, newOwner).
+	notify func(key, task string)
+}
+
+// New returns an empty Slicer. notify, if non-nil, is invoked (without
+// the lock held) whenever a key is assigned to a task — Slicer
+// "redistributes the load by assigning the table to a new SMS task and
+// notifying it".
+func New(notify func(key, task string)) *Slicer {
+	return &Slicer{
+		tasks:  make(map[string]float64),
+		assign: make(map[string]string),
+		stale:  make(map[string]string),
+		notify: notify,
+	}
+}
+
+// AddTask registers a task.
+func (s *Slicer) AddTask(task string) {
+	s.mu.Lock()
+	if _, ok := s.tasks[task]; !ok {
+		s.tasks[task] = 0
+	}
+	s.mu.Unlock()
+}
+
+// RemoveTask deregisters a task (e.g. it crashed or was drained) and
+// reassigns every key it owned. The removed task is recorded as the
+// stale owner of those keys until the window is settled.
+func (s *Slicer) RemoveTask(task string) {
+	s.mu.Lock()
+	delete(s.tasks, task)
+	var moved []struct{ key, owner string }
+	for key, owner := range s.assign {
+		if owner != task {
+			continue
+		}
+		next, err := s.pickLocked(key)
+		if err != nil {
+			delete(s.assign, key)
+			continue
+		}
+		s.assign[key] = next
+		s.stale[key] = task
+		moved = append(moved, struct{ key, owner string }{key, next})
+	}
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		for _, m := range moved {
+			notify(m.key, m.owner)
+		}
+	}
+}
+
+// Tasks returns the registered task names, sorted.
+func (s *Slicer) Tasks() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tasks))
+	for t := range s.tasks {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickLocked chooses a task for key: the least-loaded task, breaking
+// ties by a stable hash so assignment is deterministic.
+func (s *Slicer) pickLocked(key string) (string, error) {
+	if len(s.tasks) == 0 {
+		return "", ErrNoTasks
+	}
+	names := make([]string, 0, len(s.tasks))
+	for t := range s.tasks {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	pref := h.Sum32() % uint32(len(names))
+	best := ""
+	var bestLoad float64
+	for i, t := range names {
+		load := s.tasks[t]
+		switch {
+		case best == "", load < bestLoad:
+			best, bestLoad = t, load
+		case load == bestLoad && uint32(i) == pref:
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// Lookup returns the task currently assigned to key, assigning one if
+// needed. Clients (and the SMS frontends) use this to route requests.
+func (s *Slicer) Lookup(key string) (string, error) {
+	s.mu.Lock()
+	if owner, ok := s.assign[key]; ok {
+		s.mu.Unlock()
+		return owner, nil
+	}
+	owner, err := s.pickLocked(key)
+	if err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	s.assign[key] = owner
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		notify(key, owner)
+	}
+	return owner, nil
+}
+
+// Owns reports whether task believes it owns key. During a reassignment
+// window BOTH the new and the stale owner return true — this is the
+// documented Slicer inconsistency Vortex must tolerate (§5.2.1).
+func (s *Slicer) Owns(task, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.assign[key] == task {
+		return true
+	}
+	return s.stale[key] == task
+}
+
+// Reassign moves key to a specific task (used by load rebalancing and by
+// tests), leaving the previous owner in the stale window.
+func (s *Slicer) Reassign(key, task string) error {
+	s.mu.Lock()
+	if _, ok := s.tasks[task]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("slicer: unknown task %q", task)
+	}
+	prev, had := s.assign[key]
+	s.assign[key] = task
+	if had && prev != task {
+		s.stale[key] = prev
+	}
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		notify(key, task)
+	}
+	return nil
+}
+
+// Settle closes the eventual-consistency window for key: the stale owner
+// stops believing it owns the key.
+func (s *Slicer) Settle(key string) {
+	s.mu.Lock()
+	delete(s.stale, key)
+	s.mu.Unlock()
+}
+
+// SettleAll closes every open reassignment window.
+func (s *Slicer) SettleAll() {
+	s.mu.Lock()
+	s.stale = make(map[string]string)
+	s.mu.Unlock()
+}
+
+// ReportLoad records a task's load. "Load balancing of metadata
+// operations across SMS tasks is achieved by reporting load information
+// to Slicer" (§5.2.1).
+func (s *Slicer) ReportLoad(task string, load float64) {
+	s.mu.Lock()
+	if _, ok := s.tasks[task]; ok {
+		s.tasks[task] = load
+	}
+	s.mu.Unlock()
+}
+
+// Rebalance moves keys from the most loaded task to the least loaded
+// until their reported loads are within factor of each other, moving at
+// most maxMoves keys. It returns the number of keys moved. Loads are
+// treated as proportional to owned-key counts for the purpose of the
+// simulation's rebalancing decision.
+func (s *Slicer) Rebalance(maxMoves int) int {
+	s.mu.Lock()
+	owned := make(map[string][]string)
+	for key, t := range s.assign {
+		owned[t] = append(owned[t], key)
+	}
+	var moved []struct{ key, owner string }
+	for len(moved) < maxMoves {
+		var maxT, minT string
+		for t := range s.tasks {
+			if maxT == "" || len(owned[t]) > len(owned[maxT]) {
+				maxT = t
+			}
+			if minT == "" || len(owned[t]) < len(owned[minT]) {
+				minT = t
+			}
+		}
+		if maxT == "" || len(owned[maxT])-len(owned[minT]) <= 1 {
+			break
+		}
+		keys := owned[maxT]
+		sort.Strings(keys)
+		key := keys[len(keys)-1]
+		owned[maxT] = keys[:len(keys)-1]
+		owned[minT] = append(owned[minT], key)
+		s.stale[key] = maxT
+		s.assign[key] = minT
+		moved = append(moved, struct{ key, owner string }{key, minT})
+	}
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		for _, m := range moved {
+			notify(m.key, m.owner)
+		}
+	}
+	return len(moved)
+}

@@ -1,0 +1,156 @@
+package sms_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/optimizer"
+	"vortex/internal/schema"
+	"vortex/internal/streamserver"
+	"vortex/internal/wire"
+)
+
+// TestGarbageCollectionLifecycle drives the full §5.4.3 loop: ingest →
+// convert (WOS fragments marked deleted) → heartbeat (SMS instructs
+// deletion, server deletes files and acks) → heartbeat (SMS drops the
+// Spanner records) → groomer collects the ROS generation retired by a
+// recluster. Reads stay correct throughout.
+func TestGarbageCollectionLifecycle(t *testing.T) {
+	r := core.NewRegion(core.DefaultConfig())
+	c := r.NewClient(client.DefaultOptions())
+	ctx := context.Background()
+	sc := &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "k", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "v", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		ClusterBy: []string{"k"},
+	}
+	if err := c.CreateTable(ctx, "d.gc", sc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.CreateStream(ctx, "d.gc", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []schema.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, schema.NewRow(schema.String("key"), schema.Int64(int64(i))))
+	}
+	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.HeartbeatAll(ctx, false)
+
+	// Locate the WOS log files before conversion.
+	wosPrefix := streamserver.StreamletPrefix("d.gc", meta.StreamletIDFor(s.Info().ID, 0))
+	paths, err := r.Colossus.Cluster("alpha").List(wosPrefix)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no WOS files found: %v %v", paths, err)
+	}
+
+	opt := optimizer.New(optimizer.DefaultConfig(), c, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, "d.gc"); err != nil {
+		t.Fatal(err)
+	}
+	// Retention is 0 in tests, but "deleted" still means "deleted more
+	// than a clock-uncertainty ago" (TT.after); wait out epsilon, then
+	// drive two full-snapshot heartbeats: the first instructs deletion,
+	// the second acks it and the Spanner records disappear (§5.4.3).
+	time.Sleep(12 * time.Millisecond)
+	r.HeartbeatAll(ctx, true)
+	r.HeartbeatAll(ctx, true)
+	for _, p := range paths {
+		if r.Colossus.Cluster("alpha").Exists(p) || r.Colossus.Cluster("beta").Exists(p) {
+			t.Fatalf("converted WOS file %s not garbage collected", p)
+		}
+	}
+	// The records are gone from the read view too, and reads still work.
+	rowsRead, _, err := c.ReadAll(ctx, "d.gc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsRead) != 30 {
+		t.Fatalf("rows after GC = %d", len(rowsRead))
+	}
+
+	// A second overlapping round becomes a delta; the forced recluster
+	// then retires the first ROS generation. No stream server owns ROS
+	// files, so only the groomer can collect them.
+	s2, err := c.CreateStream(ctx, "d.gc", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows2 []schema.Row
+	for i := 0; i < 10; i++ {
+		rows2 = append(rows2, schema.NewRow(schema.String("key"), schema.Int64(int64(100+i))))
+	}
+	if _, err := s2.Append(ctx, rows2, client.AppendOptions{Offset: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.HeartbeatAll(ctx, true)
+	if _, err := opt.ConvertTable(ctx, "d.gc"); err != nil {
+		t.Fatal(err)
+	}
+	rosBefore, _ := r.Colossus.Cluster("alpha").List("ros/d.gc/")
+	if len(rosBefore) < 2 {
+		t.Fatalf("expected 2 ROS generations before recluster, got %v", rosBefore)
+	}
+	if merged, err := opt.Recluster(ctx, "d.gc", true); err != nil || merged == 0 {
+		t.Fatalf("recluster: merged=%d err=%v", merged, err)
+	}
+	time.Sleep(12 * time.Millisecond)
+	addr, _ := r.Router().SMSFor("d.gc")
+	resp, err := r.Net.Unary(ctx, addr, wire.MethodGC, &wire.GCRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*wire.GCResponse).FragmentsDeleted == 0 {
+		t.Fatal("groomer collected nothing after recluster")
+	}
+	// The retired generation's files are gone; the live one remains.
+	rosAfter, _ := r.Colossus.Cluster("alpha").List("ros/d.gc/")
+	for _, old := range rosBefore {
+		for _, now := range rosAfter {
+			if old == now {
+				t.Fatalf("retired ROS file %s survived the groomer", old)
+			}
+		}
+	}
+	if len(rosAfter) == 0 {
+		t.Fatal("groomer deleted the LIVE generation")
+	}
+	// Idempotent: a second pass finds nothing.
+	resp, err = r.Net.Unary(ctx, addr, wire.MethodGC, &wire.GCRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.(*wire.GCResponse).FragmentsDeleted; n != 0 {
+		t.Fatalf("second groomer pass deleted %d fragments", n)
+	}
+	rowsRead, _, err = c.ReadAll(ctx, "d.gc", 0)
+	if err != nil || len(rowsRead) != 40 {
+		t.Fatalf("rows after groomer = %d, %v", len(rowsRead), err)
+	}
+	// Spanner holds no stale fragment records.
+	plan, err := c.Plan(ctx, "d.gc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if strings.HasPrefix(string(a.Frag.ID), "ros/") && !a.Frag.Live() {
+			t.Fatalf("deleted fragment %s still planned", a.Frag.ID)
+		}
+	}
+}

@@ -1,0 +1,594 @@
+// Package sms implements the Stream Metadata Server — Vortex's control
+// plane (§5.2). An SMS task manages the physical metadata of Streams,
+// Streamlets and Fragments for the tables Slicer assigns to it, backed
+// by a Spanner database that also holds each table's logical metadata
+// (schema, partitioning, clustering). Because Slicer's assignment is
+// only eventually consistent, two tasks may briefly both manage a table;
+// every mutation here goes through a Spanner transaction, which is what
+// keeps that inconsistency harmless (§5.2.1).
+package sms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vortex/internal/colossus"
+	"vortex/internal/dml"
+	"vortex/internal/meta"
+	"vortex/internal/rpc"
+	"vortex/internal/schema"
+	"vortex/internal/spanner"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+// API errors (matched with errors.Is by the client library).
+var (
+	ErrNotFound        = errors.New("sms: not found")
+	ErrAlreadyExists   = errors.New("sms: already exists")
+	ErrStreamFinalized = errors.New("sms: stream is finalized")
+	ErrBadRequest      = errors.New("sms: bad request")
+	ErrUnavailable     = errors.New("sms: unavailable")
+	ErrMasksChanged    = errors.New("sms: deletion masks changed during conversion")
+	ErrDMLActive       = errors.New("sms: yielding to active DML")
+)
+
+// Placer chooses a Stream Server for a new streamlet "based on load and
+// health characteristics" (§5.2) and receives the load reports carried
+// by heartbeats (§5.5).
+type Placer interface {
+	// Pick returns a stream server address and the two Colossus clusters
+	// its writes replicate to, avoiding exclude when possible.
+	Pick(exclude string) (addr string, clusters [2]string, err error)
+	// ReportLoad records one heartbeat's load information.
+	ReportLoad(addr string, cpu, mem, throughput float64, quarantine bool)
+}
+
+// FragmentListener observes committed fragment-set changes; the region
+// wires Big Metadata's indexer here (§6.2).
+type FragmentListener interface {
+	FragmentsChanged(table meta.TableID, added []meta.FragmentInfo, deleted []meta.FragmentID)
+}
+
+// Task is one SMS task.
+type Task struct {
+	addr   string
+	db     *spanner.DB
+	clock  truetime.Clock
+	net    *rpc.Network
+	placer Placer
+
+	mu       sync.Mutex
+	listener FragmentListener
+	region   *colossus.Region
+
+	// retention is how long deleted fragments stay readable (§5.4.3).
+	retention truetime.Timestamp
+}
+
+// spanner key helpers.
+func tableKey(t meta.TableID) string   { return "tables/" + string(t) }
+func streamKey(s meta.StreamID) string { return "streams/" + string(s) }
+func streamletKey(t meta.TableID, id meta.StreamletID) string {
+	return fmt.Sprintf("streamlets/%s/%s", t, id)
+}
+func streamletPrefix(t meta.TableID) string { return fmt.Sprintf("streamlets/%s/", t) }
+func fragmentKey(t meta.TableID, id meta.FragmentID) string {
+	return fmt.Sprintf("fragments/%s/%s", t, id)
+}
+func fragmentPrefix(t meta.TableID) string { return fmt.Sprintf("fragments/%s/", t) }
+func maskKey(t meta.TableID, id meta.FragmentID) string {
+	return fmt.Sprintf("masks/%s/%s", t, id)
+}
+func tailMaskKey(t meta.TableID, id meta.StreamletID) string {
+	return fmt.Sprintf("tailmasks/%s/%s", t, id)
+}
+func dmlLockKey(t meta.TableID) string { return "dmllock/" + string(t) }
+
+// New creates an SMS task and registers its handlers on net at addr.
+func New(addr string, db *spanner.DB, net *rpc.Network, placer Placer) *Task {
+	t := &Task{
+		addr:      addr,
+		db:        db,
+		clock:     db.Clock(),
+		net:       net,
+		placer:    placer,
+		retention: truetime.Timestamp(0),
+	}
+	srv := rpc.NewServer()
+	srv.RegisterUnary(wire.MethodCreateTable, t.handleCreateTable)
+	srv.RegisterUnary(wire.MethodGetTable, t.handleGetTable)
+	srv.RegisterUnary(wire.MethodUpdateSchema, t.handleUpdateSchema)
+	srv.RegisterUnary(wire.MethodCreateStream, t.handleCreateStream)
+	srv.RegisterUnary(wire.MethodGetStream, t.handleGetStream)
+	srv.RegisterUnary(wire.MethodGetWritableStreamlet, t.handleGetWritableStreamlet)
+	srv.RegisterUnary(wire.MethodFlushStream, t.handleFlushStream)
+	srv.RegisterUnary(wire.MethodFinalizeStream, t.handleFinalizeStream)
+	srv.RegisterUnary(wire.MethodBatchCommit, t.handleBatchCommit)
+	srv.RegisterUnary(wire.MethodHeartbeat, t.handleHeartbeat)
+	srv.RegisterUnary(wire.MethodReadView, t.handleReadView)
+	srv.RegisterUnary(wire.MethodReconcile, t.handleReconcile)
+	srv.RegisterUnary(wire.MethodConversionCandidates, t.handleConversionCandidates)
+	srv.RegisterUnary(wire.MethodRegisterConversion, t.handleRegisterConversion)
+	srv.RegisterUnary(wire.MethodBeginDML, t.handleBeginDML)
+	srv.RegisterUnary(wire.MethodEndDML, t.handleEndDML)
+	srv.RegisterUnary(wire.MethodCommitDML, t.handleCommitDML)
+	srv.RegisterUnary(wire.MethodGC, t.handleGC)
+	net.Register(addr, srv)
+	return t
+}
+
+// Addr returns the task's transport address.
+func (t *Task) Addr() string { return t.addr }
+
+// SetFragmentListener installs the committed-fragment-change observer.
+func (t *Task) SetFragmentListener(l FragmentListener) {
+	t.mu.Lock()
+	t.listener = l
+	t.mu.Unlock()
+}
+
+func (t *Task) notifyFragments(table meta.TableID, added []meta.FragmentInfo, deleted []meta.FragmentID) {
+	t.mu.Lock()
+	l := t.listener
+	t.mu.Unlock()
+	if l != nil {
+		l.FragmentsChanged(table, added, deleted)
+	}
+}
+
+// ---- table / schema ----
+
+func (t *Task) handleCreateTable(_ context.Context, req any) (any, error) {
+	r := req.(*wire.CreateTableRequest)
+	if r.Table == "" || r.Schema == nil {
+		return nil, fmt.Errorf("%w: table and schema required", ErrBadRequest)
+	}
+	if err := r.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		if _, exists := tx.Get(tableKey(r.Table)); exists {
+			return fmt.Errorf("%w: table %s", ErrAlreadyExists, r.Table)
+		}
+		tx.Put(tableKey(r.Table), r.Schema.Marshal())
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.CreateTableResponse{}, nil
+}
+
+func getSchema(tx *spanner.Txn, table meta.TableID) (*schema.Schema, error) {
+	raw, ok := tx.Get(tableKey(table))
+	if !ok {
+		return nil, fmt.Errorf("%w: table %s", ErrNotFound, table)
+	}
+	return schema.Unmarshal(raw)
+}
+
+func (t *Task) handleGetTable(_ context.Context, req any) (any, error) {
+	r := req.(*wire.GetTableRequest)
+	var sc *schema.Schema
+	err := t.db.ReadTxn(func(tx *spanner.Txn) error {
+		var err error
+		sc, err = getSchema(tx, r.Table)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &wire.GetTableResponse{Schema: sc}, nil
+}
+
+func (t *Task) handleUpdateSchema(_ context.Context, req any) (any, error) {
+	r := req.(*wire.UpdateSchemaRequest)
+	var evolved *schema.Schema
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		cur, err := getSchema(tx, r.Table)
+		if err != nil {
+			return err
+		}
+		evolved, err = cur.AddField(r.Field)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		tx.Put(tableKey(r.Table), evolved.Marshal())
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.UpdateSchemaResponse{Schema: evolved}, nil
+}
+
+// ---- streams ----
+
+func (t *Task) handleCreateStream(_ context.Context, req any) (any, error) {
+	r := req.(*wire.CreateStreamRequest)
+	var info meta.StreamInfo
+	var sc *schema.Schema
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		var err error
+		sc, err = getSchema(tx, r.Table)
+		if err != nil {
+			return err
+		}
+		info = meta.StreamInfo{
+			ID:        meta.NewStreamID(),
+			Table:     r.Table,
+			Type:      r.Type,
+			CreatedAt: t.clock.Commit(),
+		}
+		tx.Put(streamKey(info.ID), meta.MarshalStream(&info))
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.CreateStreamResponse{Stream: info, Schema: sc}, nil
+}
+
+func getStream(tx *spanner.Txn, id meta.StreamID) (*meta.StreamInfo, error) {
+	raw, ok := tx.Get(streamKey(id))
+	if !ok {
+		return nil, fmt.Errorf("%w: stream %s", ErrNotFound, id)
+	}
+	return meta.UnmarshalStream(raw)
+}
+
+func (t *Task) handleGetStream(_ context.Context, req any) (any, error) {
+	r := req.(*wire.GetStreamRequest)
+	var info *meta.StreamInfo
+	err := t.db.ReadTxn(func(tx *spanner.Txn) error {
+		var err error
+		info, err = getStream(tx, r.Stream)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &wire.GetStreamResponse{Stream: *info}, nil
+}
+
+// streamletsOf returns the stream's streamlets in sequence order.
+func streamletsOf(tx *spanner.Txn, table meta.TableID, stream meta.StreamID) ([]*meta.StreamletInfo, error) {
+	var out []*meta.StreamletInfo
+	for _, kv := range tx.Scan(streamletPrefix(table)) {
+		sl, err := meta.UnmarshalStreamlet(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		if sl.Stream == stream {
+			out = append(out, sl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+func (t *Task) handleGetWritableStreamlet(ctx context.Context, req any) (any, error) {
+	r := req.(*wire.GetWritableStreamletRequest)
+	for attempt := 0; attempt < 4; attempt++ {
+		var (
+			sl      *meta.StreamletInfo
+			sc      *schema.Schema
+			created bool
+		)
+		_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+			sl, sc, created = nil, nil, false
+			stream, err := getStream(tx, r.Stream)
+			if err != nil {
+				return err
+			}
+			if stream.Finalized {
+				return fmt.Errorf("%w: %s", ErrStreamFinalized, stream.ID)
+			}
+			sc, err = getSchema(tx, stream.Table)
+			if err != nil {
+				return err
+			}
+			sls, err := streamletsOf(tx, stream.Table, stream.ID)
+			if err != nil {
+				return err
+			}
+			// An existing writable streamlet is handed out as-is, unless
+			// the client just failed against its server.
+			if n := len(sls); n > 0 && sls[n-1].State == meta.StreamletWritable {
+				last := sls[n-1]
+				if r.ExcludeServer == "" || last.Server != r.ExcludeServer {
+					sl = last
+					return nil
+				}
+				// The client reports the server failed: close this
+				// streamlet; its true length is settled by reconciliation.
+				last.State = meta.StreamletFinalized
+				tx.Put(streamletKey(stream.Table, last.ID), meta.MarshalStreamlet(last))
+			}
+			// Create the next streamlet.
+			var start int64
+			for _, prev := range sls {
+				start += prev.RowCount
+			}
+			addr, clusters, err := t.placer.Pick(r.ExcludeServer)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrUnavailable, err)
+			}
+			next := &meta.StreamletInfo{
+				ID:          meta.StreamletIDFor(stream.ID, stream.NextStreamletSeq),
+				Stream:      stream.ID,
+				Table:       stream.Table,
+				Seq:         stream.NextStreamletSeq,
+				Server:      addr,
+				Clusters:    clusters,
+				StartOffset: start,
+				State:       meta.StreamletWritable,
+				Epoch:       int64(t.clock.Commit()),
+			}
+			stream.NextStreamletSeq++
+			tx.Put(streamKey(stream.ID), meta.MarshalStream(stream))
+			tx.Put(streamletKey(stream.Table, next.ID), meta.MarshalStreamlet(next))
+			sl = next
+			created = true
+			return nil
+		})
+		if err != nil {
+			return nil, unwrapAbort(err)
+		}
+		if !created {
+			return &wire.GetWritableStreamletResponse{Streamlet: *sl, Schema: sc, Epoch: sl.Epoch}, nil
+		}
+		// Instruct the chosen Stream Server to host the streamlet (§5.2).
+		_, err = t.net.Unary(ctx, sl.Server, wire.MethodCreateStreamlet, &wire.CreateStreamletRequest{
+			Info:   *sl,
+			Schema: sc,
+			Epoch:  sl.Epoch,
+		})
+		if err == nil {
+			return &wire.GetWritableStreamletResponse{Streamlet: *sl, Schema: sc, Epoch: sl.Epoch}, nil
+		}
+		// The server is unreachable: close the empty streamlet and retry
+		// placement elsewhere.
+		failedServer := sl.Server
+		if _, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+			raw, ok := tx.Get(streamletKey(sl.Table, sl.ID))
+			if !ok {
+				return nil
+			}
+			cur, err := meta.UnmarshalStreamlet(raw)
+			if err != nil {
+				return err
+			}
+			cur.State = meta.StreamletFinalized
+			tx.Put(streamletKey(sl.Table, sl.ID), meta.MarshalStreamlet(cur))
+			return nil
+		}); err != nil {
+			return nil, unwrapAbort(err)
+		}
+		r = &wire.GetWritableStreamletRequest{Stream: r.Stream, ExcludeServer: failedServer}
+	}
+	return nil, fmt.Errorf("%w: no stream server accepted the streamlet", ErrUnavailable)
+}
+
+func (t *Task) handleFlushStream(ctx context.Context, req any) (any, error) {
+	r := req.(*wire.FlushStreamRequest)
+	var frontier int64
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		stream, err := getStream(tx, r.Stream)
+		if err != nil {
+			return err
+		}
+		if stream.Type != meta.Buffered {
+			return fmt.Errorf("%w: FlushStream on a %v stream", ErrBadRequest, stream.Type)
+		}
+		if r.Offset > stream.FlushedOffset {
+			// Validate against the stream's current length; the SMS cache
+			// may be stale, so consult the Stream Server when needed.
+			length, err := t.streamLength(ctx, tx, stream)
+			if err != nil {
+				return err
+			}
+			if r.Offset > length {
+				return fmt.Errorf("%w: flush offset %d beyond stream length %d", ErrBadRequest, r.Offset, length)
+			}
+			stream.FlushedOffset = r.Offset
+			tx.Put(streamKey(stream.ID), meta.MarshalStream(stream))
+		}
+		frontier = stream.FlushedOffset
+		if r.Offset > frontier {
+			frontier = r.Offset
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.FlushStreamResponse{FlushedOffset: frontier}, nil
+}
+
+// streamLength computes the stream's current length, asking the Stream
+// Server for the writable streamlet's live row count.
+func (t *Task) streamLength(ctx context.Context, tx *spanner.Txn, stream *meta.StreamInfo) (int64, error) {
+	sls, err := streamletsOf(tx, stream.Table, stream.ID)
+	if err != nil {
+		return 0, err
+	}
+	var length int64
+	for _, sl := range sls {
+		if sl.State == meta.StreamletWritable {
+			resp, err := t.net.Unary(ctx, sl.Server, wire.MethodStreamletState, &wire.StreamletStateRequest{Streamlet: sl.ID})
+			if err == nil {
+				length += resp.(*wire.StreamletStateResponse).RowCount
+				continue
+			}
+			// Fall back to the cached count.
+		}
+		length += sl.RowCount
+	}
+	return length, nil
+}
+
+func (t *Task) handleFinalizeStream(ctx context.Context, req any) (any, error) {
+	r := req.(*wire.FinalizeStreamRequest)
+	// First close the writable streamlet on its server (outside the txn).
+	var writable *meta.StreamletInfo
+	err := t.db.ReadTxn(func(tx *spanner.Txn) error {
+		stream, err := getStream(tx, r.Stream)
+		if err != nil {
+			return err
+		}
+		sls, err := streamletsOf(tx, stream.Table, stream.ID)
+		if err != nil {
+			return err
+		}
+		if n := len(sls); n > 0 && sls[n-1].State == meta.StreamletWritable {
+			writable = sls[n-1]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if writable != nil {
+		resp, err := t.net.Unary(ctx, writable.Server, wire.MethodFinalizeStreamlet, &wire.FinalizeStreamletRequest{Streamlet: writable.ID})
+		if err != nil {
+			// Server unreachable: settle the streamlet by reconciliation.
+			if _, rerr := t.reconcile(ctx, writable.Table, writable.Stream, writable.ID); rerr != nil {
+				return nil, fmt.Errorf("finalize: server unreachable and reconcile failed: %w", rerr)
+			}
+		} else {
+			fin := resp.(*wire.FinalizeStreamletResponse)
+			if err := t.absorbStreamletFinalization(writable.Table, writable.ID, fin.RowCount, fin.Fragments); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var total int64
+	_, err = t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		total = 0
+		stream, err := getStream(tx, r.Stream)
+		if err != nil {
+			return err
+		}
+		stream.Finalized = true
+		sls, err := streamletsOf(tx, stream.Table, stream.ID)
+		if err != nil {
+			return err
+		}
+		for _, sl := range sls {
+			total += sl.RowCount
+		}
+		tx.Put(streamKey(stream.ID), meta.MarshalStream(stream))
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.FinalizeStreamResponse{RowCount: total}, nil
+}
+
+// absorbStreamletFinalization persists a server-reported finalization.
+func (t *Task) absorbStreamletFinalization(table meta.TableID, id meta.StreamletID, rows int64, frags []meta.FragmentInfo) error {
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		raw, ok := tx.Get(streamletKey(table, id))
+		if !ok {
+			return fmt.Errorf("%w: streamlet %s", ErrNotFound, id)
+		}
+		sl, err := meta.UnmarshalStreamlet(raw)
+		if err != nil {
+			return err
+		}
+		sl.RowCount = rows
+		sl.State = meta.StreamletFinalized
+		tx.Put(streamletKey(table, id), meta.MarshalStreamlet(sl))
+		t.upsertFragments(tx, table, sl, frags)
+		return nil
+	})
+	return unwrapAbort(err)
+}
+
+func (t *Task) handleBatchCommit(_ context.Context, req any) (any, error) {
+	r := req.(*wire.BatchCommitRequest)
+	if len(r.Streams) == 0 {
+		return nil, fmt.Errorf("%w: no streams", ErrBadRequest)
+	}
+	var commitTS truetime.Timestamp
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		commitTS = t.clock.Commit()
+		for _, id := range r.Streams {
+			stream, err := getStream(tx, id)
+			if err != nil {
+				return err
+			}
+			if stream.Type != meta.Pending {
+				return fmt.Errorf("%w: stream %s is %v, not PENDING", ErrBadRequest, id, stream.Type)
+			}
+			if !stream.Finalized {
+				return fmt.Errorf("%w: stream %s must be finalized before commit", ErrBadRequest, id)
+			}
+			if stream.Committed {
+				continue // idempotent
+			}
+			stream.Committed = true
+			stream.CommitTS = commitTS
+			tx.Put(streamKey(id), meta.MarshalStream(stream))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.BatchCommitResponse{CommitTS: commitTS}, nil
+}
+
+// upsertFragments merges server-reported fragment state into Spanner,
+// honouring conversion (a deleted fragment's record is never revived)
+// and mapping any streamlet-tail deletion mask onto newly reported
+// fragments (§7.3). Caller is inside a read-write transaction.
+func (t *Task) upsertFragments(tx *spanner.Txn, table meta.TableID, sl *meta.StreamletInfo, frags []meta.FragmentInfo) {
+	var tail *dml.Mask
+	if raw, ok := tx.Get(tailMaskKey(table, sl.ID)); ok {
+		if m, err := dml.Unmarshal(raw); err == nil {
+			tail = m
+		}
+	}
+	for i := range frags {
+		f := frags[i]
+		key := fragmentKey(table, f.ID)
+		if raw, ok := tx.Get(key); ok {
+			existing, err := meta.UnmarshalFragment(raw)
+			if err == nil && existing.DeletionTS != 0 {
+				continue // already converted; server data is stale
+			}
+			if err == nil {
+				// Preserve the SMS-side creation timestamp.
+				f.CreationTS = existing.CreationTS
+			}
+		}
+		tx.Put(key, meta.MarshalFragment(&f))
+		if tail != nil && !tail.Empty() && f.RowCount > 0 {
+			// Tail mask is in stream-offset coordinates; the fragment's
+			// rows cover [start+f.StartRow, start+f.StartRow+f.RowCount).
+			fragMask := tail.Shift(-(sl.StartOffset + f.StartRow), f.RowCount)
+			if !fragMask.Empty() {
+				mk := maskKey(table, f.ID)
+				cur := &dml.Mask{}
+				if raw, ok := tx.Get(mk); ok {
+					if m, err := dml.Unmarshal(raw); err == nil {
+						cur = m
+					}
+				}
+				cur.AddMask(fragMask)
+				tx.Put(mk, cur.Marshal())
+			}
+		}
+	}
+}
+
+// unwrapAbort passes transaction errors through: the spanner.ErrAborted
+// wrapper preserves the handler's domain error for errors.Is matching.
+func unwrapAbort(err error) error { return err }

@@ -1,0 +1,180 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"vortex/internal/schema"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a single-table SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	Star    bool
+	Table   string
+	Where   Expr // nil if absent
+	GroupBy []*ColumnRef
+	OrderBy []OrderItem
+	Limit   int64 // -1 if absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Column *ColumnRef
+	Desc   bool
+}
+
+// UpdateStmt is UPDATE table SET col=expr,... WHERE pred.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// Assignment is one SET clause.
+type Assignment struct {
+	Column *ColumnRef
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM table WHERE pred.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprString() string
+}
+
+// ColumnRef references a (possibly dotted) column path.
+type ColumnRef struct {
+	Path []string
+	// Index is resolved by the algebrizer: the top-level field index.
+	Index int
+	// Indexes is the resolved field-position chain (one entry per path
+	// segment).
+	Indexes []int
+	// Leaf is the resolved field.
+	Leaf *schema.Field
+}
+
+func (c *ColumnRef) exprString() string { return strings.Join(c.Path, ".") }
+
+// Name returns the dotted path.
+func (c *ColumnRef) Name() string { return strings.Join(c.Path, ".") }
+
+// Literal is a constant value.
+type Literal struct {
+	Value schema.Value
+}
+
+func (l *Literal) exprString() string { return l.Value.String() }
+
+// BinaryOp kinds.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+}
+
+// String returns the operator's SQL spelling.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (b *Binary) exprString() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.exprString(), b.Op, b.R.exprString())
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+func (n *Not) exprString() string { return fmt.Sprintf("NOT %s", n.E.exprString()) }
+
+// IsNull tests nullness (IS NULL / IS NOT NULL).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (i *IsNull) exprString() string {
+	if i.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", i.E.exprString())
+	}
+	return fmt.Sprintf("%s IS NULL", i.E.exprString())
+}
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[AggFunc]string{
+	AggCount: "COUNT", AggSum: "SUM", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG",
+}
+
+// String returns the function's SQL name.
+func (a AggFunc) String() string { return aggNames[a] }
+
+// Aggregate is an aggregate call; Arg is nil for COUNT(*).
+type Aggregate struct {
+	Func AggFunc
+	Arg  Expr
+}
+
+func (a *Aggregate) exprString() string {
+	if a.Arg == nil {
+		return fmt.Sprintf("%s(*)", a.Func)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg.exprString())
+}
+
+// DateOf is the DATE(timestamp) scalar function (partitioning queries).
+type DateOf struct{ E Expr }
+
+func (d *DateOf) exprString() string { return fmt.Sprintf("DATE(%s)", d.E.exprString()) }

@@ -1,0 +1,241 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"vortex/internal/schema"
+)
+
+// ErrType marks runtime type errors in expression evaluation.
+var ErrType = errors.New("sql: type error")
+
+// Eval evaluates a resolved, aggregate-free expression against a row.
+// SQL three-valued logic is represented with NULL Values: comparisons
+// and arithmetic involving NULL yield NULL; AND/OR follow Kleene logic.
+func Eval(e Expr, row schema.Row) (schema.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+	case *ColumnRef:
+		return x.FieldValue(row), nil
+	case *Not:
+		v, err := Eval(x.E, row)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if v.IsNull() {
+			return schema.Null(), nil
+		}
+		if v.Kind() != schema.KindBool {
+			return schema.Value{}, fmt.Errorf("%w: NOT on %v", ErrType, v.Kind())
+		}
+		return schema.Bool(!v.AsBool()), nil
+	case *IsNull:
+		v, err := Eval(x.E, row)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		return schema.Bool(v.IsNull() != x.Negate), nil
+	case *DateOf:
+		v, err := Eval(x.E, row)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		if v.IsNull() {
+			return schema.Null(), nil
+		}
+		switch v.Kind() {
+		case schema.KindTimestamp:
+			return schema.Date(time.Unix(0, v.AsInt64()).UTC()), nil
+		case schema.KindDate:
+			return v, nil
+		}
+		return schema.Value{}, fmt.Errorf("%w: DATE() on %v", ErrType, v.Kind())
+	case *Binary:
+		return evalBinary(x, row)
+	case *Aggregate:
+		return schema.Value{}, errors.New("sql: aggregate evaluated outside aggregation")
+	}
+	return schema.Value{}, fmt.Errorf("sql: unknown expression %T", e)
+}
+
+func evalBinary(b *Binary, row schema.Row) (schema.Value, error) {
+	// Kleene AND/OR short-circuit around NULLs.
+	if b.Op == OpAnd || b.Op == OpOr {
+		l, err := Eval(b.L, row)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		r, err := Eval(b.R, row)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		lb, lNull := boolOf(l)
+		rb, rNull := boolOf(r)
+		if b.Op == OpAnd {
+			if (!lNull && !lb) || (!rNull && !rb) {
+				return schema.Bool(false), nil
+			}
+			if lNull || rNull {
+				return schema.Null(), nil
+			}
+			return schema.Bool(true), nil
+		}
+		if (!lNull && lb) || (!rNull && rb) {
+			return schema.Bool(true), nil
+		}
+		if lNull || rNull {
+			return schema.Null(), nil
+		}
+		return schema.Bool(false), nil
+	}
+
+	l, err := Eval(b.L, row)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	r, err := Eval(b.R, row)
+	if err != nil {
+		return schema.Value{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return schema.Null(), nil
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c, err := compareValues(l, r)
+		if err != nil {
+			return schema.Value{}, err
+		}
+		switch b.Op {
+		case OpEq:
+			return schema.Bool(c == 0), nil
+		case OpNe:
+			return schema.Bool(c != 0), nil
+		case OpLt:
+			return schema.Bool(c < 0), nil
+		case OpLe:
+			return schema.Bool(c <= 0), nil
+		case OpGt:
+			return schema.Bool(c > 0), nil
+		default:
+			return schema.Bool(c >= 0), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return arith(b.Op, l, r)
+	}
+	return schema.Value{}, fmt.Errorf("sql: unknown operator %v", b.Op)
+}
+
+func boolOf(v schema.Value) (val bool, isNull bool) {
+	if v.IsNull() {
+		return false, true
+	}
+	return v.AsBool(), false
+}
+
+// compareValues compares two scalars, coercing numeric kinds
+// (INT64/NUMERIC/FLOAT64) to a common type.
+func compareValues(l, r schema.Value) (int, error) {
+	if l.Kind() == r.Kind() {
+		if !l.Kind().Comparable() {
+			return 0, fmt.Errorf("%w: cannot compare %v", ErrType, l.Kind())
+		}
+		return l.Compare(r), nil
+	}
+	if isNumericKind(l.Kind()) && isNumericKind(r.Kind()) {
+		lf, rf := l.AsFloat64(), r.AsFloat64()
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%w: cannot compare %v with %v", ErrType, l.Kind(), r.Kind())
+}
+
+func isNumericKind(k schema.Kind) bool {
+	return k == schema.KindInt64 || k == schema.KindFloat64 || k == schema.KindNumeric
+}
+
+// arith performs +,-,*,/ with numeric promotion: INT64 op INT64 stays
+// INT64 (except /), NUMERIC dominates INT64, FLOAT64 dominates both.
+func arith(op BinOp, l, r schema.Value) (schema.Value, error) {
+	if !isNumericKind(l.Kind()) || !isNumericKind(r.Kind()) {
+		return schema.Value{}, fmt.Errorf("%w: %v %s %v", ErrType, l.Kind(), op, r.Kind())
+	}
+	if l.Kind() == schema.KindFloat64 || r.Kind() == schema.KindFloat64 || op == OpDiv {
+		lf, rf := l.AsFloat64(), r.AsFloat64()
+		switch op {
+		case OpAdd:
+			return schema.Float64(lf + rf), nil
+		case OpSub:
+			return schema.Float64(lf - rf), nil
+		case OpMul:
+			return schema.Float64(lf * rf), nil
+		case OpDiv:
+			if rf == 0 {
+				return schema.Null(), nil // SQL: division by zero → NULL (lenient mode)
+			}
+			return schema.Float64(lf / rf), nil
+		}
+	}
+	if l.Kind() == schema.KindNumeric || r.Kind() == schema.KindNumeric {
+		ls, rs := toNumericScaled(l), toNumericScaled(r)
+		switch op {
+		case OpAdd:
+			return schema.Numeric(ls + rs), nil
+		case OpSub:
+			return schema.Numeric(ls - rs), nil
+		case OpMul:
+			return schema.Numeric(mulScaled(ls, rs)), nil
+		}
+	}
+	li, ri := l.AsInt64(), r.AsInt64()
+	switch op {
+	case OpAdd:
+		return schema.Int64(li + ri), nil
+	case OpSub:
+		return schema.Int64(li - ri), nil
+	case OpMul:
+		return schema.Int64(li * ri), nil
+	}
+	return schema.Value{}, fmt.Errorf("sql: unreachable arithmetic %v", op)
+}
+
+// mulScaled computes a*b/NumericScale through a 128-bit intermediate so
+// fixed-point products do not overflow int64.
+func mulScaled(a, b int64) int64 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	q, _ := bits.Div64(hi, lo, uint64(schema.NumericScale))
+	out := int64(q)
+	if neg {
+		out = -out
+	}
+	return out
+}
+
+func toNumericScaled(v schema.Value) int64 {
+	if v.Kind() == schema.KindNumeric {
+		return v.AsNumericScaled()
+	}
+	return v.AsInt64() * schema.NumericScale
+}
+
+// Truthy reports whether a WHERE result admits the row (NULL does not).
+func Truthy(v schema.Value) bool {
+	return !v.IsNull() && v.Kind() == schema.KindBool && v.AsBool()
+}

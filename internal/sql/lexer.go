@@ -1,0 +1,165 @@
+// Package sql implements the SQL subset the reproduction's query engine
+// (the Dremel stand-in, §3.1) accepts: single-table SELECT with WHERE /
+// GROUP BY / ORDER BY / LIMIT and the aggregate functions COUNT, SUM,
+// MIN, MAX and AVG, plus the mutating statements UPDATE and DELETE whose
+// storage-side execution §7.3 describes. The subset covers every storage
+// interaction the paper's evaluation exercises: scans, filter pushdown,
+// partition elimination, aggregation and deletion masks.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = != < <= > >= + - / .
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "ASC": true, "DESC": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
+	"TIMESTAMP": true, "DATE": true, "NUMERIC": true, "BETWEEN": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		word := string(l.src[start:l.pos])
+		if keywords[strings.ToUpper(word)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(word), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	case unicode.IsDigit(c):
+		seenDot := false
+		for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || (l.src[l.pos] == '.' && !seenDot)) {
+			if l.src[l.pos] == '.' {
+				// A dot is part of the number only if a digit follows.
+				if l.pos+1 >= len(l.src) || !unicode.IsDigit(l.src[l.pos+1]) {
+					break
+				}
+				seenDot = true
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteRune('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteRune(l.src[l.pos])
+			l.pos++
+		}
+		return token{}, l.errorf(start, "unterminated string literal")
+
+	case c == '`':
+		l.pos++
+		qs := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '`' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(start, "unterminated quoted identifier")
+		}
+		text := string(l.src[qs:l.pos])
+		l.pos++
+		return token{kind: tokIdent, text: text, pos: start}, nil
+
+	case strings.ContainsRune("(),*=+-/.", c):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{kind: tokSymbol, text: string(l.src[start:l.pos]), pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: "<", pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: ">", pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected '!'")
+	}
+	return token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,573 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vortex/internal/schema"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.peekKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sql: expected SELECT, UPDATE or DELETE, got %q", p.peek().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, got %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// parseTableName accepts dataset.table identifiers.
+func (p *parser) parseTableName() (string, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	name := first
+	for p.acceptSymbol(".") {
+		part, err := p.expectIdent()
+		if err != nil {
+			return "", err
+		}
+		name += "." + part
+	}
+	return name, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	if p.acceptSymbol("*") {
+		s.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			}
+			s.Items = append(s.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+	if p.acceptKeyword("WHERE") {
+		s.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Column: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, got %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		p.pos++
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: table}
+	for {
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Column: col, Value: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, fmt.Errorf("sql: UPDATE requires a WHERE clause: %w", err)
+	}
+	u.Where, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: table}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, fmt.Errorf("sql: DELETE requires a WHERE clause: %w", err)
+	}
+	d.Where, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((=|!=|<>|<|<=|>|>=) addExpr | IS [NOT] NULL | BETWEEN addExpr AND addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/) unary)*
+//	unary   := - unary | primary
+//	primary := literal | columnRef | aggregate | DATE(expr) | TIMESTAMP 'lit' | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if !p.acceptKeyword("NULL") {
+			return nil, fmt.Errorf("sql: expected NULL after IS")
+		}
+		return &IsNull{E: l, Negate: neg}, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpAnd,
+			L: &Binary{Op: OpGe, L: l, R: lo},
+			R: &Binary{Op: OpLe, L: l, R: hi},
+		}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMul, L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpSub, L: &Literal{Value: schema.Int64(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggKeywords = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			v, err := schema.NumericFromString(t.text)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+			}
+			return &Literal{Value: v}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return &Literal{Value: schema.Int64(n)}, nil
+
+	case tokString:
+		p.pos++
+		return &Literal{Value: schema.String(t.text)}, nil
+
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: schema.Bool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: schema.Bool(false)}, nil
+		case "NULL":
+			p.pos++
+			return &Literal{Value: schema.Null()}, nil
+		case "TIMESTAMP":
+			p.pos++
+			lit := p.peek()
+			if lit.kind != tokString {
+				return nil, fmt.Errorf("sql: TIMESTAMP expects a string literal")
+			}
+			p.pos++
+			ts, err := parseTimestampLiteral(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Value: ts}, nil
+		case "DATE":
+			p.pos++
+			// DATE 'lit' or DATE(expr).
+			if p.peek().kind == tokString {
+				lit := p.peek()
+				p.pos++
+				d, err := time.Parse("2006-01-02", lit.text)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad DATE literal %q", lit.text)
+				}
+				return &Literal{Value: schema.Date(d)}, nil
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &DateOf{E: e}, nil
+		case "NUMERIC":
+			p.pos++
+			lit := p.peek()
+			if lit.kind != tokString {
+				return nil, fmt.Errorf("sql: NUMERIC expects a string literal")
+			}
+			p.pos++
+			v, err := schema.NumericFromString(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Value: v}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			fn := aggKeywords[t.text]
+			p.pos++
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if fn == AggCount && p.acceptSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &Aggregate{Func: fn}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &Aggregate{Func: fn, Arg: arg}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q in expression", t.text)
+
+	case tokIdent:
+		return p.parseColumnRef()
+
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &ColumnRef{Path: []string{first}, Index: -1}
+	for p.acceptSymbol(".") {
+		part, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Path = append(ref.Path, part)
+	}
+	return ref, nil
+}
+
+// parseTimestampLiteral accepts RFC3339 and "2006-01-02 15:04:05" forms.
+func parseTimestampLiteral(s string) (schema.Value, error) {
+	for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return schema.Timestamp(ts.UTC()), nil
+		}
+	}
+	return schema.Value{}, fmt.Errorf("sql: bad TIMESTAMP literal %q", s)
+}

@@ -1,0 +1,278 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+
+	"vortex/internal/bigmeta"
+	"vortex/internal/schema"
+)
+
+// ErrUnresolved marks name-resolution failures.
+var ErrUnresolved = errors.New("sql: unresolved name")
+
+// Resolve binds column references in the statement to the table schema
+// and validates aggregate/GROUP BY shape. It mutates the AST in place.
+func Resolve(stmt Statement, s *schema.Schema) error {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		return resolveSelect(st, s)
+	case *UpdateStmt:
+		for i := range st.Set {
+			if err := resolveRef(st.Set[i].Column, s); err != nil {
+				return err
+			}
+			if len(st.Set[i].Column.Path) != 1 {
+				return fmt.Errorf("sql: UPDATE SET supports top-level columns only, got %s", st.Set[i].Column.Name())
+			}
+			if err := resolveExpr(st.Set[i].Value, s); err != nil {
+				return err
+			}
+		}
+		return resolveExpr(st.Where, s)
+	case *DeleteStmt:
+		return resolveExpr(st.Where, s)
+	}
+	return fmt.Errorf("sql: unknown statement type %T", stmt)
+}
+
+func resolveSelect(st *SelectStmt, s *schema.Schema) error {
+	for i := range st.Items {
+		if err := resolveExpr(st.Items[i].Expr, s); err != nil {
+			return err
+		}
+	}
+	if st.Where != nil {
+		if err := resolveExpr(st.Where, s); err != nil {
+			return err
+		}
+		if containsAggregate(st.Where) {
+			return fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+	}
+	for _, g := range st.GroupBy {
+		if err := resolveRef(g, s); err != nil {
+			return err
+		}
+	}
+	aliases := map[string]bool{}
+	for _, it := range st.Items {
+		if it.Alias != "" {
+			aliases[it.Alias] = true
+		}
+	}
+	for i := range st.OrderBy {
+		// Ordering by a select-item alias (e.g. an aggregate's alias) is
+		// resolved positionally by the engine, not against the schema.
+		if len(st.OrderBy[i].Column.Path) == 1 && aliases[st.OrderBy[i].Column.Path[0]] {
+			continue
+		}
+		if err := resolveRef(st.OrderBy[i].Column, s); err != nil {
+			return err
+		}
+	}
+	// Aggregate-shape validation: with aggregates or GROUP BY, every
+	// plain select item must be a grouped column.
+	hasAgg := false
+	for _, it := range st.Items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(st.GroupBy) > 0 {
+		if st.Star {
+			return fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+		grouped := map[string]bool{}
+		for _, g := range st.GroupBy {
+			grouped[g.Name()] = true
+		}
+		for _, it := range st.Items {
+			if containsAggregate(it.Expr) {
+				continue
+			}
+			ref, ok := it.Expr.(*ColumnRef)
+			if !ok || !grouped[ref.Name()] {
+				return fmt.Errorf("sql: %s is neither aggregated nor in GROUP BY", it.Expr.exprString())
+			}
+		}
+	}
+	return nil
+}
+
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *Aggregate:
+		return true
+	case *Binary:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case *Not:
+		return containsAggregate(x.E)
+	case *IsNull:
+		return containsAggregate(x.E)
+	case *DateOf:
+		return containsAggregate(x.E)
+	}
+	return false
+}
+
+func resolveExpr(e Expr, s *schema.Schema) error {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ColumnRef:
+		return resolveRef(x, s)
+	case *Literal:
+		return nil
+	case *Binary:
+		if err := resolveExpr(x.L, s); err != nil {
+			return err
+		}
+		return resolveExpr(x.R, s)
+	case *Not:
+		return resolveExpr(x.E, s)
+	case *IsNull:
+		return resolveExpr(x.E, s)
+	case *Aggregate:
+		return resolveExpr(x.Arg, s)
+	case *DateOf:
+		return resolveExpr(x.E, s)
+	}
+	return fmt.Errorf("sql: unknown expression type %T", e)
+}
+
+// resolveRef binds a dotted path: the first segment is a top-level
+// field; subsequent segments descend through non-repeated STRUCTs.
+func resolveRef(ref *ColumnRef, s *schema.Schema) error {
+	idx := s.FieldIndex(ref.Path[0])
+	if idx < 0 {
+		return fmt.Errorf("%w: column %q", ErrUnresolved, ref.Path[0])
+	}
+	ref.Index = idx
+	ref.Indexes = []int{idx}
+	f := s.Fields[idx]
+	for _, part := range ref.Path[1:] {
+		if f.Kind != schema.KindStruct {
+			return fmt.Errorf("%w: %q is not a STRUCT", ErrUnresolved, f.Name)
+		}
+		if f.Mode == schema.Repeated {
+			return fmt.Errorf("sql: cannot address field inside REPEATED %q without UNNEST (unsupported)", f.Name)
+		}
+		next := -1
+		for j, sub := range f.Fields {
+			if sub.Name == part {
+				next = j
+				break
+			}
+		}
+		if next < 0 {
+			return fmt.Errorf("%w: field %q in %q", ErrUnresolved, part, f.Name)
+		}
+		ref.Indexes = append(ref.Indexes, next)
+		f = f.Fields[next]
+	}
+	if f.Mode == schema.Repeated && len(ref.Path) > 1 {
+		return fmt.Errorf("sql: repeated leaf %q needs UNNEST (unsupported)", ref.Name())
+	}
+	ref.Leaf = f
+	return nil
+}
+
+// FieldValue extracts a resolved reference's value from a row, descending
+// the stored index chain through nested structs.
+func (c *ColumnRef) FieldValue(row schema.Row) schema.Value {
+	if len(c.Indexes) == 0 || c.Indexes[0] >= len(row.Values) {
+		return schema.Null()
+	}
+	v := row.Values[c.Indexes[0]]
+	for _, j := range c.Indexes[1:] {
+		if v.IsNull() || v.Kind() != schema.KindStruct || j >= v.Len() {
+			return schema.Null()
+		}
+		v = v.FieldValue(j)
+	}
+	return v
+}
+
+// ExtractPredicates pulls top-level conjuncts of shape `column op
+// literal` (or `DATE(column) op literal`) out of a WHERE clause for
+// partition elimination (§7.2). Only predicates on top-level scalar
+// columns qualify.
+func ExtractPredicates(where Expr) []bigmeta.Predicate {
+	var out []bigmeta.Predicate
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		b, ok := e.(*Binary)
+		if !ok {
+			return
+		}
+		if b.Op == OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		op, ok := pruneOp(b.Op)
+		if !ok {
+			return
+		}
+		if p, ok := predicateOf(b.L, b.R, op); ok {
+			out = append(out, p)
+			return
+		}
+		// literal op column: flip.
+		if p, ok := predicateOf(b.R, b.L, flipOp(op)); ok {
+			out = append(out, p)
+		}
+	}
+	walk(where)
+	return out
+}
+
+func predicateOf(colSide, litSide Expr, op bigmeta.Op) (bigmeta.Predicate, bool) {
+	lit, ok := litSide.(*Literal)
+	if !ok || lit.Value.IsNull() {
+		return bigmeta.Predicate{}, false
+	}
+	switch c := colSide.(type) {
+	case *ColumnRef:
+		if len(c.Path) == 1 {
+			return bigmeta.Predicate{Column: c.Path[0], Op: op, Value: lit.Value}, true
+		}
+	case *DateOf:
+		if ref, ok := c.E.(*ColumnRef); ok && len(ref.Path) == 1 {
+			return bigmeta.Predicate{Column: ref.Path[0], Op: op, Value: lit.Value}, true
+		}
+	}
+	return bigmeta.Predicate{}, false
+}
+
+func pruneOp(op BinOp) (bigmeta.Op, bool) {
+	switch op {
+	case OpEq:
+		return bigmeta.OpEq, true
+	case OpLt:
+		return bigmeta.OpLt, true
+	case OpLe:
+		return bigmeta.OpLe, true
+	case OpGt:
+		return bigmeta.OpGt, true
+	case OpGe:
+		return bigmeta.OpGe, true
+	}
+	return 0, false
+}
+
+func flipOp(op bigmeta.Op) bigmeta.Op {
+	switch op {
+	case bigmeta.OpLt:
+		return bigmeta.OpGt
+	case bigmeta.OpLe:
+		return bigmeta.OpGe
+	case bigmeta.OpGt:
+		return bigmeta.OpLt
+	case bigmeta.OpGe:
+		return bigmeta.OpLe
+	}
+	return op
+}

@@ -1,0 +1,262 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vortex/internal/bigmeta"
+	"vortex/internal/schema"
+)
+
+func salesSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "orderTimestamp", Kind: schema.KindTimestamp, Mode: schema.Required},
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "region", Kind: schema.KindStruct, Mode: schema.Nullable, Fields: []*schema.Field{
+				{Name: "country", Kind: schema.KindString, Mode: schema.Nullable},
+				{Name: "zone", Kind: schema.KindInt64, Mode: schema.Nullable},
+			}},
+			{Name: "lines", Kind: schema.KindStruct, Mode: schema.Repeated, Fields: []*schema.Field{
+				{Name: "qty", Kind: schema.KindInt64, Mode: schema.Nullable},
+			}},
+			{Name: "totalSale", Kind: schema.KindNumeric, Mode: schema.Nullable},
+			{Name: "score", Kind: schema.KindFloat64, Mode: schema.Nullable},
+		},
+		PartitionField: "orderTimestamp",
+		ClusterBy:      []string{"customerKey"},
+	}
+}
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func mustResolve(t *testing.T, src string) Statement {
+	t.Helper()
+	st := mustParse(t, src)
+	if err := Resolve(st, salesSchema()); err != nil {
+		t.Fatalf("Resolve(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseSelectShape(t *testing.T) {
+	st := mustResolve(t, `
+		SELECT customerKey, COUNT(*) AS n, SUM(totalSale)
+		FROM d.sales
+		WHERE totalSale > 10.5 AND customerKey != 'ACME'
+		GROUP BY customerKey
+		ORDER BY customerKey DESC
+		LIMIT 10`).(*SelectStmt)
+	if st.Table != "d.sales" || len(st.Items) != 3 || st.Limit != 10 {
+		t.Fatalf("stmt = %+v", st)
+	}
+	if st.Items[1].Alias != "n" {
+		t.Fatalf("alias = %q", st.Items[1].Alias)
+	}
+	if len(st.GroupBy) != 1 || !st.OrderBy[0].Desc {
+		t.Fatalf("group/order = %+v %+v", st.GroupBy, st.OrderBy)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT abc",
+		"UPDATE t SET x = 1", // missing WHERE
+		"DELETE FROM t",      // missing WHERE
+		"SELECT * FROM t GARBAGE",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t WHERE a ! b",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	s := salesSchema()
+	bad := []string{
+		"SELECT nope FROM t",
+		"SELECT region.nope FROM t",
+		"SELECT lines.qty FROM t",                      // repeated without UNNEST
+		"SELECT customerKey, COUNT(*) FROM t",          // not grouped
+		"SELECT * FROM t GROUP BY customerKey",         // star with grouping
+		"SELECT customerKey FROM t WHERE COUNT(*) > 1", // aggregate in WHERE
+		"SELECT customerKey.x FROM t",                  // scalar is not struct
+	}
+	for _, src := range bad {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if err := Resolve(st, s); err == nil {
+			t.Errorf("Resolve(%q) succeeded", src)
+		}
+	}
+}
+
+func sampleRow() schema.Row {
+	return schema.NewRow(
+		schema.Timestamp(time.Date(2023, 10, 2, 15, 0, 0, 0, time.UTC)),
+		schema.String("ACME"),
+		schema.Struct(schema.String("CL"), schema.Int64(3)),
+		schema.List(schema.Struct(schema.Int64(2))),
+		schema.Numeric(12*schema.NumericScale+500_000_000), // 12.5
+		schema.Float64(0.75),
+	)
+}
+
+func evalOn(t *testing.T, exprSrc string, row schema.Row) schema.Value {
+	t.Helper()
+	st := mustParse(t, "SELECT "+exprSrc+" FROM t").(*SelectStmt)
+	// Resolve non-aggregate item freely (skip group validation by
+	// resolving just the expression).
+	if err := resolveExpr(st.Items[0].Expr, salesSchema()); err != nil {
+		t.Fatalf("resolve %q: %v", exprSrc, err)
+	}
+	v, err := Eval(st.Items[0].Expr, row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", exprSrc, err)
+	}
+	return v
+}
+
+func TestEvalExpressions(t *testing.T) {
+	row := sampleRow()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"customerKey = 'ACME'", "true"},
+		{"customerKey != 'ACME'", "false"},
+		{"totalSale > 10", "true"},
+		{"totalSale > 12.5", "false"},
+		{"totalSale >= 12.5", "true"},
+		{"totalSale + 0.5", "13"},
+		{"totalSale * 2", "25"},
+		{"2 + 3 * 4", "14"},
+		{"(2 + 3) * 4", "20"},
+		{"-totalSale", "-12.5"},
+		{"score * 100", "75"},
+		{"region.country", `"CL"`},
+		{"region.zone + 1", "4"},
+		{"region.country = 'CL' AND totalSale > 1", "true"},
+		{"region.country = 'AR' OR totalSale > 1", "true"},
+		{"NOT (totalSale > 1)", "false"},
+		{"totalSale BETWEEN 10 AND 13", "true"},
+		{"totalSale BETWEEN 13 AND 20", "false"},
+		{"region.country IS NULL", "false"},
+		{"region.country IS NOT NULL", "true"},
+		{"DATE(orderTimestamp) = DATE '2023-10-02'", "true"},
+		{"orderTimestamp >= TIMESTAMP '2023-10-02 00:00:00'", "true"},
+		{"totalSale / 0", "NULL"},
+		{"NULL = 1", "NULL"},
+		{"customerKey = 'ACME' OR NULL = 1", "true"},    // Kleene OR
+		{"customerKey != 'ACME' AND NULL = 1", "false"}, // Kleene AND
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.src, row).String()
+		if got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalNullStructDescent(t *testing.T) {
+	row := sampleRow()
+	row.Values[2] = schema.Null() // region NULL
+	if v := evalOn(t, "region.country", row); !v.IsNull() {
+		t.Fatalf("descent through NULL struct = %v", v)
+	}
+	if v := evalOn(t, "region.country IS NULL", row); !v.AsBool() {
+		t.Fatal("IS NULL through NULL struct should be true")
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	row := sampleRow()
+	for _, src := range []string{
+		"customerKey + 1",
+		"customerKey > 1",
+		"NOT totalSale",
+		"DATE(customerKey)",
+	} {
+		st := mustParse(t, "SELECT "+src+" FROM t").(*SelectStmt)
+		if err := resolveExpr(st.Items[0].Expr, salesSchema()); err != nil {
+			continue // resolve-time rejection also fine
+		}
+		if _, err := Eval(st.Items[0].Expr, row); err == nil {
+			t.Errorf("Eval(%q) succeeded", src)
+		}
+	}
+}
+
+func TestExtractPredicates(t *testing.T) {
+	st := mustResolve(t, `
+		SELECT customerKey FROM d.sales
+		WHERE customerKey = 'ACME'
+		  AND orderTimestamp >= TIMESTAMP '2023-10-01 00:00:00'
+		  AND 20 > totalSale
+		  AND (score > 0.5 OR totalSale > 100)`).(*SelectStmt)
+	preds := ExtractPredicates(st.Where)
+	// The OR disjunct must NOT produce predicates; the flipped literal
+	// comparison must.
+	want := map[string]bigmeta.Op{
+		"customerKey":    bigmeta.OpEq,
+		"orderTimestamp": bigmeta.OpGe,
+		"totalSale":      bigmeta.OpLt,
+	}
+	if len(preds) != 3 {
+		t.Fatalf("preds = %v", preds)
+	}
+	for _, p := range preds {
+		if want[p.Column] != p.Op {
+			t.Errorf("pred %s: op %v, want %v", p.Column, p.Op, want[p.Column])
+		}
+	}
+}
+
+func TestQuotedIdentifiersAndEscapes(t *testing.T) {
+	st := mustParse(t, "SELECT `customerKey` FROM `d`.`sales` WHERE customerKey = 'O''Brien'").(*SelectStmt)
+	if st.Table != "d.sales" {
+		t.Fatalf("table = %q", st.Table)
+	}
+	lit := st.Where.(*Binary).R.(*Literal)
+	if lit.Value.AsString() != "O'Brien" {
+		t.Fatalf("escaped literal = %q", lit.Value.AsString())
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	u := mustResolve(t, "UPDATE d.sales SET totalSale = totalSale * 2, customerKey = 'X' WHERE score > 0.5").(*UpdateStmt)
+	if len(u.Set) != 2 || u.Set[0].Column.Name() != "totalSale" {
+		t.Fatalf("update = %+v", u)
+	}
+	d := mustResolve(t, "DELETE FROM d.sales WHERE customerKey = 'ACME'").(*DeleteStmt)
+	if d.Table != "d.sales" || d.Where == nil {
+		t.Fatalf("delete = %+v", d)
+	}
+}
+
+func TestExprStringRoundTripish(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE a = 1 AND b < 2 OR NOT c").(*SelectStmt)
+	s := st.Where.exprString()
+	for _, frag := range []string{"AND", "OR", "NOT", "(a = 1)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("exprString %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,807 @@
+// Package streamserver implements the Vortex data plane (§5.3): a
+// server owning a set of Streamlets, appending row batches to Fragment
+// log files replicated synchronously to two Colossus clusters (§5.6),
+// rotating fragments on size and on write errors, maintaining column
+// properties for partition elimination (§7.2), and heartbeating metadata
+// deltas and load to the control plane (§5.5).
+package streamserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/bloom"
+	"vortex/internal/colossus"
+	"vortex/internal/fragment"
+	"vortex/internal/meta"
+	"vortex/internal/metrics"
+	"vortex/internal/rowenc"
+	"vortex/internal/rpc"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+// Router resolves the SMS task responsible for a table (Slicer-backed).
+type Router interface {
+	SMSFor(table meta.TableID) (string, error)
+}
+
+// Config parameterizes a Stream Server.
+type Config struct {
+	// Addr is the server's transport address.
+	Addr string
+	// MaxFragmentBytes rotates fragments when exceeded. The paper sizes
+	// fragments "small enough that conversion ... happens frequently,
+	// but not so small that too many Fragments are created" (§5.3).
+	MaxFragmentBytes int64
+	// MaxBlockBytes caps one buffered write (the paper's 2MB, §5.4.4).
+	MaxBlockBytes int
+}
+
+// DefaultConfig returns production-like defaults.
+func DefaultConfig(addr string) Config {
+	return Config{Addr: addr, MaxFragmentBytes: 8 << 20, MaxBlockBytes: 2 << 20}
+}
+
+// Server is one Stream Server task.
+type Server struct {
+	cfg    Config
+	region *colossus.Region
+	clock  truetime.Clock
+	sealer *blockenc.Sealer
+	keyID  blockenc.KeyID
+	router Router
+	net    *rpc.Network
+
+	seqMu   sync.Mutex
+	lastSeq truetime.Timestamp
+
+	mu          sync.Mutex
+	streamlets  map[meta.StreamletID]*streamlet
+	dirty       map[meta.StreamletID]bool
+	deletedAcks []meta.FragmentID
+	crashed     bool
+	quarantine  bool
+
+	bytesAppended metrics.Counter
+	appendOps     metrics.Counter
+}
+
+// streamlet is the server's in-memory truth about one streamlet.
+type streamlet struct {
+	mu        sync.Mutex
+	info      meta.StreamletInfo
+	schema    *schema.Schema
+	epoch     int64
+	fragments []*meta.FragmentInfo
+	cur       *fragWriter
+	rowCount  int64 // committed rows (local truth)
+	// pendingCommit marks that the last data block has no successor yet:
+	// the commit record is combined with the next append or written
+	// after inactivity (§7.1).
+	pendingCommit bool
+	closed        bool
+}
+
+// fragWriter is the state of the currently-open fragment.
+type fragWriter struct {
+	info       *meta.FragmentInfo
+	size       int64 // bytes written (identical in both replicas)
+	filter     *bloom.Filter
+	clusterMin []schema.Value
+	clusterMax []schema.Value
+	partitions map[int64]bool
+}
+
+// New creates a Stream Server and registers its handlers on net.
+func New(cfg Config, region *colossus.Region, clock truetime.Clock, keyring *blockenc.Keyring, router Router, net *rpc.Network) *Server {
+	if cfg.MaxFragmentBytes <= 0 {
+		cfg.MaxFragmentBytes = 8 << 20
+	}
+	if cfg.MaxBlockBytes <= 0 {
+		cfg.MaxBlockBytes = 2 << 20
+	}
+	s := &Server{
+		cfg:        cfg,
+		region:     region,
+		clock:      clock,
+		sealer:     blockenc.NewSealer(keyring),
+		router:     router,
+		net:        net,
+		streamlets: make(map[meta.StreamletID]*streamlet),
+		dirty:      make(map[meta.StreamletID]bool),
+	}
+	srv := rpc.NewServer()
+	srv.RegisterUnary(wire.MethodCreateStreamlet, s.handleCreateStreamlet)
+	srv.RegisterUnary(wire.MethodAppend, s.handleAppendUnary)
+	srv.RegisterStream(wire.MethodAppend, s.handleAppendStream)
+	srv.RegisterUnary(wire.MethodFlush, s.handleFlush)
+	srv.RegisterUnary(wire.MethodFinalizeStreamlet, s.handleFinalizeStreamlet)
+	srv.RegisterUnary(wire.MethodStreamletState, s.handleStreamletState)
+	srv.RegisterUnary(wire.MethodWriteCommitRecord, s.handleWriteCommitRecord)
+	net.Register(cfg.Addr, srv)
+	return s
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Crash simulates a hard crash: the server vanishes from the network and
+// loses its in-memory state (its durable truth stays in Colossus).
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.streamlets = make(map[meta.StreamletID]*streamlet)
+	s.dirty = make(map[meta.StreamletID]bool)
+	s.mu.Unlock()
+	s.net.Deregister(s.cfg.Addr)
+}
+
+// SetQuarantine marks the server as draining for maintenance; the SMS
+// stops placing new streamlets on quarantined servers (§5.5).
+func (s *Server) SetQuarantine(v bool) {
+	s.mu.Lock()
+	s.quarantine = v
+	s.mu.Unlock()
+}
+
+// assignTS hands out a strictly increasing TrueTime timestamp range of n
+// rows: the batch's first row gets the returned timestamp, row i gets
+// +i. Strict monotonicity across batches gives every row of this server
+// a unique timestamp usable as its storage sequence number.
+func (s *Server) assignTS(n int64) truetime.Timestamp {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	ts := s.clock.Commit()
+	if ts <= s.lastSeq {
+		ts = s.lastSeq + 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.lastSeq = ts + truetime.Timestamp(n) - 1
+	return ts
+}
+
+func (s *Server) lookup(id meta.StreamletID) (*streamlet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, ok := s.streamlets[id]
+	return sl, ok
+}
+
+func (s *Server) markDirty(id meta.StreamletID) {
+	s.mu.Lock()
+	s.dirty[id] = true
+	s.mu.Unlock()
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateStreamlet(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.CreateStreamletRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.streamlets[r.Info.ID]; exists {
+		return &wire.CreateStreamletResponse{}, nil // idempotent
+	}
+	info := r.Info
+	info.Server = s.cfg.Addr
+	s.streamlets[info.ID] = &streamlet{
+		info:   info,
+		schema: r.Schema,
+		epoch:  r.Epoch,
+	}
+	s.dirty[info.ID] = true
+	return &wire.CreateStreamletResponse{}, nil
+}
+
+func (s *Server) handleAppendUnary(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.AppendRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	return s.append(r), nil
+}
+
+func (s *Server) handleAppendStream(_ context.Context, stream *rpc.ServerStream) error {
+	for {
+		m, err := stream.Recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		r, ok := m.(*wire.AppendRequest)
+		if !ok {
+			return fmt.Errorf("streamserver: bad stream message type %T", m)
+		}
+		if err := stream.Send(s.append(r)); err != nil {
+			return err
+		}
+	}
+}
+
+// append is the core data-plane write path.
+func (s *Server) append(r *wire.AppendRequest) *wire.AppendResponse {
+	fail := func(code, detail string) *wire.AppendResponse {
+		if detail != "" {
+			code = code + ": " + detail
+		}
+		return &wire.AppendResponse{Error: code}
+	}
+	sl, ok := s.lookup(r.Streamlet)
+	if !ok {
+		return fail(wire.ErrCodeUnknown, string(r.Streamlet))
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.closed {
+		return fail(wire.ErrCodeStreamletClosed, "")
+	}
+	// Schema staleness: the server relays schema changes to clients when
+	// they try to append (§5.4.1).
+	if r.SchemaVersion < sl.schema.Version {
+		return fail(wire.ErrCodeSchemaStale, fmt.Sprintf("server has v%d", sl.schema.Version))
+	}
+	// End-to-end CRC (§5.4.5).
+	if blockenc.Checksum(r.Payload) != r.CRC {
+		return fail(wire.ErrCodeBadPayload, "crc mismatch")
+	}
+	rows, err := rowenc.DecodeRows(r.Payload)
+	if err != nil {
+		return fail(wire.ErrCodeBadPayload, err.Error())
+	}
+	// Offset validation (§4.2.2).
+	streamOffset := sl.info.StartOffset + sl.rowCount
+	if r.ExpectedStreamOffset >= 0 && r.ExpectedStreamOffset != streamOffset {
+		return fail(wire.ErrCodeWrongOffset, fmt.Sprintf("stream is at %d, request expects %d", streamOffset, r.ExpectedStreamOffset))
+	}
+
+	ts := s.assignTS(int64(len(rows)))
+	if err := s.writeDataBlock(sl, r.Payload, ts, int64(len(rows))); err != nil {
+		if errors.Is(err, colossus.ErrSizeMismatch) {
+			// A sentinel (or competing writer) poisoned the log: this
+			// server is a zombie for the streamlet and relinquishes (§5.6).
+			sl.closed = true
+			s.markDirty(sl.info.ID)
+			return fail(wire.ErrCodeStreamletClosed, "ownership lost")
+		}
+		sl.closed = true
+		s.markDirty(sl.info.ID)
+		return fail(wire.ErrCodeIO, err.Error())
+	}
+	// Update column properties for pruning (§7.2).
+	s.recordProps(sl, rows)
+	sl.rowCount += int64(len(rows))
+	sl.info.RowCount = sl.rowCount
+	sl.pendingCommit = true
+	s.markDirty(sl.info.ID)
+	s.appendOps.Add(1)
+	s.bytesAppended.Add(int64(len(r.Payload)))
+
+	// Rotate on size.
+	if sl.cur != nil && sl.cur.size >= s.cfg.MaxFragmentBytes {
+		s.finalizeCurrentFragment(sl)
+	}
+	return &wire.AppendResponse{StreamOffset: streamOffset, RowCount: int64(len(rows)), Timestamp: ts}
+}
+
+// writeDataBlock writes one sealed data block (preceded by a pending
+// commit record if any) to both replicas, opening and rotating fragments
+// as needed. Caller holds sl.mu.
+func (s *Server) writeDataBlock(sl *streamlet, payload []byte, ts truetime.Timestamp, nrows int64) error {
+	sealed, err := s.sealer.Seal(payload, blockenc.Checksum(payload), s.keyID)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if sl.cur == nil {
+			if err := s.openFragment(sl); err != nil {
+				lastErr = err
+				if errors.Is(err, colossus.ErrSizeMismatch) {
+					return err
+				}
+				continue
+			}
+		}
+		var buf []byte
+		if sl.pendingCommit {
+			buf = fragment.EncodeBlock(fragment.Block{Kind: fragment.BlockCommit, Timestamp: ts})
+		}
+		buf = append(buf, fragment.EncodeBlock(fragment.Block{
+			Kind:      fragment.BlockData,
+			Timestamp: ts,
+			StartRow:  sl.rowCount,
+			RowCount:  nrows,
+			Payload:   sealed,
+		})...)
+		if err := s.writeBoth(sl, buf); err != nil {
+			lastErr = err
+			if errors.Is(err, colossus.ErrSizeMismatch) {
+				return err
+			}
+			// Rotate: close the failed fragment at its committed size and
+			// retry into a fresh one (§5.3).
+			s.abandonCurrentFragment(sl)
+			continue
+		}
+		sl.pendingCommit = false // the data block follows the commit record
+		fw := sl.cur
+		fw.size += int64(len(buf))
+		fw.info.CommittedBytes = fw.size
+		fw.info.RowCount += nrows
+		if fw.info.MinRecordTS == 0 || ts < fw.info.MinRecordTS {
+			fw.info.MinRecordTS = ts
+		}
+		if end := ts + truetime.Timestamp(nrows-1); end > fw.info.MaxRecordTS {
+			fw.info.MaxRecordTS = end
+		}
+		return nil
+	}
+	return fmt.Errorf("streamserver: append failed after retries: %w", lastErr)
+}
+
+// writeBoth performs the synchronous dual-cluster replicated write:
+// identical bytes to both replicas, success only if both succeed (§5.6).
+// Caller holds sl.mu.
+func (s *Server) writeBoth(sl *streamlet, data []byte) error {
+	crc := blockenc.Checksum(data)
+	path := sl.cur.info.Path
+	expect := sl.cur.size
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, name := range sl.info.Clusters {
+		c := s.region.Cluster(name)
+		if c == nil {
+			errs[i] = fmt.Errorf("streamserver: no cluster %q", name)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *colossus.Cluster) {
+			defer wg.Done()
+			_, errs[i] = c.AppendAt(path, expect, data, crc)
+		}(i, c)
+	}
+	wg.Wait()
+	if errs[0] != nil {
+		return errs[0]
+	}
+	return errs[1]
+}
+
+// FragmentPath is the Colossus path of a streamlet's index'th fragment.
+func FragmentPath(table meta.TableID, sl meta.StreamletID, index int) string {
+	return fmt.Sprintf("wos/%s/%s/f-%d", table, sl, index)
+}
+
+// StreamletPrefix is the Colossus path prefix of a streamlet's files.
+func StreamletPrefix(table meta.TableID, sl meta.StreamletID) string {
+	return fmt.Sprintf("wos/%s/%s/", table, sl)
+}
+
+// openFragment creates the next fragment file with a File Map header.
+// Caller holds sl.mu.
+func (s *Server) openFragment(sl *streamlet) error {
+	idx := sl.info.NextFragmentIndex
+	var fmap []fragment.FileMapEntry
+	for _, f := range sl.fragments {
+		fmap = append(fmap, fragment.FileMapEntry{
+			Index:         f.Index,
+			CommittedSize: f.CommittedBytes,
+			StartRow:      f.StartRow,
+			RowCount:      f.RowCount,
+			MinTS:         f.MinRecordTS,
+			MaxTS:         f.MaxRecordTS,
+		})
+	}
+	hdr := fragment.EncodeHeader(fragment.Header{
+		StreamletID:   string(sl.info.ID),
+		Index:         idx,
+		SchemaVersion: sl.schema.Version,
+		WriterEpoch:   sl.epoch,
+		FileMap:       fmap,
+	})
+	info := &meta.FragmentInfo{
+		ID:            meta.FragmentIDFor(sl.info.ID, idx),
+		Streamlet:     sl.info.ID,
+		Table:         sl.info.Table,
+		Index:         idx,
+		Format:        meta.WOS,
+		Path:          FragmentPath(sl.info.Table, sl.info.ID, idx),
+		Clusters:      sl.info.Clusters,
+		StartRow:      sl.rowCount,
+		CreationTS:    s.clock.Commit(),
+		SchemaVersion: sl.schema.Version,
+	}
+	fw := &fragWriter{
+		info:       info,
+		filter:     bloom.New(1<<14, 0.01),
+		partitions: make(map[int64]bool),
+	}
+	sl.cur = fw
+	// Burn the index even if the creation write fails: a half-created
+	// file may exist in one cluster, and reusing its path would trip the
+	// conditional-append guard.
+	sl.info.NextFragmentIndex = idx + 1
+	if err := s.writeBoth(sl, hdr); err != nil {
+		sl.cur = nil
+		return err
+	}
+	fw.size = int64(len(hdr))
+	info.CommittedBytes = fw.size
+	sl.fragments = append(sl.fragments, info)
+	return nil
+}
+
+// abandonCurrentFragment closes the current fragment after a write
+// failure; its committed prefix remains readable. Caller holds sl.mu.
+func (s *Server) abandonCurrentFragment(sl *streamlet) {
+	if sl.cur == nil {
+		return
+	}
+	sl.cur.info.Finalized = true
+	sl.cur = nil
+}
+
+// finalizeCurrentFragment writes the bloom filter and footer, marking
+// the fragment finalized; its column properties are then communicated
+// to the SMS via heartbeat (§7.2). Caller holds sl.mu.
+func (s *Server) finalizeCurrentFragment(sl *streamlet) {
+	fw := sl.cur
+	if fw == nil {
+		return
+	}
+	suffix := fragment.EncodeFinalization(fragment.Footer{
+		BloomOffset:   fw.size,
+		CommittedSize: fw.size,
+		RowCount:      fw.info.RowCount,
+		MinTS:         fw.info.MinRecordTS,
+		MaxTS:         fw.info.MaxRecordTS,
+	}, fw.filter)
+	// Best effort: a failed footer write leaves a valid unfinalized file.
+	if err := s.writeBoth(sl, suffix); err == nil {
+		fw.size += int64(len(suffix))
+	}
+	fw.info.Finalized = true
+	fw.info.Bloom = fw.filter.Marshal()
+	if len(fw.clusterMin) > 0 {
+		fw.info.ClusterMin = rowenc.EncodeValues(fw.clusterMin)
+		fw.info.ClusterMax = rowenc.EncodeValues(fw.clusterMax)
+	}
+	for p := range fw.partitions {
+		fw.info.PartitionSet = append(fw.info.PartitionSet, p)
+	}
+	sl.cur = nil
+	s.markDirty(sl.info.ID)
+}
+
+// recordProps updates the open fragment's column properties from a
+// decoded batch. Caller holds sl.mu.
+func (s *Server) recordProps(sl *streamlet, rows []schema.Row) {
+	fw := sl.cur
+	if fw == nil {
+		return
+	}
+	for _, r := range rows {
+		if p, ok := sl.schema.PartitionOf(r); ok {
+			fw.partitions[p] = true
+			fw.filter.AddString(fmt.Sprintf("__part:%d", p))
+		}
+		ck := sl.schema.ClusterKeyOf(r)
+		if len(ck) == 0 {
+			continue
+		}
+		if fw.clusterMin == nil {
+			fw.clusterMin = append([]schema.Value(nil), ck...)
+			fw.clusterMax = append([]schema.Value(nil), ck...)
+		} else {
+			if schema.CompareClusterKeys(ck, fw.clusterMin) < 0 {
+				fw.clusterMin = append([]schema.Value(nil), ck...)
+			}
+			if schema.CompareClusterKeys(ck, fw.clusterMax) > 0 {
+				fw.clusterMax = append([]schema.Value(nil), ck...)
+			}
+		}
+		for _, v := range ck {
+			if !v.IsNull() {
+				fw.filter.AddString(v.Key())
+			}
+		}
+	}
+}
+
+func (s *Server) handleFlush(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.FlushRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	sl, found := s.lookup(r.Streamlet)
+	if !found {
+		return nil, fmt.Errorf("streamserver: %s: unknown streamlet %s", wire.ErrCodeUnknown, r.Streamlet)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.closed {
+		return nil, fmt.Errorf("streamserver: %s", wire.ErrCodeStreamletClosed)
+	}
+	if sl.cur == nil {
+		if err := s.openFragment(sl); err != nil {
+			return nil, err
+		}
+	}
+	blk := fragment.EncodeBlock(fragment.Block{
+		Kind:      fragment.BlockFlush,
+		Timestamp: s.clock.Commit(),
+		StartRow:  r.StreamOffset,
+	})
+	if err := s.writeBoth(sl, blk); err != nil {
+		return nil, err
+	}
+	sl.cur.size += int64(len(blk))
+	sl.cur.info.CommittedBytes = sl.cur.size
+	sl.pendingCommit = false
+	s.markDirty(sl.info.ID)
+	return &wire.FlushResponse{}, nil
+}
+
+func (s *Server) handleWriteCommitRecord(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.WriteCommitRecordRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	sl, found := s.lookup(r.Streamlet)
+	if !found {
+		return nil, fmt.Errorf("streamserver: %s: unknown streamlet %s", wire.ErrCodeUnknown, r.Streamlet)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if !sl.pendingCommit || sl.cur == nil || sl.closed {
+		return &wire.WriteCommitRecordResponse{}, nil
+	}
+	blk := fragment.EncodeBlock(fragment.Block{Kind: fragment.BlockCommit, Timestamp: s.clock.Commit()})
+	if err := s.writeBoth(sl, blk); err != nil {
+		return nil, err
+	}
+	sl.cur.size += int64(len(blk))
+	sl.cur.info.CommittedBytes = sl.cur.size
+	sl.pendingCommit = false
+	return &wire.WriteCommitRecordResponse{}, nil
+}
+
+func (s *Server) handleFinalizeStreamlet(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.FinalizeStreamletRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	sl, found := s.lookup(r.Streamlet)
+	if !found {
+		return nil, fmt.Errorf("streamserver: %s: unknown streamlet %s", wire.ErrCodeUnknown, r.Streamlet)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if !sl.closed {
+		if sl.pendingCommit && sl.cur != nil {
+			blk := fragment.EncodeBlock(fragment.Block{Kind: fragment.BlockCommit, Timestamp: s.clock.Commit()})
+			if err := s.writeBoth(sl, blk); err == nil {
+				sl.cur.size += int64(len(blk))
+				sl.cur.info.CommittedBytes = sl.cur.size
+				sl.pendingCommit = false
+			}
+		}
+		s.finalizeCurrentFragment(sl)
+		sl.closed = true
+		sl.info.State = meta.StreamletFinalized
+		s.markDirty(sl.info.ID)
+	}
+	return &wire.FinalizeStreamletResponse{RowCount: sl.rowCount, Fragments: copyFragments(sl.fragments)}, nil
+}
+
+func (s *Server) handleStreamletState(_ context.Context, req any) (any, error) {
+	r, ok := req.(*wire.StreamletStateRequest)
+	if !ok {
+		return nil, fmt.Errorf("streamserver: bad request type %T", req)
+	}
+	sl, found := s.lookup(r.Streamlet)
+	if !found {
+		return nil, fmt.Errorf("streamserver: %s: unknown streamlet %s", wire.ErrCodeUnknown, r.Streamlet)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return &wire.StreamletStateResponse{RowCount: sl.rowCount, Fragments: copyFragments(sl.fragments)}, nil
+}
+
+func copyFragments(fs []*meta.FragmentInfo) []meta.FragmentInfo {
+	out := make([]meta.FragmentInfo, len(fs))
+	for i, f := range fs {
+		out[i] = *f
+	}
+	return out
+}
+
+// ---- heartbeat ----
+
+// HeartbeatNow sends one heartbeat per SMS task covering this server's
+// dirty streamlets (or all of them when full is true) and applies the
+// response. The production system does this on a timer; the simulation's
+// region runner calls it periodically and tests call it directly.
+func (s *Server) HeartbeatNow(ctx context.Context, full bool) error {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return errors.New("streamserver: crashed")
+	}
+	var ids []meta.StreamletID
+	if full {
+		for id := range s.streamlets {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range s.dirty {
+			ids = append(ids, id)
+		}
+	}
+	s.dirty = make(map[meta.StreamletID]bool)
+	quarantine := s.quarantine
+	acks := s.deletedAcks
+	s.deletedAcks = nil
+	streamlets := make(map[meta.StreamletID]*streamlet, len(ids))
+	for _, id := range ids {
+		streamlets[id] = s.streamlets[id]
+	}
+	s.mu.Unlock()
+
+	// Group by SMS task.
+	byTask := make(map[string]*wire.HeartbeatRequest)
+	for id, sl := range streamlets {
+		sl.mu.Lock()
+		hb := wire.StreamletHeartbeat{Info: sl.info, Fragments: copyFragments(sl.fragments)}
+		table := sl.info.Table
+		sl.mu.Unlock()
+		addr, err := s.router.SMSFor(table)
+		if err != nil {
+			s.markDirty(id)
+			continue
+		}
+		req := byTask[addr]
+		if req == nil {
+			req = &wire.HeartbeatRequest{
+				Server:           s.cfg.Addr,
+				Quarantine:       quarantine,
+				Throughput:       float64(s.bytesAppended.Value()),
+				FullSnapshot:     full,
+				DeletedFragments: acks,
+			}
+			acks = nil // acked through the first task that hears from us
+			byTask[addr] = req
+		}
+		req.Streamlets = append(req.Streamlets, hb)
+	}
+	if len(byTask) == 0 {
+		// Still report load (and pending deletion acks) so placement and
+		// GC stay fresh.
+		if addr, err := s.router.SMSFor(""); err == nil {
+			byTask[addr] = &wire.HeartbeatRequest{Server: s.cfg.Addr, Quarantine: quarantine, FullSnapshot: full, DeletedFragments: acks}
+			acks = nil
+		}
+	}
+	if len(acks) > 0 {
+		s.mu.Lock()
+		s.deletedAcks = append(s.deletedAcks, acks...)
+		s.mu.Unlock()
+	}
+	var firstErr error
+	for addr, req := range byTask {
+		resp, err := s.net.Unary(ctx, addr, wire.MethodHeartbeat, req)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			for _, hb := range req.Streamlets {
+				s.markDirty(hb.Info.ID)
+			}
+			if len(req.DeletedFragments) > 0 {
+				s.mu.Lock()
+				s.deletedAcks = append(s.deletedAcks, req.DeletedFragments...)
+				s.mu.Unlock()
+			}
+			continue
+		}
+		s.applyHeartbeatResponse(resp.(*wire.HeartbeatResponse))
+	}
+	return firstErr
+}
+
+func (s *Server) applyHeartbeatResponse(resp *wire.HeartbeatResponse) {
+	// Schema changes propagate to writable streamlets (§5.4.1).
+	if len(resp.Schemas) > 0 {
+		s.mu.Lock()
+		for _, sl := range s.streamlets {
+			sl.mu.Lock()
+			if sc, ok := resp.Schemas[sl.info.Table]; ok && sc.Version > sl.schema.Version {
+				sl.schema = sc
+			}
+			sl.mu.Unlock()
+		}
+		s.mu.Unlock()
+	}
+	// Garbage collection of converted fragments (§5.4.3): delete the
+	// files, then acknowledge in the next heartbeat so the SMS can drop
+	// the Spanner records.
+	for _, fid := range resp.DeleteFragments {
+		s.deleteFragmentFiles(fid)
+		s.mu.Lock()
+		s.deletedAcks = append(s.deletedAcks, fid)
+		s.mu.Unlock()
+	}
+	// Orphaned streamlets: drop local state (the files are the SMS's
+	// problem; it told us it does not know them).
+	if len(resp.UnknownStreamlets) > 0 {
+		s.mu.Lock()
+		for _, id := range resp.UnknownStreamlets {
+			delete(s.streamlets, id)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
+	// Fragment ids embed the streamlet id: find the owning streamlet.
+	s.mu.Lock()
+	var owner *streamlet
+	for id, sl := range s.streamlets {
+		if strings.HasPrefix(string(fid), string(id)+"/") {
+			owner = sl
+			break
+		}
+	}
+	s.mu.Unlock()
+	if owner == nil {
+		return
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	kept := owner.fragments[:0]
+	for _, f := range owner.fragments {
+		if f.ID == fid {
+			for _, cn := range f.Clusters {
+				if c := s.region.Cluster(cn); c != nil {
+					_ = c.Delete(f.Path)
+				}
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	owner.fragments = kept
+}
+
+// Stats reports the server's load counters (heartbeats carry them).
+type Stats struct {
+	AppendOps     int64
+	BytesAppended int64
+	Streamlets    int
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.streamlets)
+	s.mu.Unlock()
+	return Stats{
+		AppendOps:     s.appendOps.Value(),
+		BytesAppended: s.bytesAppended.Value(),
+		Streamlets:    n,
+	}
+}

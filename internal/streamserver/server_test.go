@@ -1,0 +1,246 @@
+package streamserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/colossus"
+	"vortex/internal/fragment"
+	"vortex/internal/meta"
+	"vortex/internal/rowenc"
+	"vortex/internal/rpc"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+type stubRouter struct{ addr string }
+
+func (s stubRouter) SMSFor(meta.TableID) (string, error) { return s.addr, nil }
+
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "k", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "v", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		ClusterBy: []string{"k"},
+	}
+}
+
+func newServer(t *testing.T, maxFrag int64) (*Server, *colossus.Region, *rpc.Network) {
+	t.Helper()
+	region := colossus.NewRegion("a", "b")
+	net := rpc.NewNetwork(nil)
+	cfg := DefaultConfig("ss-1")
+	if maxFrag > 0 {
+		cfg.MaxFragmentBytes = maxFrag
+	}
+	srv := New(cfg, region, truetime.Default(), blockenc.NewKeyring(), stubRouter{"sms-0"}, net)
+	return srv, region, net
+}
+
+func createStreamlet(t *testing.T, net *rpc.Network, id meta.StreamletID) {
+	t.Helper()
+	_, err := net.Unary(context.Background(), "ss-1", wire.MethodCreateStreamlet, &wire.CreateStreamletRequest{
+		Info: meta.StreamletInfo{
+			ID: id, Stream: "s-1", Table: "d.t",
+			Clusters: [2]string{"a", "b"},
+		},
+		Schema: testSchema(),
+		Epoch:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendRows(t *testing.T, net *rpc.Network, id meta.StreamletID, offset int64, n int) *wire.AppendResponse {
+	t.Helper()
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		rows[i] = schema.NewRow(schema.String("key"), schema.Int64(int64(i)))
+	}
+	payload := rowenc.EncodeRows(rows)
+	resp, err := net.Unary(context.Background(), "ss-1", wire.MethodAppend, &wire.AppendRequest{
+		Streamlet:            id,
+		Payload:              payload,
+		CRC:                  blockenc.Checksum(payload),
+		ExpectedStreamOffset: offset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.(*wire.AppendResponse)
+}
+
+func TestAppendWritesIdenticalReplicas(t *testing.T) {
+	_, region, net := newServer(t, 0)
+	createStreamlet(t, net, "s-1/sl-0")
+	if resp := appendRows(t, net, "s-1/sl-0", -1, 5); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	if resp := appendRows(t, net, "s-1/sl-0", -1, 3); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	path := FragmentPath("d.t", "s-1/sl-0", 0)
+	a, err := region.Cluster("a").Read(path, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := region.Cluster("b").Read(path, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("replicas diverge: replication must be physical (§5.6)")
+	}
+	scan, err := fragment.Scan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second append carries the first append's piggybacked commit record.
+	kinds := []fragment.BlockKind{}
+	for _, blk := range scan.Blocks {
+		kinds = append(kinds, blk.Kind)
+	}
+	want := []fragment.BlockKind{fragment.BlockData, fragment.BlockCommit, fragment.BlockData}
+	if len(kinds) != len(want) {
+		t.Fatalf("blocks = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("block %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestOffsetValidation(t *testing.T) {
+	_, _, net := newServer(t, 0)
+	createStreamlet(t, net, "s-1/sl-0")
+	if resp := appendRows(t, net, "s-1/sl-0", 0, 4); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	// Pipelined next offset must be 4; anything else fails.
+	if resp := appendRows(t, net, "s-1/sl-0", 14, 5); !strings.HasPrefix(resp.Error, wire.ErrCodeWrongOffset) {
+		t.Fatalf("out-of-order offset: %q", resp.Error)
+	}
+	if resp := appendRows(t, net, "s-1/sl-0", 4, 5); resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+}
+
+func TestSchemaStaleness(t *testing.T) {
+	_, _, net := newServer(t, 0)
+	createStreamlet(t, net, "s-1/sl-0")
+	rows := []schema.Row{schema.NewRow(schema.String("k"), schema.Int64(1))}
+	payload := rowenc.EncodeRows(rows)
+	resp, err := net.Unary(context.Background(), "ss-1", wire.MethodAppend, &wire.AppendRequest{
+		Streamlet:            "s-1/sl-0",
+		Payload:              payload,
+		CRC:                  blockenc.Checksum(payload),
+		SchemaVersion:        -1, // older than the server's version 0
+		ExpectedStreamOffset: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.(*wire.AppendResponse).Error, wire.ErrCodeSchemaStale) {
+		t.Fatalf("stale schema: %q", resp.(*wire.AppendResponse).Error)
+	}
+}
+
+func TestBadCRCRejected(t *testing.T) {
+	_, _, net := newServer(t, 0)
+	createStreamlet(t, net, "s-1/sl-0")
+	payload := rowenc.EncodeRows([]schema.Row{schema.NewRow(schema.String("k"), schema.Int64(1))})
+	resp, _ := net.Unary(context.Background(), "ss-1", wire.MethodAppend, &wire.AppendRequest{
+		Streamlet: "s-1/sl-0", Payload: payload, CRC: blockenc.Checksum(payload) + 1, ExpectedStreamOffset: -1,
+	})
+	if !strings.HasPrefix(resp.(*wire.AppendResponse).Error, wire.ErrCodeBadPayload) {
+		t.Fatalf("bad crc: %q", resp.(*wire.AppendResponse).Error)
+	}
+}
+
+func TestFragmentRotationOnSize(t *testing.T) {
+	_, _, net := newServer(t, 512)
+	createStreamlet(t, net, "s-1/sl-0")
+	for i := 0; i < 10; i++ {
+		if resp := appendRows(t, net, "s-1/sl-0", -1, 10); resp.Error != "" {
+			t.Fatal(resp.Error)
+		}
+	}
+	resp, err := net.Unary(context.Background(), "ss-1", wire.MethodStreamletState, &wire.StreamletStateRequest{Streamlet: "s-1/sl-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := resp.(*wire.StreamletStateResponse)
+	if st.RowCount != 100 {
+		t.Fatalf("rows = %d", st.RowCount)
+	}
+	if len(st.Fragments) < 2 {
+		t.Fatalf("fragments = %d; rotation at 512B did not happen", len(st.Fragments))
+	}
+	finalized := 0
+	var starts int64 = -1
+	for _, f := range st.Fragments {
+		if f.Finalized {
+			finalized++
+		}
+		if f.StartRow <= starts {
+			t.Fatalf("fragment start rows not increasing: %v", f.StartRow)
+		}
+		starts = f.StartRow
+	}
+	if finalized == 0 {
+		t.Fatal("rotated fragments must be finalized (bloom+footer)")
+	}
+}
+
+func TestUnknownStreamletAndCrash(t *testing.T) {
+	srv, _, net := newServer(t, 0)
+	resp := appendRows(t, net, "s-9/sl-0", -1, 1)
+	if !strings.HasPrefix(resp.Error, wire.ErrCodeUnknown) {
+		t.Fatalf("unknown streamlet: %q", resp.Error)
+	}
+	createStreamlet(t, net, "s-1/sl-0")
+	srv.Crash()
+	if _, err := net.Unary(context.Background(), "ss-1", wire.MethodAppend, &wire.AppendRequest{Streamlet: "s-1/sl-0", ExpectedStreamOffset: -1}); err == nil {
+		t.Fatal("crashed server still reachable")
+	}
+}
+
+func TestFinalizeStreamletStopsAppends(t *testing.T) {
+	_, _, net := newServer(t, 0)
+	createStreamlet(t, net, "s-1/sl-0")
+	appendRows(t, net, "s-1/sl-0", -1, 3)
+	resp, err := net.Unary(context.Background(), "ss-1", wire.MethodFinalizeStreamlet, &wire.FinalizeStreamletRequest{Streamlet: "s-1/sl-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*wire.FinalizeStreamletResponse).RowCount != 3 {
+		t.Fatalf("final rows = %d", resp.(*wire.FinalizeStreamletResponse).RowCount)
+	}
+	if r := appendRows(t, net, "s-1/sl-0", -1, 1); !strings.HasPrefix(r.Error, wire.ErrCodeStreamletClosed) {
+		t.Fatalf("append after finalize: %q", r.Error)
+	}
+}
+
+func TestAssignTSMonotonicAndDense(t *testing.T) {
+	srv, _, _ := newServer(t, 0)
+	var last truetime.Timestamp
+	for i := 0; i < 1000; i++ {
+		ts := srv.assignTS(5)
+		if ts <= last {
+			t.Fatalf("timestamps overlap: %d after %d+4", ts, last)
+		}
+		last = ts + 4 // the batch occupies [ts, ts+4]
+	}
+	// Timestamps stay close to real time (bounded drift).
+	if drift := time.Duration(int64(last) - time.Now().UnixNano()); drift > time.Second {
+		t.Fatalf("sequence drifted %v from wall time", drift)
+	}
+}

@@ -1,0 +1,129 @@
+package truetime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSystemIntervalContainsTrueTime(t *testing.T) {
+	c := NewSystem(5*time.Millisecond, 0)
+	for i := 0; i < 100; i++ {
+		before := time.Now()
+		iv := c.Now()
+		after := time.Now()
+		if !iv.Contains(FromTime(before)) && !iv.Contains(FromTime(after)) {
+			t.Fatalf("interval %+v contains neither bound of the true read window", iv)
+		}
+		if iv.Epsilon() != 5*time.Millisecond {
+			t.Fatalf("epsilon = %v, want 5ms", iv.Epsilon())
+		}
+	}
+}
+
+func TestSystemSkewStaysWithinEpsilon(t *testing.T) {
+	eps := 4 * time.Millisecond
+	fast := NewSystem(eps, 3*time.Millisecond)
+	slow := NewSystem(eps, -3*time.Millisecond)
+	// Both intervals, read at (nearly) the same true time, must overlap:
+	// that is the bounded-skew guarantee the paper's read-after-write
+	// consistency depends on.
+	a := fast.Now()
+	b := slow.Now()
+	if a.Earliest > b.Latest || b.Earliest > a.Latest {
+		t.Fatalf("skewed clock intervals do not overlap: %+v vs %+v", a, b)
+	}
+}
+
+func TestSystemRejectsSkewBeyondEpsilon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSystem accepted skew > epsilon")
+		}
+	}()
+	NewSystem(time.Millisecond, 2*time.Millisecond)
+}
+
+func TestCommitStrictlyMonotonicConcurrent(t *testing.T) {
+	c := Default()
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	results := make([][]Timestamp, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Timestamp, per)
+			for i := range out {
+				out[i] = c.Commit()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, goroutines*per)
+	for _, r := range results {
+		for i, ts := range r {
+			if i > 0 && ts <= r[i-1] {
+				t.Fatalf("commit timestamps not strictly increasing within goroutine: %d then %d", r[i-1], ts)
+			}
+			if seen[ts] {
+				t.Fatalf("duplicate commit timestamp %d", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	start := time.Date(2024, 6, 9, 0, 0, 0, 0, time.UTC)
+	m := NewManual(start, 2*time.Millisecond)
+	iv := m.Now()
+	if got := iv.Latest.Sub(iv.Earliest); got != 4*time.Millisecond {
+		t.Fatalf("interval width = %v, want 4ms", got)
+	}
+	ts1 := m.Commit()
+	ts2 := m.Commit()
+	if ts2 <= ts1 {
+		t.Fatalf("manual commits not monotonic: %d then %d", ts1, ts2)
+	}
+	m.Advance(time.Second)
+	if got, want := m.Now().Earliest, FromTime(start.Add(time.Second-2*time.Millisecond)); got != want {
+		t.Fatalf("after advance, earliest = %d, want %d", got, want)
+	}
+	if !m.After(FromTime(start)) {
+		t.Fatal("After(start) should be true once a full second has passed")
+	}
+	if !m.Before(FromTime(start.Add(time.Hour))) {
+		t.Fatal("Before(start+1h) should be true")
+	}
+}
+
+func TestManualClockPanicsOnBackwards(t *testing.T) {
+	m := NewManual(time.Now(), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	m.Advance(-time.Second)
+}
+
+func TestTimestampConversionsRoundTrip(t *testing.T) {
+	f := func(nanos int64) bool {
+		ts := Timestamp(nanos)
+		return FromTime(ts.Time()) == ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterBeforeAreMutuallyExclusive(t *testing.T) {
+	c := Default()
+	ts := c.Now().Earliest
+	if c.After(ts) && c.Before(ts) {
+		t.Fatal("a timestamp cannot be both definitely past and definitely future")
+	}
+}

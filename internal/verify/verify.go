@@ -1,0 +1,201 @@
+// Package verify implements the continuous data-verification pipelines
+// of §6.3. Vortex "continuously traces requests to detect data
+// correctness issues such as missing or duplicated records": every
+// successful client call is recorded in a ledger, and verification
+// passes check that
+//
+//   - every acknowledged append's rows exist at their expected location
+//     exactly once (each append occupies a unique storage-sequence
+//     range, the reproduction's analog of Stream + row_offset);
+//   - no record is missing and none is duplicated, across WOS→ROS
+//     conversion and reclustering (each record "converted exactly once");
+//   - the stored content is byte-identical to what was acknowledged.
+package verify
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/client"
+	"vortex/internal/meta"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+)
+
+// AppendRecord is one acknowledged append in the ledger.
+type AppendRecord struct {
+	Table     meta.TableID
+	Stream    meta.StreamID
+	Offset    int64 // stream row offset of the first row
+	RowCount  int64
+	FirstSeq  int64 // storage sequence of the first row (TrueTime-derived)
+	RowHashes []uint32
+}
+
+// Ledger records acknowledged writes for later verification. It is safe
+// for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	appends []AppendRecord
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Record adds one acknowledged append.
+func (l *Ledger) Record(rec AppendRecord) {
+	l.mu.Lock()
+	l.appends = append(l.appends, rec)
+	l.mu.Unlock()
+}
+
+// Appends returns a snapshot of the recorded appends.
+func (l *Ledger) Appends() []AppendRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AppendRecord(nil), l.appends...)
+}
+
+// rowHash fingerprints a row's content.
+func rowHash(r schema.Row) uint32 {
+	return blockenc.Checksum(rowenc.AppendRow(nil, r))
+}
+
+// TrackedStream wraps a client stream, recording every acknowledged
+// append in the ledger — the request tracing of §6.3.
+type TrackedStream struct {
+	S      *client.Stream
+	Ledger *Ledger
+	table  meta.TableID
+}
+
+// Track wraps s.
+func Track(s *client.Stream, ledger *Ledger) *TrackedStream {
+	return &TrackedStream{S: s, Ledger: ledger, table: s.Info().Table}
+}
+
+// Append forwards to the underlying stream and records the ack.
+func (t *TrackedStream) Append(ctx context.Context, rows []schema.Row, opts client.AppendOptions) (int64, error) {
+	// Capture the response timestamp by re-deriving it from a read is
+	// impossible; instead use AppendDetailed semantics: the client's
+	// Append returns only the offset, so track via a second call path.
+	off, seq, err := t.S.AppendTracked(ctx, rows, opts)
+	if err != nil {
+		return off, err
+	}
+	hashes := make([]uint32, len(rows))
+	for i, r := range rows {
+		hashes[i] = rowHash(r)
+	}
+	t.Ledger.Record(AppendRecord{
+		Table:     t.table,
+		Stream:    t.S.Info().ID,
+		Offset:    off,
+		RowCount:  int64(len(rows)),
+		FirstSeq:  seq,
+		RowHashes: hashes,
+	})
+	return off, nil
+}
+
+// Report is the outcome of one verification pass.
+type Report struct {
+	AppendsChecked int
+	RowsChecked    int64
+	// Missing lists acked appends whose rows (by sequence) are absent.
+	Missing []AppendRecord
+	// DuplicateSeqs are storage sequences observed more than once —
+	// "each record is reported as converted exactly once" (§6.3).
+	DuplicateSeqs []int64
+	// ContentMismatches are sequences whose stored content differs from
+	// the acknowledged content.
+	ContentMismatches []int64
+	// OverlappingAppends are ledger pairs claiming the same location —
+	// "each append in the system reports a unique location".
+	OverlappingAppends int
+	// PhantomRows are stored rows no acked append accounts for.
+	PhantomRows int64
+}
+
+// OK reports whether the pass found no violations.
+func (r *Report) OK() bool {
+	return len(r.Missing) == 0 && len(r.DuplicateSeqs) == 0 &&
+		len(r.ContentMismatches) == 0 && r.OverlappingAppends == 0 && r.PhantomRows == 0
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("appends=%d rows=%d missing=%d dup=%d mismatch=%d overlap=%d phantom=%d ok=%v",
+		r.AppendsChecked, r.RowsChecked, len(r.Missing), len(r.DuplicateSeqs),
+		len(r.ContentMismatches), r.OverlappingAppends, r.PhantomRows, r.OK())
+}
+
+// VerifyTable runs one verification pass over a table snapshot against
+// the ledger. The table must not have been mutated by DML or replacing
+// change types (those legitimately remove rows); the production system
+// runs the equivalent pipelines as SQL over its own trace tables.
+func VerifyTable(ctx context.Context, c *client.Client, table meta.TableID, ledger *Ledger, at truetime.Timestamp) (*Report, error) {
+	rows, _, err := c.ReadAll(ctx, table, at)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	stored := make(map[int64]uint32, len(rows))
+	for _, r := range rows {
+		if _, dup := stored[r.Seq]; dup {
+			rep.DuplicateSeqs = append(rep.DuplicateSeqs, r.Seq)
+			continue
+		}
+		stored[r.Seq] = rowHash(r.Row)
+	}
+
+	// Unique-location check: per stream, acked [offset, offset+count)
+	// ranges must not overlap.
+	type span struct{ lo, hi int64 }
+	byStream := map[meta.StreamID][]span{}
+	accounted := make(map[int64]bool, len(rows))
+	for _, rec := range ledger.Appends() {
+		if rec.Table != table {
+			continue
+		}
+		rep.AppendsChecked++
+		rep.RowsChecked += rec.RowCount
+		byStream[rec.Stream] = append(byStream[rec.Stream], span{rec.Offset, rec.Offset + rec.RowCount})
+
+		missing := false
+		for i := int64(0); i < rec.RowCount; i++ {
+			seq := rec.FirstSeq + i
+			h, ok := stored[seq]
+			if !ok {
+				missing = true
+				continue
+			}
+			accounted[seq] = true
+			if h != rec.RowHashes[i] {
+				rep.ContentMismatches = append(rep.ContentMismatches, seq)
+			}
+		}
+		if missing {
+			rep.Missing = append(rep.Missing, rec)
+		}
+	}
+	for _, spans := range byStream {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].lo < spans[i-1].hi {
+				rep.OverlappingAppends++
+			}
+		}
+	}
+	for seq := range stored {
+		if !accounted[seq] {
+			rep.PhantomRows++
+		}
+	}
+	sort.Slice(rep.DuplicateSeqs, func(i, j int) bool { return rep.DuplicateSeqs[i] < rep.DuplicateSeqs[j] })
+	return rep, nil
+}

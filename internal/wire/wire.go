@@ -1,0 +1,441 @@
+// Package wire defines the RPC message types exchanged between the
+// Vortex client library, the Stream Metadata Server (control plane) and
+// the Stream Servers (data plane). Messages cross the in-process rpc
+// transport by reference; by convention every message and the schemas it
+// carries are immutable once sent.
+package wire
+
+import (
+	"vortex/internal/dml"
+	"vortex/internal/meta"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+)
+
+// Stream Server method names.
+const (
+	MethodCreateStreamlet   = "CreateStreamlet"
+	MethodAppend            = "Append" // unary and bi-di stream variants
+	MethodFlush             = "Flush"
+	MethodFinalizeStreamlet = "FinalizeStreamlet"
+	MethodStreamletState    = "StreamletState"
+	MethodWriteCommitRecord = "WriteCommitRecord"
+)
+
+// SMS method names.
+const (
+	MethodCreateTable          = "CreateTable"
+	MethodGetTable             = "GetTable"
+	MethodUpdateSchema         = "UpdateSchema"
+	MethodCreateStream         = "CreateStream"
+	MethodGetStream            = "GetStream"
+	MethodGetWritableStreamlet = "GetWritableStreamlet"
+	MethodFlushStream          = "FlushStream"
+	MethodFinalizeStream       = "FinalizeStream"
+	MethodBatchCommit          = "BatchCommit"
+	MethodHeartbeat            = "Heartbeat"
+	MethodReadView             = "ReadView"
+	MethodReconcile            = "Reconcile"
+	MethodRegisterConversion   = "RegisterConversion"
+	MethodConversionCandidates = "ConversionCandidates"
+	MethodCommitDML            = "CommitDML"
+	MethodBeginDML             = "BeginDML"
+	MethodEndDML               = "EndDML"
+	MethodGC                   = "GC"
+)
+
+// ---- Stream Server messages ----
+
+// CreateStreamletRequest asks a Stream Server to start hosting a
+// streamlet (sent by the SMS, §5.3).
+type CreateStreamletRequest struct {
+	Info   meta.StreamletInfo
+	Schema *schema.Schema
+	// Epoch identifies this writer incarnation; reconciliation sentinels
+	// carry a different epoch (§5.6).
+	Epoch int64
+}
+
+// CreateStreamletResponse acknowledges streamlet creation.
+type CreateStreamletResponse struct{}
+
+// AppendRequest appends a batch of rows to a streamlet.
+type AppendRequest struct {
+	Streamlet meta.StreamletID
+	// Payload is the rowenc-encoded row batch; CRC is its end-to-end
+	// CRC32C computed by the client (§5.4.5).
+	Payload []byte
+	CRC     uint32
+	// ExpectedStreamOffset, when >= 0, is the stream row offset the
+	// client expects this batch to land at; a mismatch fails the request
+	// (exactly-once retries, §4.2.2). -1 means "append at current end".
+	ExpectedStreamOffset int64
+	// SchemaVersion is the schema version the client serialized under;
+	// a stale version fails the append so the client refetches (§5.4.1).
+	SchemaVersion int
+}
+
+// WireSize implements rpc.Sized for flow-control accounting.
+func (r *AppendRequest) WireSize() int { return len(r.Payload) + 64 }
+
+// AppendResponse reports the outcome of one append. On a bi-directional
+// stream, errors travel in Error so the stream survives for diagnosis.
+type AppendResponse struct {
+	// StreamOffset is the stream row offset at which the batch landed.
+	StreamOffset int64
+	RowCount     int64
+	// Timestamp is the TrueTime timestamp assigned to the batch's first
+	// row; row i of the batch has timestamp Timestamp+i (§5.4.4).
+	Timestamp truetime.Timestamp
+	// Error is the failure, if any: one of the Err* codes below,
+	// optionally with detail after a ": ".
+	Error string
+}
+
+// Error codes carried in AppendResponse.Error and unary errors.
+const (
+	ErrCodeWrongOffset     = "WRONG_OFFSET"      // offset validation failed
+	ErrCodeSchemaStale     = "SCHEMA_STALE"      // client must refetch schema
+	ErrCodeStreamletClosed = "STREAMLET_CLOSED"  // finalized or relinquished; get a new one
+	ErrCodeUnknown         = "UNKNOWN_STREAMLET" // server does not host it
+	ErrCodeIO              = "IO_ERROR"          // both replicas failed irrecoverably
+	ErrCodeBadPayload      = "BAD_PAYLOAD"       // CRC/decoding failure
+)
+
+// FlushRequest writes a flush metadata record advancing a BUFFERED
+// stream's committed offset in the log (§5.4.4).
+type FlushRequest struct {
+	Streamlet    meta.StreamletID
+	StreamOffset int64
+}
+
+// FlushResponse acknowledges a flush record write.
+type FlushResponse struct{}
+
+// FinalizeStreamletRequest closes a streamlet for writes.
+type FinalizeStreamletRequest struct {
+	Streamlet meta.StreamletID
+}
+
+// FinalizeStreamletResponse reports the final state.
+type FinalizeStreamletResponse struct {
+	RowCount  int64
+	Fragments []meta.FragmentInfo
+}
+
+// StreamletStateRequest asks the Stream Server for its in-memory truth
+// about a streamlet — the read path's common-case optimization (§7.1).
+type StreamletStateRequest struct {
+	Streamlet meta.StreamletID
+}
+
+// StreamletStateResponse lists the streamlet's fragments "with the
+// number of valid bytes to read from each" (§5.3).
+type StreamletStateResponse struct {
+	RowCount  int64
+	Fragments []meta.FragmentInfo
+}
+
+// WriteCommitRecordRequest forces the pending commit record to be
+// written (normally piggybacked on the next append or written after a
+// short idle period, §7.1).
+type WriteCommitRecordRequest struct {
+	Streamlet meta.StreamletID
+}
+
+// WriteCommitRecordResponse acknowledges the commit record write.
+type WriteCommitRecordResponse struct{}
+
+// ---- SMS messages ----
+
+// CreateTableRequest creates a table with its logical metadata.
+type CreateTableRequest struct {
+	Table  meta.TableID
+	Schema *schema.Schema
+}
+
+// CreateTableResponse acknowledges table creation.
+type CreateTableResponse struct{}
+
+// GetTableRequest fetches a table's schema.
+type GetTableRequest struct {
+	Table meta.TableID
+}
+
+// GetTableResponse carries the current schema.
+type GetTableResponse struct {
+	Schema *schema.Schema
+}
+
+// UpdateSchemaRequest evolves the table schema by adding a field.
+type UpdateSchemaRequest struct {
+	Table meta.TableID
+	Field *schema.Field
+}
+
+// UpdateSchemaResponse carries the evolved schema.
+type UpdateSchemaResponse struct {
+	Schema *schema.Schema
+}
+
+// CreateStreamRequest creates a stream on a table (§4.2.1).
+type CreateStreamRequest struct {
+	Table meta.TableID
+	Type  meta.StreamType
+}
+
+// CreateStreamResponse returns the stream and the table schema (the
+// schema "is a property of this object", §4.2.1).
+type CreateStreamResponse struct {
+	Stream meta.StreamInfo
+	Schema *schema.Schema
+}
+
+// GetStreamRequest fetches stream state.
+type GetStreamRequest struct {
+	Stream meta.StreamID
+}
+
+// GetStreamResponse carries stream state.
+type GetStreamResponse struct {
+	Stream meta.StreamInfo
+}
+
+// GetWritableStreamletRequest asks for the stream's writable streamlet,
+// creating one (placed on a healthy Stream Server) if needed (§5.2).
+type GetWritableStreamletRequest struct {
+	Stream meta.StreamID
+	// ExcludeServer, when set, asks for placement away from a server the
+	// client just failed against.
+	ExcludeServer string
+}
+
+// GetWritableStreamletResponse identifies the writable streamlet.
+type GetWritableStreamletResponse struct {
+	Streamlet meta.StreamletInfo
+	Schema    *schema.Schema
+	Epoch     int64
+}
+
+// FlushStreamRequest advances a BUFFERED stream's visibility frontier
+// (§4.2.3). Idempotent; offsets behind the frontier are no-ops.
+type FlushStreamRequest struct {
+	Stream meta.StreamID
+	Offset int64
+}
+
+// FlushStreamResponse returns the (possibly unchanged) frontier.
+type FlushStreamResponse struct {
+	FlushedOffset int64
+}
+
+// FinalizeStreamRequest prevents further appends to a stream (§4.2.5).
+type FinalizeStreamRequest struct {
+	Stream meta.StreamID
+}
+
+// FinalizeStreamResponse reports the stream's final row count.
+type FinalizeStreamResponse struct {
+	RowCount int64
+}
+
+// BatchCommitRequest atomically commits PENDING streams (§4.2.4).
+type BatchCommitRequest struct {
+	Streams []meta.StreamID
+}
+
+// BatchCommitResponse carries the common commit timestamp.
+type BatchCommitResponse struct {
+	CommitTS truetime.Timestamp
+}
+
+// StreamletHeartbeat is one streamlet's delta in a heartbeat: metadata
+// changes observed since the previous heartbeat (§5.5).
+type StreamletHeartbeat struct {
+	Info      meta.StreamletInfo
+	Fragments []meta.FragmentInfo
+}
+
+// HeartbeatRequest carries streamlet deltas plus server load (§5.5).
+type HeartbeatRequest struct {
+	Server     string
+	CPULoad    float64
+	MemLoad    float64
+	Throughput float64 // bytes/sec append throughput
+	Quarantine bool    // rollout/maintenance signal
+	Streamlets []StreamletHeartbeat
+	// FullSnapshot marks the periodic full-state heartbeat used to
+	// detect orphaned streamlets (§5.4.3).
+	FullSnapshot bool
+	// DeletedFragments acknowledges fragment files the server deleted in
+	// response to a previous DeleteFragments instruction; the SMS then
+	// removes their Spanner records (§5.4.3).
+	DeletedFragments []meta.FragmentID
+}
+
+// HeartbeatResponse instructs the Stream Server: current schemas for its
+// tables (how schema changes reach writers, §5.4.1), fragments to
+// garbage collect, and streamlets the SMS does not know (candidates for
+// deletion if sufficiently old).
+type HeartbeatResponse struct {
+	Schemas           map[meta.TableID]*schema.Schema
+	DeleteFragments   []meta.FragmentID
+	UnknownStreamlets []meta.StreamletID
+}
+
+// StreamVisibility tells a reader how to filter a stream's rows.
+type StreamVisibility struct {
+	Type          meta.StreamType
+	FlushedOffset int64
+	Committed     bool
+	CommitTS      truetime.Timestamp
+	Finalized     bool
+}
+
+// ReadFragment is one fragment of the read view with its deletion mask.
+type ReadFragment struct {
+	Info meta.FragmentInfo
+	Mask *dml.Mask
+	Vis  StreamVisibility
+	// StreamStart is the stream row offset of the fragment's first row
+	// (StreamletInfo.StartOffset + FragmentInfo.StartRow), used to apply
+	// BUFFERED flush frontiers. Zero for ROS fragments.
+	StreamStart int64
+}
+
+// ReadStreamlet points a reader at an unfinalized streamlet whose tail
+// may hold rows the SMS has not yet heard about (§7). The reader lists
+// the streamlet's log files itself and applies the commit rule; the SMS
+// supplies what only it knows: which fragments were already converted
+// (their files must be skipped) and the deletion masks.
+type ReadStreamlet struct {
+	Info     meta.StreamletInfo
+	Vis      StreamVisibility
+	TailMask *dml.Mask
+	// FragmentMasks carries per-fragment deletion masks (fragment-local
+	// row indexes) for the streamlet's SMS-known fragments.
+	FragmentMasks map[meta.FragmentID]*dml.Mask
+	// DeletedFragments lists fragments not visible at the snapshot
+	// (converted to ROS); the reader skips their files.
+	DeletedFragments []meta.FragmentID
+	Epoch            int64
+}
+
+// ReadViewRequest asks for the partitioned metadata of a table as of a
+// snapshot time (§7).
+type ReadViewRequest struct {
+	Table      meta.TableID
+	SnapshotTS truetime.Timestamp // 0 = now
+}
+
+// ReadViewResponse is "the union of the data in WOS and ROS" (§7).
+type ReadViewResponse struct {
+	Table      meta.TableID
+	SnapshotTS truetime.Timestamp
+	Schema     *schema.Schema
+	Fragments  []ReadFragment
+	Streamlets []ReadStreamlet
+}
+
+// ReconcileRequest runs the §5.6 reconciliation protocol on a streamlet.
+type ReconcileRequest struct {
+	Table     meta.TableID
+	Stream    meta.StreamID
+	Streamlet meta.StreamletID
+}
+
+// ReconcileResponse reports the reconciled, now-authoritative state.
+type ReconcileResponse struct {
+	RowCount  int64
+	Fragments []meta.FragmentInfo
+}
+
+// ConversionCandidatesRequest asks the SMS for fragments ready to be
+// converted WOS→ROS (§6.1).
+type ConversionCandidatesRequest struct {
+	Table meta.TableID
+}
+
+// ConversionCandidatesResponse lists candidate fragments with the
+// visibility data the optimizer needs to decide convertibility.
+type ConversionCandidatesResponse struct {
+	Fragments []ReadFragment
+}
+
+// RegisterConversionRequest atomically swaps old fragments for new ones:
+// the SMS sets DeletionTS on every old fragment and CreationTS on every
+// new fragment at one commit timestamp, guaranteeing each row is read
+// exactly once (§6.1).
+type RegisterConversionRequest struct {
+	Table meta.TableID
+	Old   []meta.FragmentID
+	New   []meta.FragmentInfo
+	// NewMasks carries deletion masks for stable 1:1 conversions, where
+	// the old fragment's mask transfers to the new fragment (§7.3).
+	NewMasks map[meta.FragmentID]*dml.Mask
+	// AppliedMasks records, per old fragment, the marshaled deletion mask
+	// the optimizer applied while converting. If a DML statement changed
+	// a mask in the meantime, the SMS rejects the registration and the
+	// optimizer redoes the conversion — this, together with yielding to
+	// active DML, resolves the §7.3 race.
+	AppliedMasks map[meta.FragmentID][]byte
+	// TransferMasks maps old→new fragment ids for stable 1:1 conversions
+	// (§7.3): the SMS copies the old fragment's *current* mask to the new
+	// fragment inside the registration transaction, so concurrent DML can
+	// never be lost and no mask-equality check is needed.
+	TransferMasks map[meta.FragmentID]meta.FragmentID
+}
+
+// RegisterConversionResponse carries the handoff timestamp.
+type RegisterConversionResponse struct {
+	HandoffTS truetime.Timestamp
+}
+
+// BeginDMLRequest announces a running DML statement on a table; while
+// any is active the storage optimizer will not commit (§7.3).
+type BeginDMLRequest struct {
+	Table meta.TableID
+}
+
+// BeginDMLResponse carries a token for EndDML.
+type BeginDMLResponse struct {
+	Token int64
+}
+
+// EndDMLRequest closes a DML window.
+type EndDMLRequest struct {
+	Table meta.TableID
+	Token int64
+}
+
+// EndDMLResponse acknowledges.
+type EndDMLResponse struct{}
+
+// CommitDMLRequest atomically commits a DML statement: per-fragment
+// deletion masks, streamlet-tail masks, and (optionally) a PENDING
+// stream of reinserted/updated rows made visible at the same instant
+// (§7.3).
+type CommitDMLRequest struct {
+	Table           meta.TableID
+	FragmentMasks   map[meta.FragmentID]*dml.Mask
+	TailMasks       map[meta.StreamletID]*dml.Mask
+	ReinsertStreams []meta.StreamID
+}
+
+// CommitDMLResponse carries the DML commit timestamp.
+type CommitDMLResponse struct {
+	CommitTS truetime.Timestamp
+}
+
+// GCRequest triggers a garbage-collection / groomer pass (§5.4.3).
+type GCRequest struct {
+	// Retention is how long deleted fragments are kept readable so
+	// running queries do not fail; 0 uses the server default.
+	Retention truetime.Timestamp
+}
+
+// GCResponse reports what was collected.
+type GCResponse struct {
+	FragmentsDeleted int
+	StreamsDeleted   int
+}

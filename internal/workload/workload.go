@@ -1,0 +1,235 @@
+// Package workload generates the schemas, rows and traffic shapes the
+// benchmarks and examples use: the paper's Sales table (Listing 1), a
+// log-analytics event table (the motivating workload of §1), Zipf-skewed
+// stream fleets ("10% of the Streams hold 90% of the data", §5.4.2), and
+// rate-controlled writers for the throughput buckets of Figure 8.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vortex/internal/schema"
+)
+
+// SalesSchema is the paper's Listing 1 table.
+func SalesSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "orderTimestamp", Kind: schema.KindTimestamp, Mode: schema.Required},
+			{Name: "salesOrderKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "salesOrderLines", Kind: schema.KindStruct, Mode: schema.Repeated, Fields: []*schema.Field{
+				{Name: "salesOrderLineKey", Kind: schema.KindInt64, Mode: schema.Required},
+				{Name: "dueDate", Kind: schema.KindDate, Mode: schema.Nullable},
+				{Name: "shipDate", Kind: schema.KindDate, Mode: schema.Nullable},
+				{Name: "quantity", Kind: schema.KindInt64, Mode: schema.Nullable},
+				{Name: "unitPrice", Kind: schema.KindNumeric, Mode: schema.Nullable},
+			}},
+			{Name: "totalSale", Kind: schema.KindNumeric, Mode: schema.Nullable},
+			{Name: "currencyKey", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PartitionField: "orderTimestamp",
+		ClusterBy:      []string{"customerKey"},
+	}
+}
+
+// EventsSchema is a telemetry/log-analytics table (§1's motivating
+// unbounded sources: click streams, IoT telemetry).
+func EventsSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "eventTimestamp", Kind: schema.KindTimestamp, Mode: schema.Required},
+			{Name: "deviceId", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "eventType", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "url", Kind: schema.KindString, Mode: schema.Nullable},
+			{Name: "latencyMs", Kind: schema.KindInt64, Mode: schema.Nullable},
+			{Name: "payload", Kind: schema.KindJSON, Mode: schema.Nullable},
+		},
+		PartitionField: "eventTimestamp",
+		ClusterBy:      []string{"deviceId"},
+	}
+}
+
+// Gen generates deterministic workload rows.
+type Gen struct {
+	rng *rand.Rand
+	// Repetition controls string-value reuse across rows: higher values
+	// approach the paper's 10:1 compression regime (§5.4.5).
+	Repetition int
+	customers  []string
+	orderSeq   int64
+	base       time.Time
+}
+
+// NewGen returns a generator seeded with seed. repetition is the size of
+// the shared string pools (smaller = more repetitive).
+func NewGen(seed int64, repetition int) *Gen {
+	if repetition <= 0 {
+		repetition = 1000
+	}
+	g := &Gen{
+		rng:        rand.New(rand.NewSource(seed)),
+		Repetition: repetition,
+		base:       time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC),
+	}
+	g.customers = make([]string, repetition)
+	for i := range g.customers {
+		g.customers[i] = fmt.Sprintf("customer-%05d-%s", i, regions[i%len(regions)])
+	}
+	return g
+}
+
+var regions = []string{"us-west", "us-east", "eu-west", "asia-ne", "latam-s"}
+
+// SalesRow generates one Sales row. day selects the partition.
+func (g *Gen) SalesRow(day int) schema.Row {
+	g.orderSeq++
+	nLines := g.rng.Intn(4) + 1
+	lines := make([]schema.Value, nLines)
+	var total int64
+	for i := range lines {
+		qty := int64(g.rng.Intn(9) + 1)
+		price := int64(g.rng.Intn(500)+1) * schema.NumericScale / 10
+		total += qty * price
+		lines[i] = schema.Struct(
+			schema.Int64(int64(i+1)),
+			schema.DateDays(19631+int64(day)+int64(g.rng.Intn(30))),
+			schema.DateDays(19631+int64(day)+int64(g.rng.Intn(10))),
+			schema.Int64(qty),
+			schema.Numeric(price),
+		)
+	}
+	ts := g.base.AddDate(0, 0, day).Add(time.Duration(g.rng.Intn(86400)) * time.Second)
+	return schema.NewRow(
+		schema.Timestamp(ts),
+		schema.String(fmt.Sprintf("SO-%010d", g.orderSeq)),
+		schema.String(g.customers[g.rng.Intn(len(g.customers))]),
+		schema.List(lines...),
+		schema.Numeric(total),
+		schema.Int64(int64(g.rng.Intn(3)+840)),
+	)
+}
+
+// SalesRows generates n rows for one day.
+func (g *Gen) SalesRows(day, n int) []schema.Row {
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		rows[i] = g.SalesRow(day)
+	}
+	return rows
+}
+
+var eventTypes = []string{"page_view", "click", "purchase", "search", "scroll"}
+var urls = []string{"/home", "/product/widget-a", "/product/gadget-x", "/checkout", "/search?q=vortex"}
+
+// EventRow generates one telemetry event at the given wall time.
+func (g *Gen) EventRow(at time.Time) schema.Row {
+	payload, _ := schema.JSON(fmt.Sprintf(`{"session": "s-%d", "ab_bucket": %d}`, g.rng.Intn(g.Repetition), g.rng.Intn(8)))
+	return schema.NewRow(
+		schema.Timestamp(at),
+		schema.String(fmt.Sprintf("device-%05d", g.rng.Intn(g.Repetition))),
+		schema.String(eventTypes[g.rng.Intn(len(eventTypes))]),
+		schema.String(urls[g.rng.Intn(len(urls))]),
+		schema.Int64(int64(g.rng.Intn(400))),
+		payload,
+	)
+}
+
+// EventRows generates n events spaced evenly starting at start.
+func (g *Gen) EventRows(start time.Time, n int, spacing time.Duration) []schema.Row {
+	rows := make([]schema.Row, n)
+	for i := range rows {
+		rows[i] = g.EventRow(start.Add(time.Duration(i) * spacing))
+	}
+	return rows
+}
+
+// ZipfStreamSizes distributes totalRows over n streams with the skew the
+// paper observes: roughly 10% of streams hold 90% of the data (§5.4.2).
+func ZipfStreamSizes(seed int64, n int, totalRows int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1.0, uint64(n-1))
+	counts := make([]int, n)
+	for i := 0; i < totalRows; i++ {
+		counts[z.Uint64()]++
+	}
+	return counts
+}
+
+var userAgents = []string{
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/118.0 Safari/537.36",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 13_5) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/16.5 Safari/605.1.15",
+	"Mozilla/5.0 (X11; Linux x86_64; rv:109.0) Gecko/20100101 Firefox/117.0",
+	"Mozilla/5.0 (iPhone; CPU iPhone OS 16_6 like Mac OS X) AppleWebKit/605.1.15 Mobile/15E148",
+}
+
+// LogSchema is a string-heavy operational-log table — the workload class
+// where "string data tends to be the majority of a row's size" (§5.4.5).
+func LogSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "ts", Kind: schema.KindTimestamp, Mode: schema.Required},
+			{Name: "host", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "path", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "referer", Kind: schema.KindString, Mode: schema.Nullable},
+			{Name: "userAgent", Kind: schema.KindString, Mode: schema.Nullable},
+			{Name: "status", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PartitionField: "ts",
+		ClusterBy:      []string{"host"},
+	}
+}
+
+// LogRow generates one string-heavy access-log row. The generator's
+// Repetition setting controls how often string values repeat across
+// rows (small pools → the paper's 10:1 compression regime).
+func (g *Gen) LogRow(at time.Time) schema.Row {
+	host := fmt.Sprintf("web-%03d.prod.example.com", g.rng.Intn(g.Repetition))
+	path := fmt.Sprintf("/api/v2/%s/%d?session=%08x", urls[g.rng.Intn(len(urls))][1:], g.rng.Intn(g.Repetition), g.rng.Int31n(int32(g.Repetition)*7+1))
+	return schema.NewRow(
+		schema.Timestamp(at),
+		schema.String(host),
+		schema.String(path),
+		schema.String("https://example.com"+urls[g.rng.Intn(len(urls))]),
+		schema.String(userAgents[g.rng.Intn(len(userAgents))]),
+		schema.Int64(int64([]int{200, 200, 200, 304, 404, 500}[g.rng.Intn(6)])),
+	)
+}
+
+// LogRows generates n access-log rows.
+func (g *Gen) LogRows(n int) []schema.Row {
+	rows := make([]schema.Row, n)
+	at := g.base
+	for i := range rows {
+		rows[i] = g.LogRow(at.Add(time.Duration(i) * time.Millisecond))
+	}
+	return rows
+}
+
+// Bucket describes one Figure 8 throughput class.
+type Bucket struct {
+	Label string
+	// BytesPerSec is the table's target append throughput.
+	BytesPerSec int64
+	// BatchBytes is the append batch size typical for that rate (larger
+	// rates batch more, §5.4.4).
+	BatchBytes int
+	// Writers is the number of concurrent streams feeding the table.
+	Writers int
+}
+
+// Figure8Buckets returns the paper's throughput buckets. The byte rates
+// are scaled down 100× so the fleet fits one process, preserving the
+// relative spread across four orders of magnitude.
+func Figure8Buckets() []Bucket {
+	return []Bucket{
+		{Label: "<1MB/s", BytesPerSec: 10 << 10, BatchBytes: 4 << 10, Writers: 1},
+		{Label: "<2MB/s", BytesPerSec: 20 << 10, BatchBytes: 8 << 10, Writers: 1},
+		{Label: "<10MB/s", BytesPerSec: 100 << 10, BatchBytes: 16 << 10, Writers: 2},
+		{Label: "<100MB/s", BytesPerSec: 1 << 20, BatchBytes: 32 << 10, Writers: 4},
+		{Label: "<1GB/s", BytesPerSec: 10 << 20, BatchBytes: 64 << 10, Writers: 6},
+		{Label: ">=1GB/s", BytesPerSec: 16 << 20, BatchBytes: 128 << 10, Writers: 6},
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGeneratedRowsValidate(t *testing.T) {
+	gen := NewGen(1, 100)
+	sales := SalesSchema()
+	for _, r := range gen.SalesRows(2, 200) {
+		if err := sales.ValidateRow(r); err != nil {
+			t.Fatal(err)
+		}
+		if p, ok := sales.PartitionOf(r); !ok || p != 19631+2 {
+			t.Fatalf("partition = %d, %v", p, ok)
+		}
+	}
+	events := EventsSchema()
+	for _, r := range gen.EventRows(time.Now(), 100, time.Millisecond) {
+		if err := events.ValidateRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logs := LogSchema()
+	for _, r := range gen.LogRows(100) {
+		if err := logs.ValidateRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenIsDeterministic(t *testing.T) {
+	a := NewGen(7, 50).SalesRows(0, 20)
+	b := NewGen(7, 50).SalesRows(0, 20)
+	for i := range a {
+		if !a[i].Values[1].Equal(b[i].Values[1]) {
+			t.Fatal("generators with equal seeds diverged")
+		}
+	}
+}
+
+func TestZipfSkewMatchesPaperObservation(t *testing.T) {
+	// §5.4.2: "only 10% of the Streams hold 90% of the data".
+	const streams, total = 1000, 200000
+	sizes := ZipfStreamSizes(1, streams, total)
+	if len(sizes) != streams {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	// Sum of the top 10% of streams.
+	sorted := append([]int(nil), sizes...)
+	for i := 0; i < len(sorted); i++ { // selection of top decile is fine at this size
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+		if i >= streams/10 {
+			break
+		}
+	}
+	top := 0
+	for i := 0; i < streams/10; i++ {
+		top += sorted[i]
+	}
+	frac := float64(top) / float64(total)
+	if frac < 0.75 {
+		t.Fatalf("top 10%% of streams hold %.0f%%; want heavy skew (~90%%)", frac*100)
+	}
+}
+
+func TestFigure8BucketsOrdered(t *testing.T) {
+	bs := Figure8Buckets()
+	if len(bs) != 6 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].BytesPerSec <= bs[i-1].BytesPerSec {
+			t.Fatal("bucket rates must increase")
+		}
+		if bs[i].BatchBytes < bs[i-1].BatchBytes {
+			t.Fatal("batch sizes must not shrink as rates grow (§5.4.4)")
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package vortex is a from-scratch, single-process reproduction of
+// Vortex, the stream-oriented storage engine inside Google BigQuery
+// (Edara, Forbes & Li, SIGMOD 2024). It provides:
+//
+//   - a streaming-first ingestion API with UNBUFFERED, BUFFERED and
+//     PENDING streams, offset-validated exactly-once appends, flushes,
+//     finalization and atomic batch commits;
+//   - a simulated BigQuery region: multi-cluster Colossus, a Spanner
+//     metadata database, Slicer-sharded SMS control-plane tasks and a
+//     Stream Server data plane with dual-cluster synchronous replication;
+//   - continuous storage optimization (WOS→ROS conversion into a
+//     columnar format with Dremel repetition/definition levels) and
+//     automatic reclustering;
+//   - a SQL query engine with snapshot reads over the union of WOS and
+//     ROS, Big Metadata partition elimination, and UPDATE/DELETE via
+//     deletion masks;
+//   - an exactly-once Dataflow-style sink and continuous data
+//     verification.
+//
+// Quickstart:
+//
+//	db := vortex.Open()
+//	db.CreateTable(ctx, "d.events", eventSchema)
+//	s, _ := db.Table("d.events").NewStream(ctx, vortex.Unbuffered)
+//	s.Append(ctx, rows, vortex.AppendOptions{Offset: -1})
+//	res, _ := db.Query(ctx, "SELECT COUNT(*) FROM d.events")
+package vortex
+
+import (
+	"context"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/latencymodel"
+	"vortex/internal/meta"
+	"vortex/internal/optimizer"
+	"vortex/internal/query"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+	"vortex/internal/verify"
+)
+
+// Re-exported core types: the public API surface is these plus the
+// methods on DB, Table and Stream.
+type (
+	// Schema describes a table (fields, primary key, partitioning,
+	// clustering).
+	Schema = schema.Schema
+	// Field is one (possibly nested) column.
+	Field = schema.Field
+	// Row is one table row.
+	Row = schema.Row
+	// Value is one datum.
+	Value = schema.Value
+	// Stream is a writable stream handle.
+	Stream = client.Stream
+	// AppendOptions modifies one append (Offset >= 0 pins the landing
+	// offset for exactly-once retries; -1 appends at the end).
+	AppendOptions = client.AppendOptions
+	// Result is a query result set.
+	Result = query.Result
+	// TableID names a table ("dataset.table").
+	TableID = meta.TableID
+	// StreamType selects visibility semantics.
+	StreamType = meta.StreamType
+	// Timestamp is a TrueTime instant (snapshot reads).
+	Timestamp = truetime.Timestamp
+	// Ledger records acknowledged appends for verification.
+	Ledger = verify.Ledger
+)
+
+// Stream types (§4.2.1).
+const (
+	Unbuffered = meta.Unbuffered
+	Buffered   = meta.Buffered
+	Pending    = meta.Pending
+)
+
+// Field modes.
+const (
+	Required = schema.Required
+	Nullable = schema.Nullable
+	Repeated = schema.Repeated
+)
+
+// Scalar kinds.
+const (
+	Int64Kind     = schema.KindInt64
+	Float64Kind   = schema.KindFloat64
+	BoolKind      = schema.KindBool
+	StringKind    = schema.KindString
+	BytesKind     = schema.KindBytes
+	TimestampKind = schema.KindTimestamp
+	DateKind      = schema.KindDate
+	NumericKind   = schema.KindNumeric
+	JSONKind      = schema.KindJSON
+	StructKind    = schema.KindStruct
+)
+
+// Config tunes an embedded region.
+type Config struct {
+	// Clusters names the simulated Colossus/Borg clusters (default two).
+	Clusters []string
+	// StreamServersPerCluster sizes the data plane.
+	StreamServersPerCluster int
+	// ProductionLatencies injects the paper-calibrated latency model
+	// (p50 ≈ 10 ms appends); off by default for tests and examples.
+	ProductionLatencies bool
+	// Seed makes latency sampling deterministic.
+	Seed int64
+	// MaxFragmentBytes overrides fragment rotation size.
+	MaxFragmentBytes int64
+}
+
+// DB is an embedded Vortex region plus a client, query engine and
+// storage optimizer.
+type DB struct {
+	Region *core.Region
+	c      *client.Client
+	engine *query.Engine
+	opt    *optimizer.Optimizer
+	ledger *verify.Ledger
+}
+
+// Open starts an embedded region.
+func Open(cfgs ...Config) *DB {
+	var cfg Config
+	if len(cfgs) > 0 {
+		cfg = cfgs[0]
+	}
+	rc := core.DefaultConfig()
+	if len(cfg.Clusters) >= 2 {
+		rc.Clusters = cfg.Clusters
+	}
+	if cfg.StreamServersPerCluster > 0 {
+		rc.StreamServersPerCluster = cfg.StreamServersPerCluster
+	}
+	if cfg.MaxFragmentBytes > 0 {
+		rc.MaxFragmentBytes = cfg.MaxFragmentBytes
+	}
+	if cfg.ProductionLatencies {
+		rc.Latency = latencymodel.ProductionLike()
+		rc.Seed = cfg.Seed
+	}
+	region := core.NewRegion(rc)
+	c := region.NewClient(client.DefaultOptions())
+	return &DB{
+		Region: region,
+		c:      c,
+		engine: query.New(c, region.BigMeta, region.Net, region.Router(), query.Config{}),
+		opt:    optimizer.New(optimizer.DefaultConfig(), c, region.Net, region.Router(), region.Colossus, region.Clock),
+		ledger: verify.NewLedger(),
+	}
+}
+
+// Client returns the underlying thick client library.
+func (db *DB) Client() *client.Client { return db.c }
+
+// CreateTable creates a table.
+func (db *DB) CreateTable(ctx context.Context, name TableID, s *Schema) error {
+	return db.c.CreateTable(ctx, name, s)
+}
+
+// Table returns a handle on a table.
+func (db *DB) Table(name TableID) *Table { return &Table{db: db, name: name} }
+
+// Query executes one SQL statement at the current snapshot.
+func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
+	return db.engine.Query(ctx, sql)
+}
+
+// QueryAt executes at a snapshot timestamp (time travel).
+func (db *DB) QueryAt(ctx context.Context, sql string, at Timestamp) (*Result, error) {
+	return db.engine.QueryAt(ctx, sql, at)
+}
+
+// Now returns a snapshot timestamp covering everything acknowledged so far.
+func (db *DB) Now() Timestamp { return db.Region.Clock.Now().Latest }
+
+// Optimize runs one WOS→ROS conversion pass on the table (§6.1).
+func (db *DB) Optimize(ctx context.Context, name TableID) (optimizer.Result, error) {
+	return db.opt.ConvertTable(ctx, name)
+}
+
+// Recluster runs one automatic-reclustering step (Figure 6).
+func (db *DB) Recluster(ctx context.Context, name TableID, force bool) (int, error) {
+	return db.opt.Recluster(ctx, name, force)
+}
+
+// ClusteringRatio reports the table's clustering state.
+func (db *DB) ClusteringRatio(ctx context.Context, name TableID) (optimizer.ClusterState, error) {
+	return db.opt.ClusteringRatio(ctx, name)
+}
+
+// Heartbeat drives one Stream-Server→SMS heartbeat round (§5.5). The
+// production system does this on a timer; embedded users call it (or
+// RunBackground) when they want metadata promoted.
+func (db *DB) Heartbeat(ctx context.Context) { db.Region.HeartbeatAll(ctx, false) }
+
+// RunBackground starts heartbeats and periodic storage optimization for
+// every table in tables until ctx ends.
+func (db *DB) RunBackground(ctx context.Context, every time.Duration, tables ...TableID) {
+	db.Region.RunHeartbeats(ctx, every)
+	go func() {
+		ticker := time.NewTicker(every * 4)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, t := range tables {
+					_, _ = db.opt.ConvertTable(ctx, t)
+					_, _ = db.opt.Recluster(ctx, t, false)
+				}
+			}
+		}
+	}()
+}
+
+// BatchCommit atomically commits PENDING streams (§4.2.4).
+func (db *DB) BatchCommit(ctx context.Context, table TableID, streams []meta.StreamID) (Timestamp, error) {
+	return db.c.BatchCommit(ctx, table, streams)
+}
+
+// Verify runs one §6.3 verification pass against the DB's ledger.
+func (db *DB) Verify(ctx context.Context, table TableID) (*verify.Report, error) {
+	return verify.VerifyTable(ctx, db.c, table, db.ledger, 0)
+}
+
+// Ledger returns the DB's append ledger (wrap streams with
+// verify.Track to populate it).
+func (db *DB) AppendLedger() *Ledger { return db.ledger }
+
+// Table is a handle on one table.
+type Table struct {
+	db   *DB
+	name TableID
+}
+
+// Name returns the table id.
+func (t *Table) Name() TableID { return t.name }
+
+// NewStream creates a stream on the table (§4.2.1).
+func (t *Table) NewStream(ctx context.Context, typ StreamType) (*Stream, error) {
+	return t.db.c.CreateStream(ctx, t.name, typ)
+}
+
+// Schema fetches the table's current schema.
+func (t *Table) Schema(ctx context.Context) (*Schema, error) {
+	return t.db.c.GetSchema(ctx, t.name)
+}
+
+// AddField evolves the schema by adding a NULLABLE or REPEATED field
+// (§5.4.1).
+func (t *Table) AddField(ctx context.Context, f *Field) (*Schema, error) {
+	return t.db.c.UpdateSchema(ctx, t.name, f)
+}
+
+// Value constructors re-exported for application code.
+var (
+	// NullValue returns a NULL value.
+	NullValue = schema.Null
+	// Int64Value builds an INTEGER value.
+	Int64Value = schema.Int64
+	// Float64Value builds a FLOAT64 value.
+	Float64Value = schema.Float64
+	// BoolValue builds a BOOL value.
+	BoolValue = schema.Bool
+	// StringValue builds a STRING value.
+	StringValue = schema.String
+	// BytesValue builds a BYTES value.
+	BytesValue = schema.Bytes
+	// TimestampValue builds a TIMESTAMP value.
+	TimestampValue = schema.Timestamp
+	// DateValue builds a DATE value.
+	DateValue = schema.Date
+	// NumericValue builds a NUMERIC value from 1e-9 units.
+	NumericValue = schema.Numeric
+	// NumericString parses a decimal literal into NUMERIC.
+	NumericString = schema.NumericFromString
+	// JSONValue parses and canonicalizes a JSON document.
+	JSONValue = schema.JSON
+	// StructValue builds a STRUCT value.
+	StructValue = schema.Struct
+	// ListValue builds a REPEATED value.
+	ListValue = schema.List
+	// NewRow builds an INSERT row.
+	NewRow = schema.NewRow
+)
+
+// Change types for CDC ingestion (§4.2.6).
+const (
+	Insert = schema.ChangeInsert
+	Upsert = schema.ChangeUpsert
+	Delete = schema.ChangeDelete
+)

@@ -1,0 +1,104 @@
+package vortex_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vortex"
+)
+
+// TestPublicAPIEndToEnd exercises the library the way a downstream user
+// would: open, create, stream, query, evolve, optimize, verify.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	db := vortex.Open()
+	sc := &vortex.Schema{
+		Fields: []*vortex.Field{
+			{Name: "ts", Kind: vortex.TimestampKind, Mode: vortex.Required},
+			{Name: "user", Kind: vortex.StringKind, Mode: vortex.Required},
+			{Name: "amount", Kind: vortex.NumericKind, Mode: vortex.Nullable},
+		},
+		PartitionField: "ts",
+		ClusterBy:      []string{"user"},
+	}
+	if err := db.CreateTable(ctx, "pay.tx", sc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Table("pay.tx").NewStream(ctx, vortex.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2024, 6, 9, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		row := vortex.NewRow(
+			vortex.TimestampValue(base.Add(time.Duration(i)*time.Second)),
+			vortex.StringValue(fmt.Sprintf("user-%d", i%5)),
+			vortex.NumericValue(int64(i)*1_000_000_000),
+		)
+		if _, err := s.Append(ctx, []vortex.Row{row}, vortex.AppendOptions{Offset: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(ctx, "SELECT user, SUM(amount) AS total FROM pay.tx GROUP BY user ORDER BY total DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "user-4" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// Time travel.
+	snap := db.Now()
+	time.Sleep(12 * time.Millisecond)
+	if _, err := s.Append(ctx, []vortex.Row{vortex.NewRow(
+		vortex.TimestampValue(base), vortex.StringValue("late"), vortex.NullValue(),
+	)}, vortex.AppendOptions{Offset: 50}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := db.QueryAt(ctx, "SELECT COUNT(*) FROM pay.tx", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Rows[0][0].AsInt64() != 50 {
+		t.Fatalf("snapshot count = %v", old.Rows[0][0])
+	}
+
+	// Schema evolution through the facade.
+	if _, err := db.Table("pay.tx").AddField(ctx, &vortex.Field{Name: "memo", Kind: vortex.StringKind, Mode: vortex.Nullable}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Table("pay.tx").Schema(ctx)
+	if err != nil || got.Field("memo") == nil {
+		t.Fatalf("evolved schema: %v, %v", got, err)
+	}
+
+	// Optimize + DML through the facade.
+	db.Heartbeat(ctx)
+	if _, err := s.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	db.Heartbeat(ctx)
+	opt, err := db.Optimize(ctx, "pay.tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.RowsConverted == 0 {
+		t.Fatal("nothing converted")
+	}
+	del, err := db.Query(ctx, "DELETE FROM pay.tx WHERE user = 'late'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Stats.RowsAffected != 1 {
+		t.Fatalf("affected = %d", del.Stats.RowsAffected)
+	}
+	res, err = db.Query(ctx, "SELECT COUNT(*) FROM pay.tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt64() != 50 {
+		t.Fatalf("final count = %v", res.Rows[0][0])
+	}
+}
