@@ -7,7 +7,7 @@
 //	vortex-bench -experiment all
 //	vortex-bench -experiment fig7 -duration 30s -writers 48
 //	vortex-bench -experiment fig8 -duration 20s
-//	vortex-bench -experiment compression|unary-vs-bidi|wos-vs-ros|recluster
+//	vortex-bench -experiment compression|unary-vs-bidi|wos-vs-ros|recluster|chaos
 package main
 
 import (
@@ -22,16 +22,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | all")
-		duration   = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
-		writers    = flag.Int("writers", 32, "concurrent streams for fig7")
-		rows       = flag.Int("rows", 20000, "row count for wos-vs-ros")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | all")
+		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
+		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
+		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros")
+		chaosAppends = flag.Int("chaos-appends", 48, "append count for the chaos scenario")
 	)
 	flag.Parse()
 	ctx := context.Background()
 	out := os.Stdout
 
+	ran := false
 	run := func(name string, f func() error) {
+		ran = true
 		fmt.Fprintf(out, "== %s ==\n", name)
 		start := time.Now()
 		if err := f(); err != nil {
@@ -102,5 +105,19 @@ func main() {
 			bench.PrintRecluster(out, steps)
 			return nil
 		})
+	}
+	if want("chaos") {
+		run("chaos", func() error {
+			res, err := bench.Chaos(ctx, *chaosAppends)
+			if err != nil {
+				return err
+			}
+			bench.PrintChaos(out, res)
+			return nil
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -experiment usage)\n", *experiment)
+		os.Exit(2)
 	}
 }

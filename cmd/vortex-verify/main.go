@@ -55,14 +55,14 @@ func main() {
 			offset := int64(0)
 			for i := 0; i < *appends; i++ {
 				rows := gen.EventRows(time.Now(), *batch, time.Microsecond)
-				if _, err := ts.Append(ctx, rows, client.AppendOptions{Offset: offset}); err != nil {
+				if _, err := ts.Append(ctx, rows, client.AtOffset(offset)); err != nil {
 					errCh <- fmt.Errorf("writer %d: %w", w, err)
 					return
 				}
 				if *chaos && i%7 == 3 {
 					// Duplicate retry at the same offset: must be rejected,
 					// not recorded (exactly-once, §4.2.2).
-					if _, err := ts.Append(ctx, rows, client.AppendOptions{Offset: offset}); err == nil {
+					if _, err := ts.Append(ctx, rows, client.AtOffset(offset)); err == nil {
 						errCh <- fmt.Errorf("writer %d: duplicate append accepted", w)
 						return
 					}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	ctx := context.Background()
-	db := vortex.Open()
+	db := vortex.Open(vortex.WithClusters("alpha", "beta"), vortex.WithSeed(1))
 	const table = "etl.sales"
 	sc := workload.SalesSchema()
 	if err := db.CreateTable(ctx, table, sc); err != nil {
@@ -42,7 +42,7 @@ func main() {
 			}
 			rows := gen.SalesRows(0, rowsPerWorker)
 			for lo := 0; lo < len(rows); lo += 50 {
-				if _, err := s.Append(ctx, rows[lo:lo+50], vortex.AppendOptions{Offset: int64(lo)}); err != nil {
+				if _, err := s.Append(ctx, rows[lo:lo+50], vortex.AtOffset(int64(lo))); err != nil {
 					log.Fatal(err)
 				}
 			}

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	ctx := context.Background()
-	db := vortex.Open()
+	db := vortex.Open(vortex.WithClusters("alpha", "beta"), vortex.WithSeed(1))
 
 	ordersSchema := &vortex.Schema{
 		Fields: []*vortex.Field{

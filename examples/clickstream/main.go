@@ -19,7 +19,7 @@ import (
 func main() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	db := vortex.Open()
+	db := vortex.Open(vortex.WithClusters("alpha", "beta"), vortex.WithSeed(1))
 	const table = "web.clicks"
 	if err := db.CreateTable(ctx, table, workload.EventsSchema()); err != nil {
 		log.Fatal(err)
@@ -44,7 +44,7 @@ func main() {
 			}
 			for i := 0; i < eventsPerProducer; i += 20 {
 				rows := gen.EventRows(time.Now(), 20, time.Millisecond)
-				if _, err := s.Append(ctx, rows, vortex.AppendOptions{Offset: int64(i)}); err != nil {
+				if _, err := s.Append(ctx, rows, vortex.AtOffset(int64(i))); err != nil {
 					log.Fatal(err)
 				}
 			}

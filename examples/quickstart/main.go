@@ -15,7 +15,7 @@ import (
 
 func main() {
 	ctx := context.Background()
-	db := vortex.Open()
+	db := vortex.Open(vortex.WithClusters("alpha", "beta"), vortex.WithSeed(1))
 
 	// A partitioned, clustered table (cf. the paper's Listing 1).
 	eventsSchema := &vortex.Schema{
@@ -45,7 +45,7 @@ func main() {
 			vortex.Float64Value(20+float64(i%10)/2),
 		)
 		// Offset pinning makes retries exactly-once (§4.2.2).
-		if _, err := stream.Append(ctx, []vortex.Row{row}, vortex.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := stream.Append(ctx, []vortex.Row{row}, vortex.AtOffset(int64(i))); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -10,12 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"vortex/internal/blockenc"
 	"vortex/internal/colossus"
 	"vortex/internal/meta"
+	"vortex/internal/metrics"
 	"vortex/internal/rowenc"
 	"vortex/internal/rpc"
 	"vortex/internal/schema"
@@ -23,11 +26,14 @@ import (
 	"vortex/internal/wire"
 )
 
-// Errors surfaced by the client API.
+// Sentinel errors surfaced by the client API. Structured failures are
+// *Error values whose Is method matches these, so errors.Is works on
+// both forms.
 var (
 	ErrWrongOffset     = errors.New("client: append offset does not match stream length")
 	ErrStreamFinalized = errors.New("client: stream is finalized")
 	ErrExhausted       = errors.New("client: retries exhausted")
+	ErrUnavailable     = errors.New("client: service unavailable")
 )
 
 // Router resolves the SMS task for a table (Slicer-backed, §5.2.1).
@@ -50,11 +56,16 @@ type Options struct {
 	// ForceUnary/ForceBidi pin the connection type (for experiments).
 	ForceUnary bool
 	ForceBidi  bool
+	// Retry governs append and control-plane retries; zero fields take
+	// DefaultRetryPolicy values.
+	Retry RetryPolicy
+	// Seed makes backoff jitter deterministic (tests, simulations).
+	Seed int64
 }
 
 // DefaultOptions returns production-like client options.
 func DefaultOptions() Options {
-	return Options{UnaryAppendThreshold: 3, FlowControlWindow: 16 << 20}
+	return Options{UnaryAppendThreshold: 3, FlowControlWindow: 16 << 20, Retry: DefaultRetryPolicy()}
 }
 
 // Client is a Vortex client handle. It is safe for concurrent use; each
@@ -70,6 +81,16 @@ type Client struct {
 
 	sealer *blockenc.Sealer
 
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	retries       metrics.Counter
+	rotations     metrics.Counter
+	hedges        metrics.Counter
+	hedgeWins     metrics.Counter
+	smsRetries    metrics.Counter
+	appendLatency *metrics.Histogram
+
 	mu      sync.Mutex
 	schemas map[meta.TableID]*schema.Schema
 }
@@ -82,15 +103,18 @@ func New(net *rpc.Network, router Router, region *colossus.Region, keyring *bloc
 	if opts.FlowControlWindow <= 0 {
 		opts.FlowControlWindow = 16 << 20
 	}
+	opts.Retry = opts.Retry.withDefaults()
 	return &Client{
-		net:     net,
-		router:  router,
-		region:  region,
-		keyring: keyring,
-		sealer:  blockenc.NewSealer(keyring),
-		clock:   clock,
-		opts:    opts,
-		schemas: make(map[meta.TableID]*schema.Schema),
+		net:           net,
+		router:        router,
+		region:        region,
+		keyring:       keyring,
+		sealer:        blockenc.NewSealer(keyring),
+		clock:         clock,
+		opts:          opts,
+		rng:           newRNG(opts.Seed),
+		appendLatency: metrics.NewLatencyHistogram(),
+		schemas:       make(map[meta.TableID]*schema.Schema),
 	}
 }
 
@@ -195,7 +219,7 @@ func (s *Stream) Length() int64 { return s.length }
 
 // ensureStreamlet acquires a writable streamlet from the SMS.
 func (s *Stream) ensureStreamlet(ctx context.Context, exclude string) error {
-	resp, err := s.c.sms(ctx, s.info.Table, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{
+	resp, err := s.c.smsRetry(ctx, s.info.Table, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{
 		Stream:        s.info.ID,
 		ExcludeServer: exclude,
 	})
@@ -226,39 +250,70 @@ func (s *Stream) closeConn() {
 	s.failPending(fmt.Errorf("%w: connection closed", rpc.ErrClosed))
 }
 
-// AppendOptions modify one append call.
+// AppendOptions is the legacy struct form of per-append options; it
+// implements AppendOption so existing callsites keep compiling.
+//
+// The zero value appends at the current end of the stream. Offset > 0
+// pins the landing offset (§4.2.2); use AtOffset(0) to pin offset zero.
+//
+// Deprecated: pass AtOffset / WithDeadline options instead.
 type AppendOptions struct {
-	// Offset, when >= 0, is the stream offset the rows must land at —
-	// the exactly-once retry mechanism of §4.2.2. Negative means "append
-	// at the current end" (at-least-once).
+	// Offset, when > 0, is the stream offset the rows must land at.
+	// Zero or negative means "append at the current end".
 	Offset int64
 }
 
-// Append appends rows and returns the stream offset of the first row.
-// It retries transparently across Stream Server failures, streamlet
-// rotations and schema changes; offset conflicts surface as
-// ErrWrongOffset.
-func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts AppendOptions) (int64, error) {
-	if s.finalized {
-		return 0, ErrStreamFinalized
+func (o AppendOptions) applyAppend(c *appendConfig) {
+	if o.Offset > 0 {
+		c.offset = o.Offset
+	} else {
+		c.offset = -1
 	}
-	if opts.Offset < 0 {
-		opts.Offset = -1
+}
+
+// Append appends rows and returns the stream offset of the first row.
+// It retries under the client's RetryPolicy — capped exponential
+// backoff with jitter, per-attempt deadlines, streamlet rotation across
+// Stream Server failures, optional hedging — and refreshes the schema
+// when stale. Offset conflicts surface as CodeWrongOffset
+// (errors.Is(err, ErrWrongOffset)).
+func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts ...AppendOption) (int64, error) {
+	if s.finalized {
+		return 0, newError(CodeStreamFinalized, "append", false, nil)
+	}
+	cfg := resolveAppendOpts(opts)
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
 	}
 	if err := s.validateRows(ctx, rows); err != nil {
 		return 0, err
 	}
 	payload := rowenc.EncodeRows(rows)
 	crc := blockenc.Checksum(payload)
+	t0 := time.Now()
 
+	pol := s.c.opts.Retry
 	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
+	sameStreamletFails := 0
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.c.retries.Add(1)
+			if err := sleepCtx(ctx, s.c.backoffFor(attempt)); err != nil {
+				return 0, newError(CodeUnavailable, "append", false, err)
+			}
+		}
 		if s.sl == nil {
 			exclude := ""
 			if attempt > 0 && s.connServer != "" {
 				exclude = s.connServer
 			}
 			if err := s.ensureStreamlet(ctx, exclude); err != nil {
+				if retryableErr(err) && attempt < pol.MaxAttempts-1 {
+					lastErr = err
+					continue
+				}
 				return 0, err
 			}
 		}
@@ -266,23 +321,46 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts AppendOptio
 			Streamlet:            s.sl.ID,
 			Payload:              payload,
 			CRC:                  crc,
-			ExpectedStreamOffset: opts.Offset,
+			ExpectedStreamOffset: cfg.offset,
 			SchemaVersion:        s.schema.Version,
+			// Flag retransmissions so the server may replay its last ack
+			// (the write landed, the response was lost) instead of
+			// reporting a fresh-duplicate offset conflict.
+			Retry: attempt > 0,
 		}
-		resp, err := s.send(ctx, req)
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if pol.PerAttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, pol.PerAttemptTimeout)
+		}
+		resp, err := s.sendHedged(attemptCtx, req, cfg.offset >= 0)
+		cancel()
 		if err != nil {
-			// Transport-level failure: reconcile the streamlet and rotate
-			// to a new one on a different server (§5.4).
 			lastErr = err
-			s.rotate(ctx)
+			if ctx.Err() != nil {
+				return 0, newError(CodeUnavailable, "append", false, lastErr)
+			}
+			if errors.Is(err, rpc.ErrUnreachable) || sameStreamletFails >= 1 {
+				// The server is gone (or keeps failing): reconcile the
+				// streamlet and place a fresh one elsewhere (§5.4).
+				s.rotate(ctx)
+				sameStreamletFails = 0
+			} else {
+				// First failure on this streamlet: retry the same server.
+				// If the write landed and only the ack was lost, its
+				// retransmission memo replays the ack (exactly-once).
+				sameStreamletFails++
+				s.closeConn()
+			}
 			continue
 		}
+		sameStreamletFails = 0
 		if resp.Error == "" {
 			if end := resp.StreamOffset + resp.RowCount; end > s.length {
 				s.length = end
 			}
 			s.appendsSeen++
 			s.lastBatchSeq = int64(resp.Timestamp)
+			s.c.appendLatency.Record(time.Since(t0))
 			return resp.StreamOffset, nil
 		}
 		code := resp.Error
@@ -291,7 +369,7 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts AppendOptio
 		}
 		switch code {
 		case wire.ErrCodeWrongOffset:
-			return 0, fmt.Errorf("%w: %s", ErrWrongOffset, resp.Error)
+			return 0, newError(CodeWrongOffset, "append", false, errors.New(resp.Error))
 		case wire.ErrCodeSchemaStale:
 			// Fetch the latest schema and retry (§5.4.1).
 			sc, err := s.c.GetSchema(ctx, s.info.Table)
@@ -306,20 +384,82 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts AppendOptio
 			}
 			lastErr = errors.New(resp.Error)
 		case wire.ErrCodeBadPayload:
-			return 0, errors.New(resp.Error)
+			return 0, newError(CodeInvalid, "append", false, errors.New(resp.Error))
 		default: // STREAMLET_CLOSED, UNKNOWN_STREAMLET, IO_ERROR
 			lastErr = errors.New(resp.Error)
 			s.rotate(ctx)
 		}
 	}
-	return 0, fmt.Errorf("%w: %v", ErrExhausted, lastErr)
+	return 0, newError(CodeExhausted, "append", false, lastErr)
+}
+
+// sendHedged dispatches one append attempt, racing a delayed second
+// copy against a slow primary when hedging is enabled. Hedging applies
+// only to offset-pinned unary appends: offset validation plus the
+// server's retransmission memo make the duplicate harmless, and a bi-di
+// stream is already ordered.
+func (s *Stream) sendHedged(ctx context.Context, req *wire.AppendRequest, pinned bool) (*wire.AppendResponse, error) {
+	d := s.c.opts.Retry.HedgeDelay
+	if d <= 0 || !pinned || s.useBidi() {
+		return s.send(ctx, req)
+	}
+	type result struct {
+		resp  *wire.AppendResponse
+		err   error
+		hedge bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	addr := s.sl.Server
+	ch := make(chan result, 2)
+	call := func(r *wire.AppendRequest, hedge bool) {
+		resp, err := s.c.net.Unary(hctx, addr, wire.MethodAppend, r)
+		if err != nil {
+			ch <- result{nil, err, hedge}
+			return
+		}
+		ch <- result{resp.(*wire.AppendResponse), nil, hedge}
+	}
+	go call(req, false)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				h := *req
+				h.Retry = true
+				s.c.hedges.Add(1)
+				outstanding++
+				go call(&h, true)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					s.c.hedgeWins.Add(1)
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	return nil, firstErr
 }
 
 // AppendTracked is Append plus the storage sequence (the TrueTime
 // timestamp) assigned to the batch's first row; the verification
 // pipelines (§6.3) record it to locate acked rows later.
-func (s *Stream) AppendTracked(ctx context.Context, rows []schema.Row, opts AppendOptions) (offset, firstSeq int64, err error) {
-	off, err := s.Append(ctx, rows, opts)
+func (s *Stream) AppendTracked(ctx context.Context, rows []schema.Row, opts ...AppendOption) (offset, firstSeq int64, err error) {
+	off, err := s.Append(ctx, rows, opts...)
 	if err != nil {
 		return off, 0, err
 	}
@@ -359,11 +499,16 @@ func (s *Stream) rotate(ctx context.Context) {
 	if s.sl == nil {
 		return
 	}
+	s.c.rotations.Add(1)
 	failed := s.sl
 	s.closeConn()
 	s.sl = nil
 	s.connServer = failed.Server
-	_, _ = s.c.sms(ctx, s.info.Table, wire.MethodReconcile, &wire.ReconcileRequest{
+	// Reconciliation must land before the next streamlet is placed: the
+	// successor's start offset is derived from this streamlet's durable
+	// row count (§7.1). Retry it across control-plane loss; if it still
+	// fails, the next GetWritableStreamlet surfaces the inconsistency.
+	_, _ = s.c.smsRetry(ctx, s.info.Table, wire.MethodReconcile, &wire.ReconcileRequest{
 		Table:     failed.Table,
 		Stream:    failed.Stream,
 		Streamlet: failed.ID,
@@ -446,10 +591,11 @@ func (p *PendingAppend) Wait() (int64, error) {
 // waiting for prior appends to complete. Results must be awaited in
 // order. Pipelined appends do not retry: a failure surfaces on Wait and
 // the caller resubmits through Append.
-func (s *Stream) AppendAsync(ctx context.Context, rows []schema.Row, opts AppendOptions) (*PendingAppend, error) {
+func (s *Stream) AppendAsync(ctx context.Context, rows []schema.Row, opts ...AppendOption) (*PendingAppend, error) {
 	if s.finalized {
-		return nil, ErrStreamFinalized
+		return nil, newError(CodeStreamFinalized, "append", false, nil)
 	}
+	cfg := resolveAppendOpts(opts)
 	if err := s.validateRows(ctx, rows); err != nil {
 		return nil, err
 	}
@@ -462,17 +608,14 @@ func (s *Stream) AppendAsync(ctx context.Context, rows []schema.Row, opts Append
 		return nil, err
 	}
 	payload := rowenc.EncodeRows(rows)
-	if opts.Offset < 0 {
-		opts.Offset = -1
-	}
 	req := &wire.AppendRequest{
 		Streamlet:            s.sl.ID,
 		Payload:              payload,
 		CRC:                  blockenc.Checksum(payload),
-		ExpectedStreamOffset: opts.Offset,
+		ExpectedStreamOffset: cfg.offset,
 		SchemaVersion:        s.schema.Version,
 	}
-	p := &PendingAppend{offset: opts.Offset, rowCount: int64(len(rows)), done: make(chan struct{})}
+	p := &PendingAppend{offset: cfg.offset, rowCount: int64(len(rows)), done: make(chan struct{})}
 	s.pendingMu.Lock()
 	first := len(s.pending) == 0
 	s.pending = append(s.pending, p)
@@ -555,7 +698,7 @@ func (s *Stream) Flush(ctx context.Context, offset int64) error {
 			StreamOffset: offset,
 		})
 	}
-	_, err := s.c.sms(ctx, s.info.Table, wire.MethodFlushStream, &wire.FlushStreamRequest{
+	_, err := s.c.smsRetry(ctx, s.info.Table, wire.MethodFlushStream, &wire.FlushStreamRequest{
 		Stream: s.info.ID,
 		Offset: offset,
 	})
@@ -564,9 +707,10 @@ func (s *Stream) Flush(ctx context.Context, offset int64) error {
 
 // Finalize prevents further appends (§4.2.5) and returns the stream's
 // final row count.
+// Finalization is idempotent at the SMS, so retrying it is safe.
 func (s *Stream) Finalize(ctx context.Context) (int64, error) {
 	s.closeConn()
-	resp, err := s.c.sms(ctx, s.info.Table, wire.MethodFinalizeStream, &wire.FinalizeStreamRequest{Stream: s.info.ID})
+	resp, err := s.c.smsRetry(ctx, s.info.Table, wire.MethodFinalizeStream, &wire.FinalizeStreamRequest{Stream: s.info.ID})
 	if err != nil {
 		return 0, err
 	}

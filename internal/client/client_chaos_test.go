@@ -1,0 +1,125 @@
+package client_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vortex/internal/chaos"
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/schema"
+)
+
+func chaosEnv(t *testing.T, sched *chaos.Schedule, opts client.Options) (*core.Region, *client.Client, context.Context) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Chaos = sched
+	r := core.NewRegion(cfg)
+	c := r.NewClient(opts)
+	ctx := context.Background()
+	sc := &schema.Schema{Fields: []*schema.Field{
+		{Name: "k", Kind: schema.KindString, Mode: schema.Required},
+		{Name: "v", Kind: schema.KindInt64, Mode: schema.Nullable},
+	}}
+	if err := c.CreateTable(ctx, "d.t", sc); err != nil {
+		t.Fatal(err)
+	}
+	return r, c, ctx
+}
+
+// TestRotationAfterMidAppendServerFailure kills the serving Stream
+// Server on its 3rd append; the client must rotate the streamlet to a
+// different server and complete every append.
+func TestRotationAfterMidAppendServerFailure(t *testing.T) {
+	// The first placement deterministically lands on ss-alpha-0.
+	sched := chaos.NewSchedule(5).CrashStreamServerAt("ss-alpha-0", 3)
+	_, c, ctx := chaosEnv(t, sched, client.DefaultOptions())
+	s, err := c.CreateStream(ctx, "d.t", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	m := c.Metrics()
+	if m.Rotations == 0 {
+		t.Fatal("server crash mid-append must rotate the streamlet")
+	}
+	if m.Retries == 0 {
+		t.Fatal("server crash mid-append must be retried")
+	}
+	rows, _, err := c.ReadAll(ctx, "d.t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("read %d rows, want 6", len(rows))
+	}
+}
+
+// TestFlushAndFinalizeUnderRetry drops the first FlushStream and the
+// first FinalizeStream request; both operations are idempotent at the
+// SMS and must succeed through the retry helper.
+func TestFlushAndFinalizeUnderRetry(t *testing.T) {
+	sched := chaos.NewSchedule(9).
+		FailAt(chaos.PointRPCRequest, "*/FlushStream", 1).
+		FailAt(chaos.PointRPCRequest, "*/FinalizeStream", 1)
+	_, c, ctx := chaosEnv(t, sched, client.DefaultOptions())
+	s, err := c.CreateStream(ctx, "d.t", meta.Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Flush(ctx, 4); err != nil {
+		t.Fatalf("flush must survive a dropped request: %v", err)
+	}
+	n, err := s.Finalize(ctx)
+	if err != nil {
+		t.Fatalf("finalize must survive a dropped request: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("finalized row count %d, want 4", n)
+	}
+	if c.Metrics().SMSRetries == 0 {
+		t.Fatal("dropped control-plane requests must be counted as SMS retries")
+	}
+}
+
+// TestHedgedAppendDedupes enables aggressive hedging with injected
+// latency spikes on appends: hedges fire, and offset pinning plus the
+// server's retransmission memo keep the result exactly-once.
+func TestHedgedAppendDedupes(t *testing.T) {
+	sched := chaos.NewSchedule(13).
+		DelayAt(chaos.PointRPCRequest, "*/Append", 30*time.Millisecond, 2, 5)
+	opts := client.DefaultOptions()
+	opts.ForceUnary = true
+	opts.Retry.HedgeDelay = 2 * time.Millisecond
+	_, c, ctx := chaosEnv(t, sched, opts)
+	s, err := c.CreateStream(ctx, "d.t", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if c.Metrics().Hedges == 0 {
+		t.Fatal("latency spikes above the hedge delay must trigger hedges")
+	}
+	rows, _, err := c.ReadAll(ctx, "d.t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("read %d rows, want 8 (hedges must not duplicate)", len(rows))
+	}
+}

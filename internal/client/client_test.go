@@ -44,7 +44,7 @@ func TestAdaptiveConnectionSwitchesToBidi(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -67,7 +67,7 @@ func TestPipelinedAppendsCompleteInOrder(t *testing.T) {
 	}
 	var pending []*client.PendingAppend
 	for i := 0; i < 20; i++ {
-		p, err := s.AppendAsync(ctx, []schema.Row{row(i)}, client.AppendOptions{Offset: -1})
+		p, err := s.AppendAsync(ctx, []schema.Row{row(i)}, client.AtOffset(-1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestAppendValidatesRowsClientSide(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := schema.NewRow(schema.Int64(1), schema.Int64(2)) // wrong kind for k
-	if _, err := s.Append(ctx, []schema.Row{bad}, client.AppendOptions{Offset: -1}); err == nil {
+	if _, err := s.Append(ctx, []schema.Row{bad}, client.AtOffset(-1)); err == nil {
 		t.Fatal("invalid row accepted")
 	}
 }
@@ -109,7 +109,7 @@ func TestPlanCoversWOSAndDiscoversTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{row(1), row(2)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{row(1), row(2)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	plan, err := c.Plan(ctx, "d.t", 0)
@@ -146,10 +146,10 @@ func TestReadAllOrdersBySequence(t *testing.T) {
 	s1, _ := c.CreateStream(ctx, "d.t", meta.Unbuffered)
 	s2, _ := c.CreateStream(ctx, "d.t", meta.Unbuffered)
 	for i := 0; i < 5; i++ {
-		if _, err := s1.Append(ctx, []schema.Row{row(i)}, client.AppendOptions{Offset: -1}); err != nil {
+		if _, err := s1.Append(ctx, []schema.Row{row(i)}, client.AtOffset(-1)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s2.Append(ctx, []schema.Row{row(100 + i)}, client.AppendOptions{Offset: -1}); err != nil {
+		if _, err := s2.Append(ctx, []schema.Row{row(100 + i)}, client.AtOffset(-1)); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(time.Millisecond)
@@ -181,7 +181,7 @@ func TestAppendTrackedReturnsSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, seq, err := s.AppendTracked(ctx, []schema.Row{row(1), row(2)}, client.AppendOptions{Offset: 0})
+	_, seq, err := s.AppendTracked(ctx, []schema.Row{row(1), row(2)}, client.AtOffset(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +200,11 @@ func TestWrongOffsetDoesNotRetryForever(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{row(1)}, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{row(1)}, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, err = s.Append(ctx, []schema.Row{row(1)}, client.AppendOptions{Offset: 0})
+	_, err = s.Append(ctx, []schema.Row{row(1)}, client.AtOffset(0))
 	if !errors.Is(err, client.ErrWrongOffset) {
 		t.Fatalf("err = %v", err)
 	}

@@ -13,6 +13,7 @@
 package colossus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,18 @@ import (
 	"vortex/internal/blockenc"
 	"vortex/internal/latencymodel"
 	"vortex/internal/metrics"
+)
+
+// Chaos injects scheduled failures at the cluster cut-points (satisfied
+// by *chaos.Schedule; wired by internal/core).
+type Chaos interface {
+	Inject(ctx context.Context, point, target string) error
+}
+
+// Cut-point names used by this package. The target is the cluster name.
+const (
+	ChaosPointWrite = "colossus.write"
+	ChaosPointRead  = "colossus.read"
 )
 
 // Errors returned by cluster operations.
@@ -77,6 +90,15 @@ func (r *Region) SetSampler(s *latencymodel.Sampler) {
 	}
 }
 
+// SetChaos installs a fault-injection schedule on every cluster.
+func (r *Region) SetChaos(ch Chaos) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.clusters {
+		c.SetChaos(ch)
+	}
+}
+
 // Stats aggregates operation counters across the region's clusters.
 type Stats struct {
 	WriteOps     int64
@@ -112,6 +134,7 @@ type Cluster struct {
 	failNextWrites int
 
 	sampler *latencymodel.Sampler
+	chaos   Chaos
 
 	writeOps     metrics.Counter
 	readOps      metrics.Counter
@@ -173,19 +196,40 @@ func (c *Cluster) Stats() Stats {
 	}
 }
 
+// SetChaos installs a fault-injection schedule. A nil schedule (the
+// default) injects nothing.
+func (c *Cluster) SetChaos(ch Chaos) {
+	c.stateMu.Lock()
+	c.chaos = ch
+	c.stateMu.Unlock()
+}
+
 // checkUp returns the sampler and any availability error, consuming one
-// injected write failure if consume is set.
+// injected write failure if consume is set and evaluating the chaos
+// schedule's write/read cut-point.
 func (c *Cluster) checkUp(consumeWriteFault bool) (*latencymodel.Sampler, error) {
 	c.stateMu.Lock()
-	defer c.stateMu.Unlock()
 	if !c.available {
+		c.stateMu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.name)
 	}
 	if consumeWriteFault && c.failNextWrites > 0 {
 		c.failNextWrites--
+		c.stateMu.Unlock()
 		return nil, fmt.Errorf("%w on %s", ErrInjected, c.name)
 	}
-	return c.sampler, nil
+	sampler, chaos := c.sampler, c.chaos
+	c.stateMu.Unlock()
+	if chaos != nil {
+		point := ChaosPointRead
+		if consumeWriteFault {
+			point = ChaosPointWrite
+		}
+		if err := chaos.Inject(context.Background(), point, c.name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+	}
+	return sampler, nil
 }
 
 // Create creates an empty file. It fails if the file exists.

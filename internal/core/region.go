@@ -15,6 +15,7 @@ import (
 
 	"vortex/internal/bigmeta"
 	"vortex/internal/blockenc"
+	"vortex/internal/chaos"
 	"vortex/internal/client"
 	"vortex/internal/colossus"
 	"vortex/internal/latencymodel"
@@ -43,6 +44,10 @@ type Config struct {
 	ClockEpsilon time.Duration
 	// MaxFragmentBytes overrides the fragment rotation size.
 	MaxFragmentBytes int64
+	// Chaos, when non-nil, is the fault-injection schedule wired through
+	// every subsystem (transport, Colossus, Stream Servers) and granted
+	// crash/restart authority over individual tasks.
+	Chaos *chaos.Schedule
 }
 
 // DefaultConfig returns a two-cluster region with a small server pool.
@@ -70,6 +75,8 @@ type Region struct {
 
 	placer *placer
 	router *router
+	chaos  *chaos.Schedule
+	cfg    Config
 
 	mu sync.Mutex
 }
@@ -129,8 +136,29 @@ func NewRegion(cfg Config) *Region {
 			r.placer.addServer(addr, cl)
 		}
 	}
+	r.cfg = cfg
+	if cfg.Chaos != nil {
+		r.installChaos(cfg.Chaos)
+	}
 	return r
 }
+
+// installChaos threads one schedule through every failure surface and
+// gives it crash authority over individual tasks.
+func (r *Region) installChaos(s *chaos.Schedule) {
+	r.chaos = s
+	r.Net.SetChaos(s)
+	r.Colossus.SetChaos(s)
+	for _, srv := range r.StreamServers {
+		srv.SetChaos(s)
+	}
+	r.placer.setChaos(s)
+	s.OnCrash(chaos.KindStreamServer, r.CrashStreamServer)
+	s.OnCrash(chaos.KindSMS, r.CrashSMSTask)
+}
+
+// Chaos returns the region's fault-injection schedule (nil when none).
+func (r *Region) Chaos() *chaos.Schedule { return r.chaos }
 
 // NewClient returns a client bound to this region.
 func (r *Region) NewClient(opts client.Options) *client.Client {
@@ -162,6 +190,43 @@ func (r *Region) CrashStreamServer(addr string) {
 	if srv != nil {
 		srv.Crash()
 		r.placer.markDead(addr)
+	}
+}
+
+// RestartStreamServer brings a crashed Stream Server back at the same
+// address as a fresh task: empty streamlet map, same durable fragments
+// in Colossus. Ownership of its old streamlets is re-established only
+// through the usual SMS instruct path — exactly a Borg reschedule.
+func (r *Region) RestartStreamServer(addr string) *streamserver.Server {
+	sscfg := streamserver.DefaultConfig(addr)
+	if r.cfg.MaxFragmentBytes > 0 {
+		sscfg.MaxFragmentBytes = r.cfg.MaxFragmentBytes
+	}
+	srv := streamserver.New(sscfg, r.Colossus, r.Clock, r.Keyring, r.router, r.Net)
+	if r.chaos != nil {
+		srv.SetChaos(r.chaos)
+	}
+	r.mu.Lock()
+	r.StreamServers[addr] = srv
+	r.mu.Unlock()
+	r.placer.markAlive(addr)
+	return srv
+}
+
+// CrashSMSTask simulates losing an SMS task: its handlers leave the
+// network, in-flight calls to it fail, and its durable state stays in
+// Spanner (§5.2 — control-plane tasks hold no unrecoverable state).
+func (r *Region) CrashSMSTask(addr string) {
+	r.Net.Deregister(addr)
+}
+
+// RestartSMSTask resumes a crashed SMS task at the same address.
+func (r *Region) RestartSMSTask(addr string) {
+	for _, t := range r.SMSTasks {
+		if t.Addr() == addr {
+			t.Register()
+			return
+		}
 	}
 }
 
@@ -200,6 +265,7 @@ type placer struct {
 	mu       sync.Mutex
 	clusters []string
 	servers  map[string]*serverState
+	chaos    *chaos.Schedule
 }
 
 type serverState struct {
@@ -228,6 +294,20 @@ func (p *placer) markDead(addr string) {
 	p.mu.Unlock()
 }
 
+func (p *placer) markAlive(addr string) {
+	p.mu.Lock()
+	if s, ok := p.servers[addr]; ok {
+		s.dead = false
+	}
+	p.mu.Unlock()
+}
+
+func (p *placer) setChaos(s *chaos.Schedule) {
+	p.mu.Lock()
+	p.chaos = s
+	p.mu.Unlock()
+}
+
 // Pick implements sms.Placer.
 func (p *placer) Pick(exclude string) (string, [2]string, error) {
 	p.mu.Lock()
@@ -236,14 +316,24 @@ func (p *placer) Pick(exclude string) (string, [2]string, error) {
 		addr string
 		cost float64
 	}
-	var cands []cand
+	var cands, outCands []cand
 	for addr, st := range p.servers {
 		if st.dead || st.quarantine || addr == exclude {
 			continue
 		}
 		// Load plus a placement-count term keeps assignment spread even
 		// before the first heartbeats arrive.
-		cands = append(cands, cand{addr, st.load + float64(st.placements)*0.01})
+		c := cand{addr, st.load + float64(st.placements)*0.01}
+		// Servers whose home cluster is in a scheduled outage are a last
+		// resort: every write of theirs would start degraded.
+		if p.chaos != nil && p.chaos.ClusterOut(st.cluster) {
+			outCands = append(outCands, c)
+			continue
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		cands = outCands
 	}
 	if len(cands) == 0 {
 		return "", [2]string{}, errors.New("core: no healthy stream server available")
@@ -262,6 +352,11 @@ func (p *placer) Pick(exclude string) (string, [2]string, error) {
 	for i, c := range p.clusters {
 		if c == home {
 			second = p.clusters[(i+1)%len(p.clusters)]
+			// Skip partner clusters that are scheduled out: the streamlet
+			// starts single-homed rather than failing its first write.
+			for j := 2; p.chaos != nil && p.chaos.ClusterOut(second) && second != home && j <= len(p.clusters); j++ {
+				second = p.clusters[(i+j)%len(p.clusters)]
+			}
 			break
 		}
 	}

@@ -73,7 +73,7 @@ func TestUnbufferedReadAfterWrite(t *testing.T) {
 	}
 	for batch := 0; batch < 3; batch++ {
 		rows := []schema.Row{eventRow(batch * 2), eventRow(batch*2 + 1)}
-		off, err := s.Append(ctx, rows, client.AppendOptions{Offset: -1})
+		off, err := s.Append(ctx, rows, client.AtOffset(-1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,19 +103,19 @@ func TestOffsetValidationGivesExactlyOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := []schema.Row{eventRow(0), eventRow(1)}
-	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := s.Append(ctx, rows, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	// A retry of the same batch at the same offset must fail…
-	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: 0}); !errors.Is(err, client.ErrWrongOffset) {
+	if _, err := s.Append(ctx, rows, client.AtOffset(0)); !errors.Is(err, client.ErrWrongOffset) {
 		t.Fatalf("duplicate append err = %v, want ErrWrongOffset", err)
 	}
 	// …and appending at the next offset succeeds.
-	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AppendOptions{Offset: 2}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AtOffset(2)); err != nil {
 		t.Fatal(err)
 	}
 	// Out-of-order offsets are rejected too.
-	if _, err := s.Append(ctx, []schema.Row{eventRow(9)}, client.AppendOptions{Offset: 7}); !errors.Is(err, client.ErrWrongOffset) {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(9)}, client.AtOffset(7)); !errors.Is(err, client.ErrWrongOffset) {
 		t.Fatalf("gap append err = %v", err)
 	}
 	if got := readValues(t, ctx, c, "d.t", 0); len(got) != 3 {
@@ -134,7 +134,7 @@ func TestBufferedFlushVisibility(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rows = append(rows, eventRow(i))
 	}
-	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, rows, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Unflushed rows are durable but invisible (§4.2.1).
@@ -183,7 +183,7 @@ func TestPendingBatchCommitAtomicity(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
-			if _, err := s.Append(ctx, []schema.Row{eventRow(w*10 + i)}, client.AppendOptions{Offset: -1}); err != nil {
+			if _, err := s.Append(ctx, []schema.Row{eventRow(w*10 + i)}, client.AtOffset(-1)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -234,14 +234,14 @@ func TestFinalizeStreamStopsAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	n, err := s.Finalize(ctx)
 	if err != nil || n != 1 {
 		t.Fatalf("finalize: %d, %v", n, err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AppendOptions{Offset: -1}); !errors.Is(err, client.ErrStreamFinalized) {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AtOffset(-1)); !errors.Is(err, client.ErrStreamFinalized) {
 		t.Fatalf("append after finalize: %v", err)
 	}
 	// A second stream object appending to the finalized stream is also
@@ -258,14 +258,14 @@ func TestSnapshotReadsAreStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// TrueTime cannot order events closer together than its uncertainty:
 	// separate the snapshot and the second append by > 2ε.
 	snap := r.Clock.Now().Latest
 	time.Sleep(12 * time.Millisecond)
-	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	if got := readValues(t, ctx, c, "d.snap", snap); len(got) != 1 || got[0] != 0 {
@@ -283,7 +283,7 @@ func TestStreamServerCrashRotatesStreamlet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(0), eventRow(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(0), eventRow(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Find and crash the server hosting the streamlet.
@@ -292,7 +292,7 @@ func TestStreamServerCrashRotatesStreamlet(t *testing.T) {
 
 	// The next append transparently rotates to a new streamlet on a
 	// different server (§5.4, §5.3).
-	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	got := readValues(t, ctx, c, "d.crash", 0)
@@ -305,7 +305,7 @@ func TestStreamServerCrashRotatesStreamlet(t *testing.T) {
 		}
 	}
 	// Offset continuity across streamlets: the stream is 3 rows long.
-	if off, err := s.Append(ctx, []schema.Row{eventRow(3)}, client.AppendOptions{Offset: 3}); err != nil || off != 3 {
+	if off, err := s.Append(ctx, []schema.Row{eventRow(3)}, client.AtOffset(3)); err != nil || off != 3 {
 		t.Fatalf("offset continuity: off=%d err=%v", off, err)
 	}
 }
@@ -334,16 +334,16 @@ func TestColossusWriteFailureRotatesFragment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Inject a transient write failure on one cluster: the server must
 	// close the fragment and retry into a new one (§5.3).
 	r.Colossus.Cluster("alpha").FailNextWrites(1)
-	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(2)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	got := readValues(t, ctx, c, "d.iofail", 0)
@@ -359,7 +359,7 @@ func TestZombieWriterIsPoisoned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	zombieServer := findStreamServer(t, r, "d.zombie")
@@ -368,7 +368,7 @@ func TestZombieWriterIsPoisoned(t *testing.T) {
 	r.Net.SetPartitioned(zombieServer, true)
 	// The client's next append fails over to a new streamlet; the SMS
 	// reconciliation poisons the old log files with a sentinel.
-	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Heal the partition. The zombie tries to keep writing to its old
@@ -420,7 +420,7 @@ func TestConcurrentWritersOwnStreams(t *testing.T) {
 				return
 			}
 			for i := 0; i < perWriter; i++ {
-				if _, err := s.Append(ctx, []schema.Row{eventRow(w*perWriter + i)}, client.AppendOptions{Offset: int64(i)}); err != nil {
+				if _, err := s.Append(ctx, []schema.Row{eventRow(w*perWriter + i)}, client.AtOffset(int64(i))); err != nil {
 					errCh <- err
 					return
 				}
@@ -452,7 +452,7 @@ func TestSchemaEvolutionMidStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{eventRow(0)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Another principal evolves the schema.
@@ -476,7 +476,7 @@ func TestSchemaEvolutionMidStream(t *testing.T) {
 	if err := sc.ValidateRow(newRow); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(ctx, []schema.Row{newRow}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{newRow}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	rows, _, err := c.ReadAll(ctx, "d.evolve", 0)
@@ -509,7 +509,7 @@ func TestHeartbeatPromotesFragmentsAndReadStaysExactlyOnce(t *testing.T) {
 	}
 	const n = 50
 	for i := 0; i < n; i++ {
-		if _, err := s.Append(ctx, []schema.Row{eventRow(i)}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := s.Append(ctx, []schema.Row{eventRow(i)}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}

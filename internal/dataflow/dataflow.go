@@ -307,7 +307,7 @@ func processBundle(ctx context.Context, c *client.Client, store *stateStore, str
 		return err
 	}
 	off := st.nextOffset
-	_, appendErr := s.Append(ctx, b.Rows, client.AppendOptions{Offset: off})
+	_, appendErr := s.Append(ctx, b.Rows, client.AtOffset(off))
 	if appendErr != nil && !errors.Is(appendErr, client.ErrWrongOffset) {
 		return appendErr
 	}

@@ -157,7 +157,7 @@ func TestAttachStreamResumesLength(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := mkRows(3)
-	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := s.Append(ctx, rows, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	// A second handle to the same stream must see the correct offset
@@ -166,10 +166,10 @@ func TestAttachStreamResumesLength(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h2.Append(ctx, rows, client.AppendOptions{Offset: 0}); err == nil {
+	if _, err := h2.Append(ctx, rows, client.AtOffset(0)); err == nil {
 		t.Fatal("stale offset accepted through second handle")
 	}
-	if _, err := h2.Append(ctx, mkRows(1), client.AppendOptions{Offset: 3}); err != nil {
+	if _, err := h2.Append(ctx, mkRows(1), client.AtOffset(3)); err != nil {
 		t.Fatal(err)
 	}
 }

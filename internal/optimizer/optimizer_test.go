@@ -78,7 +78,7 @@ func (e *env) ingestAndSeal(t testing.TB, table meta.TableID, rows []schema.Row)
 		t.Fatal(err)
 	}
 	for _, r := range rows {
-		if _, err := s.Append(e.ctx, []schema.Row{r}, client.AppendOptions{Offset: -1}); err != nil {
+		if _, err := s.Append(e.ctx, []schema.Row{r}, client.AtOffset(-1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -395,7 +395,7 @@ func TestConversionWhileStreamStillWritable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		if _, err := s.Append(e.ctx, []schema.Row{orderRow(0, i, "C")}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := s.Append(e.ctx, []schema.Row{orderRow(0, i, "C")}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -409,7 +409,7 @@ func TestConversionWhileStreamStillWritable(t *testing.T) {
 	}
 	// Keep appending after conversion.
 	for i := 40; i < 50; i++ {
-		if _, err := s.Append(e.ctx, []schema.Row{orderRow(0, i, "C")}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := s.Append(e.ctx, []schema.Row{orderRow(0, i, "C")}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}

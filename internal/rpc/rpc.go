@@ -30,6 +30,11 @@ var (
 	ErrUnreachable = errors.New("rpc: server unreachable")
 	ErrNoMethod    = errors.New("rpc: no such method")
 	ErrClosed      = errors.New("rpc: stream closed")
+	// ErrDropped: the request or response was lost in transit (injected
+	// by a chaos schedule). Unlike ErrUnreachable the server may be
+	// healthy — and may have acted — so callers retry the same target
+	// first rather than rotating away.
+	ErrDropped = errors.New("rpc: message dropped")
 )
 
 // Sized is implemented by messages that know their wire size; it drives
@@ -45,6 +50,21 @@ func sizeOf(m any) int {
 	}
 	return nominalMessageSize
 }
+
+// Chaos injects scheduled failures at named transport cut-points. It is
+// satisfied by *chaos.Schedule; declaring the interface here keeps the
+// dependency arrow pointing from chaos consumers to their wiring
+// (internal/core) rather than from rpc to chaos.
+type Chaos interface {
+	Inject(ctx context.Context, point, target string) error
+}
+
+// Cut-point names used by this package.
+const (
+	ChaosPointRequest    = "rpc.request"
+	ChaosPointResponse   = "rpc.response"
+	ChaosPointStreamSend = "rpc.stream.send"
+)
 
 // UnaryHandler serves one request/response call.
 type UnaryHandler func(ctx context.Context, req any) (any, error)
@@ -109,6 +129,7 @@ type Network struct {
 	idleConns   map[string]int // per-address pooled idle connections
 
 	sampler *latencymodel.Sampler
+	chaos   Chaos
 
 	unaryCalls  metrics.Counter
 	setups      metrics.Counter
@@ -143,6 +164,28 @@ func (n *Network) Deregister(addr string) {
 	delete(n.servers, addr)
 	delete(n.idleConns, addr)
 	n.mu.Unlock()
+}
+
+// SetChaos installs a fault-injection schedule on the transport. A nil
+// schedule (the default) injects nothing.
+func (n *Network) SetChaos(c Chaos) {
+	n.mu.Lock()
+	n.chaos = c
+	n.mu.Unlock()
+}
+
+func (n *Network) inject(ctx context.Context, point, target string) error {
+	n.mu.Lock()
+	c := n.chaos
+	n.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	err := c.Inject(ctx, point, target)
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrDropped, err)
 }
 
 // SetPartitioned makes addr unreachable (or reachable again) without
@@ -213,7 +256,19 @@ func (n *Network) Unary(ctx context.Context, addr, method string, req any) (any,
 	}
 	n.unaryCalls.Add(1)
 	n.hop(sizeOf(req))
+	// Chaos cut-point: the request may be dropped (or delayed) before the
+	// server sees it — the write never happens.
+	if err := n.inject(ctx, ChaosPointRequest, addr+"/"+method); err != nil {
+		return nil, err
+	}
 	resp, err := h(ctx, req)
+	if err == nil {
+		// Chaos cut-point: the response may be lost after the server acted
+		// — the caller must retry an operation that already happened.
+		if cerr := n.inject(ctx, ChaosPointResponse, addr+"/"+method); cerr != nil {
+			return nil, cerr
+		}
+	}
 	n.hop(sizeOf(resp))
 	// Return the connection to the pool.
 	n.mu.Lock()
@@ -315,6 +370,9 @@ func (cs *ClientStream) Send(m any) error {
 	// the network does.
 	if _, err := c.net.lookup(c.addr); err != nil {
 		c.fail(err)
+		return err
+	}
+	if err := c.net.inject(context.Background(), ChaosPointStreamSend, c.addr); err != nil {
 		return err
 	}
 	c.net.hop(size)

@@ -42,7 +42,7 @@ func TestGarbageCollectionLifecycle(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		rows = append(rows, schema.NewRow(schema.String("key"), schema.Int64(int64(i))))
 	}
-	if _, err := s.Append(ctx, rows, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := s.Append(ctx, rows, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Finalize(ctx); err != nil {
@@ -93,7 +93,7 @@ func TestGarbageCollectionLifecycle(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rows2 = append(rows2, schema.NewRow(schema.String("key"), schema.Int64(int64(100+i))))
 	}
-	if _, err := s2.Append(ctx, rows2, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := s2.Append(ctx, rows2, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s2.Finalize(ctx); err != nil {

@@ -62,6 +62,7 @@ type Task struct {
 	placer Placer
 
 	mu       sync.Mutex
+	srv      *rpc.Server
 	listener FragmentListener
 	region   *colossus.Region
 
@@ -117,12 +118,24 @@ func New(addr string, db *spanner.DB, net *rpc.Network, placer Placer) *Task {
 	srv.RegisterUnary(wire.MethodEndDML, t.handleEndDML)
 	srv.RegisterUnary(wire.MethodCommitDML, t.handleCommitDML)
 	srv.RegisterUnary(wire.MethodGC, t.handleGC)
+	srv.RegisterUnary(wire.MethodDegradeStreamlet, t.handleDegradeStreamlet)
+	t.srv = srv
 	net.Register(addr, srv)
 	return t
 }
 
 // Addr returns the task's transport address.
 func (t *Task) Addr() string { return t.addr }
+
+// Register re-registers the task's handlers on the network. SMS tasks
+// are stateless over Spanner (§5.2), so a "restart" after a chaos crash
+// is exactly this: the same durable state served again at the same addr.
+func (t *Task) Register() {
+	t.mu.Lock()
+	srv := t.srv
+	t.mu.Unlock()
+	t.net.Register(t.addr, srv)
+}
 
 // SetFragmentListener installs the committed-fragment-change observer.
 func (t *Task) SetFragmentListener(l FragmentListener) {
@@ -489,6 +502,32 @@ func (t *Task) handleFinalizeStream(ctx context.Context, req any) (any, error) {
 		return nil, unwrapAbort(err)
 	}
 	return &wire.FinalizeStreamResponse{RowCount: total}, nil
+}
+
+// handleDegradeStreamlet durably narrows a streamlet's replica set —
+// the §5.6 fallback to single-cluster replication during a Colossus
+// outage. The owning Stream Server calls this synchronously before
+// acknowledging its first degraded write, so reconciliation and readers
+// never consult the out cluster's stale replica. Idempotent.
+func (t *Task) handleDegradeStreamlet(_ context.Context, req any) (any, error) {
+	r := req.(*wire.DegradeStreamletRequest)
+	_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
+		raw, ok := tx.Get(streamletKey(r.Table, r.Streamlet))
+		if !ok {
+			return fmt.Errorf("%w: streamlet %s", ErrNotFound, r.Streamlet)
+		}
+		sl, err := meta.UnmarshalStreamlet(raw)
+		if err != nil {
+			return err
+		}
+		sl.Clusters = r.Clusters
+		tx.Put(streamletKey(r.Table, r.Streamlet), meta.MarshalStreamlet(sl))
+		return nil
+	})
+	if err != nil {
+		return nil, unwrapAbort(err)
+	}
+	return &wire.DegradeStreamletResponse{}, nil
 }
 
 // absorbStreamletFinalization persists a server-reported finalization.

@@ -32,6 +32,20 @@ type Router interface {
 	SMSFor(table meta.TableID) (string, error)
 }
 
+// Chaos is the fault-injection surface the data plane consults
+// (satisfied by *chaos.Schedule; wired by internal/core): Inject
+// evaluates the append cut-point, and ClusterOut reports whether a
+// Colossus cluster is scheduled out — the trigger for falling back to
+// single-cluster replication (§5.6).
+type Chaos interface {
+	Inject(ctx context.Context, point, target string) error
+	ClusterOut(cluster string) bool
+}
+
+// ChaosPointAppend is this package's cut-point: evaluated at the top of
+// every append, before any durable write. The target is the server addr.
+const ChaosPointAppend = "streamserver.append"
+
 // Config parameterizes a Stream Server.
 type Config struct {
 	// Addr is the server's transport address.
@@ -58,6 +72,7 @@ type Server struct {
 	keyID  blockenc.KeyID
 	router Router
 	net    *rpc.Network
+	chaos  Chaos
 
 	seqMu   sync.Mutex
 	lastSeq truetime.Timestamp
@@ -69,8 +84,9 @@ type Server struct {
 	crashed     bool
 	quarantine  bool
 
-	bytesAppended metrics.Counter
-	appendOps     metrics.Counter
+	bytesAppended  metrics.Counter
+	appendOps      metrics.Counter
+	degradedWrites metrics.Counter
 }
 
 // streamlet is the server's in-memory truth about one streamlet.
@@ -87,6 +103,18 @@ type streamlet struct {
 	// after inactivity (§7.1).
 	pendingCommit bool
 	closed        bool
+	// lastAppend remembers the most recent acknowledged append so a
+	// retransmission whose ack was lost (or a hedged duplicate) can be
+	// answered with the original response instead of WRONG_OFFSET —
+	// exactly-once across response loss (§4.2.2).
+	lastAppend *appendMemo
+}
+
+// appendMemo is the replay record of one acknowledged append.
+type appendMemo struct {
+	startOffset int64
+	crc         uint32
+	resp        wire.AppendResponse
 }
 
 // fragWriter is the state of the currently-open fragment.
@@ -131,6 +159,19 @@ func New(cfg Config, region *colossus.Region, clock truetime.Clock, keyring *blo
 
 // Addr returns the server's address.
 func (s *Server) Addr() string { return s.cfg.Addr }
+
+// SetChaos installs the fault-injection schedule (nil injects nothing).
+func (s *Server) SetChaos(c Chaos) {
+	s.mu.Lock()
+	s.chaos = c
+	s.mu.Unlock()
+}
+
+func (s *Server) chaosSchedule() Chaos {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chaos
+}
 
 // Crash simulates a hard crash: the server vanishes from the network and
 // loses its in-memory state (its durable truth stays in Colossus).
@@ -205,15 +246,15 @@ func (s *Server) handleCreateStreamlet(_ context.Context, req any) (any, error) 
 	return &wire.CreateStreamletResponse{}, nil
 }
 
-func (s *Server) handleAppendUnary(_ context.Context, req any) (any, error) {
+func (s *Server) handleAppendUnary(ctx context.Context, req any) (any, error) {
 	r, ok := req.(*wire.AppendRequest)
 	if !ok {
 		return nil, fmt.Errorf("streamserver: bad request type %T", req)
 	}
-	return s.append(r), nil
+	return s.append(ctx, r)
 }
 
-func (s *Server) handleAppendStream(_ context.Context, stream *rpc.ServerStream) error {
+func (s *Server) handleAppendStream(ctx context.Context, stream *rpc.ServerStream) error {
 	for {
 		m, err := stream.Recv()
 		if err == io.EOF {
@@ -226,19 +267,32 @@ func (s *Server) handleAppendStream(_ context.Context, stream *rpc.ServerStream)
 		if !ok {
 			return fmt.Errorf("streamserver: bad stream message type %T", m)
 		}
-		if err := stream.Send(s.append(r)); err != nil {
+		resp, err := s.append(ctx, r)
+		if err != nil {
+			return err
+		}
+		if err := stream.Send(resp); err != nil {
 			return err
 		}
 	}
 }
 
-// append is the core data-plane write path.
-func (s *Server) append(r *wire.AppendRequest) *wire.AppendResponse {
-	fail := func(code, detail string) *wire.AppendResponse {
+// append is the core data-plane write path. A non-nil error is a
+// transport-level failure (e.g. an injected crash); application
+// outcomes travel in AppendResponse.Error.
+func (s *Server) append(ctx context.Context, r *wire.AppendRequest) (*wire.AppendResponse, error) {
+	// Chaos cut-point before any durable write: a crash here loses the
+	// request, never the data (§5.3 rotation handles the rest).
+	if c := s.chaosSchedule(); c != nil {
+		if err := c.Inject(ctx, ChaosPointAppend, s.cfg.Addr); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(code, detail string) (*wire.AppendResponse, error) {
 		if detail != "" {
 			code = code + ": " + detail
 		}
-		return &wire.AppendResponse{Error: code}
+		return &wire.AppendResponse{Error: code}, nil
 	}
 	sl, ok := s.lookup(r.Streamlet)
 	if !ok {
@@ -265,6 +319,14 @@ func (s *Server) append(r *wire.AppendRequest) *wire.AppendResponse {
 	// Offset validation (§4.2.2).
 	streamOffset := sl.info.StartOffset + sl.rowCount
 	if r.ExpectedStreamOffset >= 0 && r.ExpectedStreamOffset != streamOffset {
+		// A flagged retransmission of the last acknowledged batch (same
+		// offset, same payload CRC) replays the original ack: the first
+		// attempt landed but its response was lost, or a hedge raced the
+		// primary. Fresh duplicate appends still fail below.
+		if m := sl.lastAppend; r.Retry && m != nil && r.ExpectedStreamOffset == m.startOffset && r.CRC == m.crc {
+			resp := m.resp
+			return &resp, nil
+		}
 		return fail(wire.ErrCodeWrongOffset, fmt.Sprintf("stream is at %d, request expects %d", streamOffset, r.ExpectedStreamOffset))
 	}
 
@@ -294,7 +356,9 @@ func (s *Server) append(r *wire.AppendRequest) *wire.AppendResponse {
 	if sl.cur != nil && sl.cur.size >= s.cfg.MaxFragmentBytes {
 		s.finalizeCurrentFragment(sl)
 	}
-	return &wire.AppendResponse{StreamOffset: streamOffset, RowCount: int64(len(rows)), Timestamp: ts}
+	resp := &wire.AppendResponse{StreamOffset: streamOffset, RowCount: int64(len(rows)), Timestamp: ts}
+	sl.lastAppend = &appendMemo{startOffset: streamOffset, crc: r.CRC, resp: *resp}
+	return resp, nil
 }
 
 // writeDataBlock writes one sealed data block (preceded by a pending
@@ -355,14 +419,27 @@ func (s *Server) writeDataBlock(sl *streamlet, payload []byte, ts truetime.Times
 
 // writeBoth performs the synchronous dual-cluster replicated write:
 // identical bytes to both replicas, success only if both succeed (§5.6).
-// Caller holds sl.mu.
+// A streamlet already degraded to single-cluster replication (identical
+// cluster entries) writes once; a dual-homed streamlet whose one failed
+// replica sits in a scheduled cluster outage degrades in place — after
+// the SMS durably records the new replica set — instead of failing the
+// append. Caller holds sl.mu.
 func (s *Server) writeBoth(sl *streamlet, data []byte) error {
 	crc := blockenc.Checksum(data)
 	path := sl.cur.info.Path
 	expect := sl.cur.size
+	clusters := sl.info.Clusters
+	if clusters[0] == clusters[1] {
+		c := s.region.Cluster(clusters[0])
+		if c == nil {
+			return fmt.Errorf("streamserver: no cluster %q", clusters[0])
+		}
+		_, err := c.AppendAt(path, expect, data, crc)
+		return err
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
-	for i, name := range sl.info.Clusters {
+	for i, name := range clusters {
 		c := s.region.Cluster(name)
 		if c == nil {
 			errs[i] = fmt.Errorf("streamserver: no cluster %q", name)
@@ -375,10 +452,59 @@ func (s *Server) writeBoth(sl *streamlet, data []byte) error {
 		}(i, c)
 	}
 	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		return nil
+	}
+	for i := range errs {
+		if errs[i] == nil || errs[1-i] != nil {
+			continue // not the exactly-one-replica-failed case
+		}
+		if errors.Is(errs[i], colossus.ErrSizeMismatch) {
+			break // ownership loss, not an outage
+		}
+		chaos := s.chaosSchedule()
+		if chaos == nil || !chaos.ClusterOut(clusters[i]) {
+			break
+		}
+		// Degraded single-cluster commit (§5.6): the healthy replica has
+		// the bytes; record the fallback durably, then acknowledge.
+		if err := s.degradeStreamlet(sl, clusters[1-i]); err != nil {
+			break
+		}
+		s.degradedWrites.Add(1)
+		return nil
+	}
 	if errs[0] != nil {
 		return errs[0]
 	}
 	return errs[1]
+}
+
+// degradeStreamlet flips the streamlet (and its open fragment) to
+// single-cluster replication on healthy, synchronously recording the
+// change at the SMS so reconciliation and readers stop consulting the
+// out cluster's stale replica. Earlier, completed fragments stay
+// dual-homed — both their replicas are whole. Caller holds sl.mu.
+func (s *Server) degradeStreamlet(sl *streamlet, healthy string) error {
+	addr, err := s.router.SMSFor(sl.info.Table)
+	if err != nil {
+		return err
+	}
+	_, err = s.net.Unary(context.Background(), addr, wire.MethodDegradeStreamlet, &wire.DegradeStreamletRequest{
+		Table:     sl.info.Table,
+		Stream:    sl.info.Stream,
+		Streamlet: sl.info.ID,
+		Clusters:  [2]string{healthy, healthy},
+	})
+	if err != nil {
+		return err
+	}
+	sl.info.Clusters = [2]string{healthy, healthy}
+	if sl.cur != nil {
+		sl.cur.info.Clusters = sl.info.Clusters
+	}
+	s.markDirty(sl.info.ID)
+	return nil
 }
 
 // FragmentPath is the Colossus path of a streamlet's index'th fragment.
@@ -789,9 +915,10 @@ func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
 
 // Stats reports the server's load counters (heartbeats carry them).
 type Stats struct {
-	AppendOps     int64
-	BytesAppended int64
-	Streamlets    int
+	AppendOps      int64
+	BytesAppended  int64
+	DegradedWrites int64
+	Streamlets     int
 }
 
 // Stats returns current counters.
@@ -800,8 +927,9 @@ func (s *Server) Stats() Stats {
 	n := len(s.streamlets)
 	s.mu.Unlock()
 	return Stats{
-		AppendOps:     s.appendOps.Value(),
-		BytesAppended: s.bytesAppended.Value(),
-		Streamlets:    n,
+		AppendOps:      s.appendOps.Value(),
+		BytesAppended:  s.bytesAppended.Value(),
+		DegradedWrites: s.degradedWrites.Value(),
+		Streamlets:     n,
 	}
 }

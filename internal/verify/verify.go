@@ -79,11 +79,11 @@ func Track(s *client.Stream, ledger *Ledger) *TrackedStream {
 }
 
 // Append forwards to the underlying stream and records the ack.
-func (t *TrackedStream) Append(ctx context.Context, rows []schema.Row, opts client.AppendOptions) (int64, error) {
+func (t *TrackedStream) Append(ctx context.Context, rows []schema.Row, opts ...client.AppendOption) (int64, error) {
 	// Capture the response timestamp by re-deriving it from a read is
 	// impossible; instead use AppendDetailed semantics: the client's
 	// Append returns only the offset, so track via a second call path.
-	off, seq, err := t.S.AppendTracked(ctx, rows, opts)
+	off, seq, err := t.S.AppendTracked(ctx, rows, opts...)
 	if err != nil {
 		return off, err
 	}

@@ -53,7 +53,7 @@ func TestVerifyCleanIngestion(t *testing.T) {
 	}
 	ts := verify.Track(s, ledger)
 	for i := 0; i < 30; i += 3 {
-		if _, err := ts.Append(ctx, []schema.Row{row(i), row(i + 1), row(i + 2)}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := ts.Append(ctx, []schema.Row{row(i), row(i + 1), row(i + 2)}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,7 +79,7 @@ func TestVerifyAcrossConversionExactlyOnce(t *testing.T) {
 	}
 	ts := verify.Track(s, ledger)
 	for i := 0; i < 40; i++ {
-		if _, err := ts.Append(ctx, []schema.Row{row(i)}, client.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := ts.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -122,7 +122,7 @@ func TestVerifyDetectsMissingRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := verify.Track(s, ledger)
-	if _, err := ts.Append(ctx, []schema.Row{row(1)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := ts.Append(ctx, []schema.Row{row(1)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Forge a ledger entry for an append that never happened: the
@@ -147,7 +147,7 @@ func TestVerifyDetectsOverlapAndPhantoms(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Untracked append: its rows are phantoms from the ledger's view.
-	if _, err := s.Append(ctx, []schema.Row{row(9)}, client.AppendOptions{Offset: -1}); err != nil {
+	if _, err := s.Append(ctx, []schema.Row{row(9)}, client.AtOffset(-1)); err != nil {
 		t.Fatal(err)
 	}
 	// Two forged ledger entries claiming the same stream offsets.
@@ -172,7 +172,7 @@ func TestVerifyDetectsContentMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := verify.Track(s, ledger)
-	if _, err := ts.Append(ctx, []schema.Row{row(1)}, client.AppendOptions{Offset: 0}); err != nil {
+	if _, err := ts.Append(ctx, []schema.Row{row(1)}, client.AtOffset(0)); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the ledger's recorded hash: the stored row no longer

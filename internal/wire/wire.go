@@ -36,6 +36,7 @@ const (
 	MethodHeartbeat            = "Heartbeat"
 	MethodReadView             = "ReadView"
 	MethodReconcile            = "Reconcile"
+	MethodDegradeStreamlet     = "DegradeStreamlet"
 	MethodRegisterConversion   = "RegisterConversion"
 	MethodConversionCandidates = "ConversionCandidates"
 	MethodCommitDML            = "CommitDML"
@@ -73,6 +74,11 @@ type AppendRequest struct {
 	// SchemaVersion is the schema version the client serialized under;
 	// a stale version fails the append so the client refetches (§5.4.1).
 	SchemaVersion int
+	// Retry marks a retransmission (or hedge) of a batch whose first
+	// attempt may already have landed. With a pinned ExpectedStreamOffset
+	// it lets the server replay the original ack instead of failing with
+	// WRONG_OFFSET when the previous ack was lost in flight (§4.2.2).
+	Retry bool
 }
 
 // WireSize implements rpc.Sized for flow-control accounting.
@@ -349,6 +355,22 @@ type ReconcileResponse struct {
 	RowCount  int64
 	Fragments []meta.FragmentInfo
 }
+
+// DegradeStreamletRequest asks the SMS to durably record that a
+// streamlet fell back from dual- to single-cluster replication because
+// one cluster is out (§5.6). The Stream Server sends it synchronously
+// before acknowledging the first degraded write, so reconciliation and
+// readers consult only the healthy replica from that point on.
+type DegradeStreamletRequest struct {
+	Table     meta.TableID
+	Stream    meta.StreamID
+	Streamlet meta.StreamletID
+	// Clusters is the new (single-cluster, duplicated) replica set.
+	Clusters [2]string
+}
+
+// DegradeStreamletResponse acknowledges the durable replica-set change.
+type DegradeStreamletResponse struct{}
 
 // ConversionCandidatesRequest asks the SMS for fragments ready to be
 // converted WOS→ROS (§6.1).

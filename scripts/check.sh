@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Full local check: vet + race-enabled tests across every package.
+# The chaos suite (internal/chaos, core/client chaos tests) is expected
+# to be deterministic under -race; any ordering flake is a bug.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...

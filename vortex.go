@@ -19,21 +19,25 @@
 //
 // Quickstart:
 //
-//	db := vortex.Open()
+//	db := vortex.Open(vortex.WithClusters("alpha", "beta"))
 //	db.CreateTable(ctx, "d.events", eventSchema)
 //	s, _ := db.Table("d.events").NewStream(ctx, vortex.Unbuffered)
-//	s.Append(ctx, rows, vortex.AppendOptions{Offset: -1})
+//	s.Append(ctx, rows)                       // at-least-once, append at end
+//	s.Append(ctx, rows, vortex.AtOffset(10))  // exactly-once, offset-pinned
 //	res, _ := db.Query(ctx, "SELECT COUNT(*) FROM d.events")
 package vortex
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"vortex/internal/chaos"
 	"vortex/internal/client"
 	"vortex/internal/core"
 	"vortex/internal/latencymodel"
 	"vortex/internal/meta"
+	"vortex/internal/metrics"
 	"vortex/internal/optimizer"
 	"vortex/internal/query"
 	"vortex/internal/schema"
@@ -55,9 +59,27 @@ type (
 	Value = schema.Value
 	// Stream is a writable stream handle.
 	Stream = client.Stream
-	// AppendOptions modifies one append (Offset >= 0 pins the landing
-	// offset for exactly-once retries; -1 appends at the end).
+	// AppendOption modifies one append call (see AtOffset, WithDeadline).
+	AppendOption = client.AppendOption
+	// AppendOptions is the legacy struct form of AppendOption.
+	//
+	// Deprecated: pass AtOffset / WithDeadline options instead.
 	AppendOptions = client.AppendOptions
+	// Error is the unified client error: a stable code, the failed
+	// operation, retryability, and the cause. errors.Is also matches
+	// the ErrWrongOffset-style sentinels.
+	Error = client.Error
+	// ErrorCode classifies an Error.
+	ErrorCode = client.ErrorCode
+	// RetryPolicy governs append and control-plane retries.
+	RetryPolicy = client.RetryPolicy
+	// ClientMetrics snapshots the client's resilience counters.
+	ClientMetrics = client.Metrics
+	// ChaosSchedule is a deterministic fault-injection plan (see
+	// WithChaos and the internal/chaos package).
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one triggered injection.
+	ChaosEvent = chaos.Event
 	// Result is a query result set.
 	Result = query.Result
 	// TableID names a table ("dataset.table").
@@ -68,13 +90,63 @@ type (
 	Timestamp = truetime.Timestamp
 	// Ledger records acknowledged appends for verification.
 	Ledger = verify.Ledger
+	// TrackedStream is a stream wrapped by Track.
+	TrackedStream = verify.TrackedStream
 )
+
+// Chaos cut-points and crash kinds, re-exported so schedules built with
+// NewChaosSchedule can target them (FailAt, DelayAt, OnCrash, …).
+const (
+	ChaosPointRPCRequest    = chaos.PointRPCRequest
+	ChaosPointRPCResponse   = chaos.PointRPCResponse
+	ChaosPointStreamSend    = chaos.PointStreamSend
+	ChaosPointColossusWrite = chaos.PointColossusWrite
+	ChaosPointColossusRead  = chaos.PointColossusRead
+	ChaosPointAppend        = chaos.PointAppend
+	ChaosKindStreamServer   = chaos.KindStreamServer
+	ChaosKindSMS            = chaos.KindSMS
+)
+
+// Track wraps a stream so every acknowledged append is recorded in the
+// ledger (§6.3) — feed it DB.AppendLedger() to make DB.Verify
+// meaningful for that stream's table.
+var Track = verify.Track
 
 // Stream types (§4.2.1).
 const (
 	Unbuffered = meta.Unbuffered
 	Buffered   = meta.Buffered
 	Pending    = meta.Pending
+)
+
+// Error codes.
+const (
+	CodeWrongOffset     = client.CodeWrongOffset
+	CodeStreamFinalized = client.CodeStreamFinalized
+	CodeExhausted       = client.CodeExhausted
+	CodeUnavailable     = client.CodeUnavailable
+	CodeInvalid         = client.CodeInvalid
+)
+
+// Sentinel errors (errors.Is targets; structured *Error values match).
+var (
+	ErrWrongOffset     = client.ErrWrongOffset
+	ErrStreamFinalized = client.ErrStreamFinalized
+	ErrExhausted       = client.ErrExhausted
+	ErrUnavailable     = client.ErrUnavailable
+)
+
+// Append options and resilience constructors re-exported from the
+// client library.
+var (
+	// AtOffset pins the rows to land at stream offset n (§4.2.2).
+	AtOffset = client.AtOffset
+	// WithDeadline bounds one append call, retries included.
+	WithDeadline = client.WithDeadline
+	// DefaultRetryPolicy returns the production-like retry policy.
+	DefaultRetryPolicy = client.DefaultRetryPolicy
+	// NewChaosSchedule returns an empty deterministic fault schedule.
+	NewChaosSchedule = chaos.NewSchedule
 )
 
 // Field modes.
@@ -98,7 +170,72 @@ const (
 	StructKind    = schema.KindStruct
 )
 
-// Config tunes an embedded region.
+// OpenOption configures Open. Options compose left to right:
+//
+//	vortex.Open(vortex.WithClusters("alpha", "beta", "gamma"),
+//	            vortex.WithProductionLatencies(),
+//	            vortex.WithSeed(42))
+type OpenOption interface {
+	applyOpen(*openConfig)
+}
+
+type openConfig struct {
+	clusters            []string
+	streamServers       int
+	productionLatencies bool
+	seed                int64
+	maxFragmentBytes    int64
+	chaos               *chaos.Schedule
+	retry               *client.RetryPolicy
+}
+
+type openOptionFunc func(*openConfig)
+
+func (f openOptionFunc) applyOpen(c *openConfig) { f(c) }
+
+// WithClusters names the simulated Colossus/Borg clusters (≥2).
+func WithClusters(names ...string) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.clusters = names })
+}
+
+// WithStreamServers sizes the data plane per cluster.
+func WithStreamServers(n int) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.streamServers = n })
+}
+
+// WithProductionLatencies injects the paper-calibrated latency model
+// (p50 ≈ 10 ms appends); off by default for tests and examples.
+func WithProductionLatencies() OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.productionLatencies = true })
+}
+
+// WithSeed makes latency sampling and retry jitter deterministic.
+func WithSeed(n int64) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.seed = n })
+}
+
+// WithMaxFragmentBytes overrides the fragment rotation size.
+func WithMaxFragmentBytes(n int64) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.maxFragmentBytes = n })
+}
+
+// WithChaos wires a deterministic fault-injection schedule through the
+// region: RPC drops and latency spikes, Stream Server crashes, SMS task
+// loss, and Colossus cluster outage windows (§5.6, §7.3).
+func WithChaos(s *ChaosSchedule) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.chaos = s })
+}
+
+// WithRetryPolicy overrides the client's append/control-plane retry
+// policy (backoff, per-attempt deadlines, hedging).
+func WithRetryPolicy(p RetryPolicy) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.retry = &p })
+}
+
+// Config tunes an embedded region. It implements OpenOption, so
+// existing Open(Config{...}) callsites keep working.
+//
+// Deprecated: pass WithClusters-style options to Open instead.
 type Config struct {
 	// Clusters names the simulated Colossus/Borg clusters (default two).
 	Clusters []string
@@ -113,6 +250,24 @@ type Config struct {
 	MaxFragmentBytes int64
 }
 
+func (cfg Config) applyOpen(c *openConfig) {
+	if len(cfg.Clusters) > 0 {
+		c.clusters = cfg.Clusters
+	}
+	if cfg.StreamServersPerCluster > 0 {
+		c.streamServers = cfg.StreamServersPerCluster
+	}
+	if cfg.ProductionLatencies {
+		c.productionLatencies = true
+	}
+	if cfg.Seed != 0 {
+		c.seed = cfg.Seed
+	}
+	if cfg.MaxFragmentBytes > 0 {
+		c.maxFragmentBytes = cfg.MaxFragmentBytes
+	}
+}
+
 // DB is an embedded Vortex region plus a client, query engine and
 // storage optimizer.
 type DB struct {
@@ -121,36 +276,84 @@ type DB struct {
 	engine *query.Engine
 	opt    *optimizer.Optimizer
 	ledger *verify.Ledger
+
+	errs     chan error
+	bgErrors metrics.Counter
 }
 
 // Open starts an embedded region.
-func Open(cfgs ...Config) *DB {
-	var cfg Config
-	if len(cfgs) > 0 {
-		cfg = cfgs[0]
+func Open(opts ...OpenOption) *DB {
+	var oc openConfig
+	for _, o := range opts {
+		if o != nil {
+			o.applyOpen(&oc)
+		}
 	}
 	rc := core.DefaultConfig()
-	if len(cfg.Clusters) >= 2 {
-		rc.Clusters = cfg.Clusters
+	if len(oc.clusters) >= 2 {
+		rc.Clusters = oc.clusters
 	}
-	if cfg.StreamServersPerCluster > 0 {
-		rc.StreamServersPerCluster = cfg.StreamServersPerCluster
+	if oc.streamServers > 0 {
+		rc.StreamServersPerCluster = oc.streamServers
 	}
-	if cfg.MaxFragmentBytes > 0 {
-		rc.MaxFragmentBytes = cfg.MaxFragmentBytes
+	if oc.maxFragmentBytes > 0 {
+		rc.MaxFragmentBytes = oc.maxFragmentBytes
 	}
-	if cfg.ProductionLatencies {
+	rc.Seed = oc.seed
+	if oc.productionLatencies {
 		rc.Latency = latencymodel.ProductionLike()
-		rc.Seed = cfg.Seed
 	}
+	rc.Chaos = oc.chaos
 	region := core.NewRegion(rc)
-	c := region.NewClient(client.DefaultOptions())
+	copts := client.DefaultOptions()
+	copts.Seed = oc.seed
+	if oc.retry != nil {
+		copts.Retry = *oc.retry
+	}
+	c := region.NewClient(copts)
 	return &DB{
 		Region: region,
 		c:      c,
 		engine: query.New(c, region.BigMeta, region.Net, region.Router(), query.Config{}),
 		opt:    optimizer.New(optimizer.DefaultConfig(), c, region.Net, region.Router(), region.Colossus, region.Clock),
 		ledger: verify.NewLedger(),
+		errs:   make(chan error, 16),
+	}
+}
+
+// Chaos returns the fault-injection schedule the DB was opened with
+// (nil when none).
+func (db *DB) Chaos() *ChaosSchedule { return db.Region.Chaos() }
+
+// ClientMetrics snapshots the client's resilience counters (retries,
+// rotations, hedges, append latency).
+func (db *DB) ClientMetrics() ClientMetrics { return db.c.Metrics() }
+
+// Errors returns background-maintenance errors (RunBackground's
+// optimizer and reclustering passes). The channel is bounded; when full
+// the oldest error is dropped so the newest is always observable.
+// Callers that never drain it lose nothing but the errors themselves.
+func (db *DB) Errors() <-chan error { return db.errs }
+
+// BackgroundErrorCount reports how many background errors occurred
+// (including any dropped from the Errors channel).
+func (db *DB) BackgroundErrorCount() int64 { return db.bgErrors.Value() }
+
+func (db *DB) reportErr(err error) {
+	if err == nil {
+		return
+	}
+	db.bgErrors.Add(1)
+	for {
+		select {
+		case db.errs <- err:
+			return
+		default:
+			select {
+			case <-db.errs: // drop the oldest
+			default:
+			}
+		}
 	}
 }
 
@@ -211,8 +414,15 @@ func (db *DB) RunBackground(ctx context.Context, every time.Duration, tables ...
 				return
 			case <-ticker.C:
 				for _, t := range tables {
-					_, _ = db.opt.ConvertTable(ctx, t)
-					_, _ = db.opt.Recluster(ctx, t, false)
+					if ctx.Err() != nil {
+						return
+					}
+					if _, err := db.opt.ConvertTable(ctx, t); err != nil {
+						db.reportErr(fmt.Errorf("optimize %s: %w", t, err))
+					}
+					if _, err := db.opt.Recluster(ctx, t, false); err != nil {
+						db.reportErr(fmt.Errorf("recluster %s: %w", t, err))
+					}
 				}
 			}
 		}

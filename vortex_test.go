@@ -37,7 +37,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			vortex.StringValue(fmt.Sprintf("user-%d", i%5)),
 			vortex.NumericValue(int64(i)*1_000_000_000),
 		)
-		if _, err := s.Append(ctx, []vortex.Row{row}, vortex.AppendOptions{Offset: int64(i)}); err != nil {
+		if _, err := s.Append(ctx, []vortex.Row{row}, vortex.AtOffset(int64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -54,7 +54,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	time.Sleep(12 * time.Millisecond)
 	if _, err := s.Append(ctx, []vortex.Row{vortex.NewRow(
 		vortex.TimestampValue(base), vortex.StringValue("late"), vortex.NullValue(),
-	)}, vortex.AppendOptions{Offset: 50}); err != nil {
+	)}, vortex.AtOffset(50)); err != nil {
 		t.Fatal(err)
 	}
 	old, err := db.QueryAt(ctx, "SELECT COUNT(*) FROM pay.tx", snap)
