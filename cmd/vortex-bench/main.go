@@ -7,6 +7,7 @@
 //	vortex-bench -experiment all
 //	vortex-bench -experiment fig7 -duration 30s -writers 48
 //	vortex-bench -experiment fig8 -duration 20s
+//	vortex-bench -experiment read-cache -repeats 40 -read-out BENCH_read.json
 //	vortex-bench -experiment compression|unary-vs-bidi|wos-vs-ros|recluster|chaos
 package main
 
@@ -22,11 +23,14 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
-		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros")
+		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
 		chaosAppends = flag.Int("chaos-appends", 48, "append count for the chaos scenario")
+		repeats      = flag.Int("repeats", 40, "repeated queries per side for read-cache")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "read cache byte budget for read-cache")
+		readOut      = flag.String("read-out", "BENCH_read.json", "output path for the read-cache JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -103,6 +107,25 @@ func main() {
 				return err
 			}
 			bench.PrintRecluster(out, steps)
+			return nil
+		})
+	}
+	if want("read-cache") {
+		run("read-cache", func() error {
+			res, err := bench.ReadCacheBench(ctx, *rows, *repeats, *cacheBytes)
+			if err != nil {
+				return err
+			}
+			bench.PrintReadCache(out, res)
+			f, err := os.Create(*readOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteReadCacheJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *readOut)
 			return nil
 		})
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -99,5 +100,45 @@ func TestReclusterSmoke(t *testing.T) {
 	PrintRecluster(&buf, steps)
 	if !strings.Contains(buf.String(), "clustering ratio") {
 		t.Fatal("table missing ratio column")
+	}
+}
+
+func TestReadCacheBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-model experiment")
+	}
+	res, err := ReadCacheBench(context.Background(), 3000, 5, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.On.Hits == 0 {
+		t.Fatalf("repeated scans produced no cache hits: %+v", res.On)
+	}
+	if res.Off.Hits != 0 || res.Off.BytesRead == 0 {
+		t.Fatalf("cache-off side should read everything from Colossus: %+v", res.Off)
+	}
+	if res.On.BytesRead >= res.Off.BytesRead {
+		t.Fatalf("cache saved no Colossus bytes: off=%d on=%d", res.Off.BytesRead, res.On.BytesRead)
+	}
+	if res.On.HitRatio <= 0.5 {
+		t.Fatalf("hit ratio = %v, expected mostly hits", res.On.HitRatio)
+	}
+	// No timing assertion: CI machines are noisy. The JSON must be
+	// well-formed and carry both sides.
+	var buf bytes.Buffer
+	if err := WriteReadCacheJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back ReadCacheResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_read.json round-trip: %v", err)
+	}
+	if back.Experiment != "read-cache" || back.On.Queries != 5 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	var tbl bytes.Buffer
+	PrintReadCache(&tbl, res)
+	if !strings.Contains(tbl.String(), "hit ratio") || !strings.Contains(tbl.String(), "speedup") {
+		t.Fatal("table missing cache columns")
 	}
 }

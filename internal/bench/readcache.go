@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/meta"
+	"vortex/internal/metrics"
+	"vortex/internal/optimizer"
+	"vortex/internal/query"
+	"vortex/internal/workload"
+)
+
+// ReadCacheSide is one half of the read-cache comparison: the same
+// repeated selective query with the fragment cache off or on.
+type ReadCacheSide struct {
+	CacheEnabled bool    `json:"cache_enabled"`
+	Queries      int     `json:"queries"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	QueryP50MS   float64 `json:"query_p50_ms"`
+	QueryP99MS   float64 `json:"query_p99_ms"`
+	ScanP50MS    float64 `json:"scan_p50_ms"`
+	ScanP99MS    float64 `json:"scan_p99_ms"`
+	BytesRead    int64   `json:"colossus_bytes_read"`
+	Hits         int64   `json:"cache_hits"`
+	Misses       int64   `json:"cache_misses"`
+	HitRatio     float64 `json:"hit_ratio"`
+	BytesSaved   int64   `json:"cache_bytes_saved"`
+}
+
+// ReadCacheResult is the read-cache experiment output; cmd/vortex-bench
+// serializes it as BENCH_read.json.
+type ReadCacheResult struct {
+	Experiment string        `json:"experiment"`
+	Rows       int           `json:"rows"`
+	Repeats    int           `json:"repeats"`
+	CacheBytes int64         `json:"cache_bytes"`
+	Off        ReadCacheSide `json:"cache_off"`
+	On         ReadCacheSide `json:"cache_on"`
+	// Speedup is the fragment-scan speedup (off/on p50 of the client's
+	// scan-latency histogram): the stage the cache serves, where a hit
+	// skips the replicated Colossus read and the column decode.
+	Speedup float64 `json:"speedup"`
+	// QuerySpeedup is the end-to-end SQL speedup (off/on loop elapsed).
+	// It is diluted by per-query work the cache cannot touch — the SMS
+	// read-view RPC and the engine's filter/aggregation over surviving
+	// rows — so it is always smaller than Speedup.
+	QuerySpeedup float64 `json:"query_speedup"`
+}
+
+// ReadCacheBench measures what the snapshot-safe fragment cache buys a
+// repeated selective scan over a groomed table (the paper's §7 read
+// pattern: analytic queries re-reading the same sealed fragments). One
+// region with the paper-calibrated latency profile is built and groomed
+// once; then the same selective aggregation runs `repeats` times with
+// the cache off and with it on, each side on its own fresh client.
+func ReadCacheBench(ctx context.Context, nRows, repeats int, cacheBytes int64) (*ReadCacheResult, error) {
+	if repeats <= 0 {
+		repeats = 40
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	r := newRegion(21)
+	ingest := r.NewClient(client.DefaultOptions())
+	table := meta.TableID("bench.cache")
+	if err := ingest.CreateTable(ctx, table, workload.SalesSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewGen(3, 300)
+	s, err := ingest.CreateStream(ctx, table, meta.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 200
+	for lo := 0; lo < nRows; lo += batch {
+		n := batch
+		if lo+n > nRows {
+			n = nRows - lo
+		}
+		if _, err := s.Append(ctx, gen.SalesRows(lo%3, n), client.AppendOptions{Offset: -1}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		return nil, err
+	}
+	r.HeartbeatAll(ctx, false)
+	// Groom: convert the sealed WOS to clustered ROS. writeClusteredFiles
+	// sorts each partition by the ClusterBy key before chunking, so the
+	// baseline fragments hold disjoint customerKey ranges and Big
+	// Metadata prunes the equality predicate to one fragment per day
+	// partition.
+	opt := optimizer.New(optimizer.DefaultConfig(), ingest, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, table); err != nil {
+		return nil, err
+	}
+
+	// customer-00007 exists for any generator repetition ≥ 8; the
+	// equality predicate makes the scan selective so Big Metadata prunes
+	// to a few fragments that every repeat then re-reads.
+	const q = "SELECT customerKey, COUNT(*), SUM(totalSale) FROM bench.cache " +
+		"WHERE customerKey = 'customer-00007-eu-west' GROUP BY customerKey"
+
+	side := func(opts client.Options) (ReadCacheSide, error) {
+		c := r.NewClient(opts)
+		eng := query.New(c, r.BigMeta, r.Net, r.Router(), query.Config{})
+		hist := metrics.NewLatencyHistogram()
+		before := r.Colossus.Stats()
+		start := time.Now()
+		for i := 0; i < repeats; i++ {
+			qStart := time.Now()
+			if _, err := eng.Query(ctx, q); err != nil {
+				return ReadCacheSide{}, err
+			}
+			hist.Record(time.Since(qStart))
+		}
+		elapsed := time.Since(start)
+		after := r.Colossus.Stats()
+		qs := hist.Quantiles(0.50, 0.99)
+		scan := c.Metrics().ScanLatency.Quantiles(0.50, 0.99)
+		st := c.ReadCache().Stats()
+		return ReadCacheSide{
+			CacheEnabled: opts.ReadCacheBytes > 0,
+			Queries:      repeats,
+			ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
+			QueryP50MS:   float64(qs[0]) / float64(time.Millisecond),
+			QueryP99MS:   float64(qs[1]) / float64(time.Millisecond),
+			ScanP50MS:    float64(scan[0]) / float64(time.Millisecond),
+			ScanP99MS:    float64(scan[1]) / float64(time.Millisecond),
+			BytesRead:    after.BytesRead - before.BytesRead,
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			HitRatio:     st.HitRatio(),
+			BytesSaved:   st.BytesSaved,
+		}, nil
+	}
+
+	off, err := side(client.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	onOpts := client.DefaultOptions()
+	onOpts.ReadCacheBytes = cacheBytes
+	on, err := side(onOpts)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReadCacheResult{
+		Experiment: "read-cache",
+		Rows:       nRows,
+		Repeats:    repeats,
+		CacheBytes: cacheBytes,
+		Off:        off,
+		On:         on,
+	}
+	if on.ScanP50MS > 0 {
+		res.Speedup = off.ScanP50MS / on.ScanP50MS
+	}
+	if on.ElapsedMS > 0 {
+		res.QuerySpeedup = off.ElapsedMS / on.ElapsedMS
+	}
+	return res, nil
+}
+
+// PrintReadCache renders the read-cache experiment.
+func PrintReadCache(w io.Writer, res *ReadCacheResult) {
+	fmt.Fprintln(w, "Read cache — repeated selective scans over a groomed table")
+	fmt.Fprintln(w, "(sealed fragments are immutable; caching them should remove repeat Colossus reads)")
+	table := make([][]string, 0, 2)
+	for _, s := range []ReadCacheSide{res.Off, res.On} {
+		mode := "cache off"
+		if s.CacheEnabled {
+			mode = "cache on"
+		}
+		table = append(table, []string{
+			mode,
+			fmt.Sprintf("%d", s.Queries),
+			fmt.Sprintf("%.1fms", s.ElapsedMS),
+			fmt.Sprintf("%.1fms", s.QueryP50MS),
+			fmt.Sprintf("%.2fms", s.ScanP50MS),
+			fmt.Sprintf("%.2fms", s.ScanP99MS),
+			fmt.Sprintf("%dKB", s.BytesRead/1024),
+			fmt.Sprintf("%.0f%%", s.HitRatio*100),
+			fmt.Sprintf("%dKB", s.BytesSaved/1024),
+		})
+	}
+	fmt.Fprint(w, metrics.FormatTable(
+		[]string{"mode", "queries", "total", "query p50", "scan p50", "scan p99", "bytes read", "hit ratio", "bytes saved"}, table))
+	fmt.Fprintf(w, "fragment-scan speedup: %.2fx (end-to-end query speedup: %.2fx)\n\n",
+		res.Speedup, res.QuerySpeedup)
+}
+
+// WriteReadCacheJSON serializes the result (BENCH_read.json).
+func WriteReadCacheJSON(w io.Writer, res *ReadCacheResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

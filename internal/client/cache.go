@@ -1,0 +1,243 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+
+	"vortex/internal/ros"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+)
+
+// ReadCache is a byte-bounded LRU over decoded fragment contents, keyed
+// by fragment path. It is the client half of the paper's §7 bargain:
+// sealed fragments are immutable, so repeated selective scans should not
+// re-fetch and re-decode them from Colossus on every query.
+//
+// The cache is snapshot-safe by construction:
+//
+//   - Only immutable bytes are cached. ROS fragment files never change
+//     after being written, and sealed-WOS entries are keyed by the
+//     fragment's CommittedBytes so a record refresh that moves the
+//     sealed boundary invalidates the entry. Live streamlet-tail files
+//     bypass the cache entirely (the scan path never consults it for
+//     live assignments).
+//   - An entry holds the full decoded fragment, not a per-snapshot
+//     subset: snapshot filtering (block/row timestamps, deletion masks,
+//     projections) is re-applied on every scan, so one entry serves
+//     every snapshot correctly.
+//   - Physical file deletion (SMS groomer, heartbeat-driven server GC)
+//     calls Invalidate with the deleted paths before any later scan can
+//     miss against the now-absent file. This matters because Spanner is
+//     MVCC: an old-snapshot read view still lists a GC'd fragment, and
+//     without invalidation the cache would happily serve its bytes
+//     forever.
+//
+// A nil *ReadCache is valid and disabled: every method no-ops.
+type ReadCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits          int64
+	misses        int64
+	bytesSaved    int64
+	evictions     int64
+	invalidations int64
+}
+
+// wosBlock is one decoded data block of a sealed WOS fragment. Blocks —
+// not flat rows — are cached because the scan loop's snapshot filter is
+// two-level: a block whose timestamp is past the snapshot ends the whole
+// fragment, while a row past the snapshot ends only its block.
+type wosBlock struct {
+	Timestamp truetime.Timestamp
+	StartRow  int64 // streamlet-local row offset of the block's first row
+	Rows      []schema.Row
+}
+
+// cacheEntry is one fragment's decoded contents. Exactly one of ros/wos
+// is set. Cached data is shared across scans and must be treated as
+// read-only by every consumer.
+type cacheEntry struct {
+	path string
+	size int64 // raw file bytes this entry saves per hit
+
+	ros *ros.Reader
+
+	wos            []wosBlock
+	committedBytes int64 // sealed boundary the wos blocks were decoded under
+}
+
+// NewReadCache returns a cache bounded to maxBytes of raw fragment
+// bytes, or nil (disabled) when maxBytes <= 0.
+func NewReadCache(maxBytes int64) *ReadCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &ReadCache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	BytesSaved    int64 // raw Colossus bytes not re-read thanks to hits
+	Evictions     int64
+	Invalidations int64
+	Entries       int
+	SizeBytes     int64
+	MaxBytes      int64
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 with no lookups.
+func (s CacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns the current counters. Safe on a nil cache.
+func (c *ReadCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		BytesSaved:    c.bytesSaved,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       len(c.entries),
+		SizeBytes:     c.size,
+		MaxBytes:      c.maxBytes,
+	}
+}
+
+// getROS returns the cached reader for path, or nil on a miss.
+func (c *ReadCache) getROS(path string) *ros.Reader {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok || el.Value.(*cacheEntry).ros == nil {
+		c.misses++
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.bytesSaved += e.size
+	return e.ros
+}
+
+// putROS caches a decoded ROS reader whose raw file was size bytes.
+func (c *ReadCache) putROS(path string, rd *ros.Reader, size int64) {
+	if c == nil || rd == nil {
+		return
+	}
+	c.put(&cacheEntry{path: path, size: size, ros: rd})
+}
+
+// getWOS returns the cached decoded blocks of a sealed WOS fragment. A
+// committedBytes mismatch means the entry was decoded under a different
+// sealed boundary and counts as a miss (the next put overwrites it).
+func (c *ReadCache) getWOS(path string, committedBytes int64) ([]wosBlock, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ros != nil || e.committedBytes != committedBytes {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.bytesSaved += e.size
+	return e.wos, true
+}
+
+// putWOS caches the decoded data blocks of a sealed WOS fragment.
+func (c *ReadCache) putWOS(path string, committedBytes int64, blocks []wosBlock, size int64) {
+	if c == nil {
+		return
+	}
+	c.put(&cacheEntry{path: path, size: size, wos: blocks, committedBytes: committedBytes})
+}
+
+func (c *ReadCache) put(e *cacheEntry) {
+	if e.size > c.maxBytes {
+		return // would evict the whole cache for one entry
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[e.path]; ok {
+		c.size -= old.Value.(*cacheEntry).size
+		c.lru.Remove(old)
+		delete(c.entries, e.path)
+	}
+	c.entries[e.path] = c.lru.PushFront(e)
+	c.size += e.size
+	for c.size > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		v := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, v.path)
+		c.size -= v.size
+		c.evictions++
+	}
+}
+
+// Invalidate drops the entries for the given fragment paths and returns
+// how many were present. GC hooks (SMS groomer, stream-server heartbeat
+// deletion) call this with the paths they physically deleted.
+func (c *ReadCache) Invalidate(paths ...string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range paths {
+		if el, ok := c.entries[p]; ok {
+			c.size -= el.Value.(*cacheEntry).size
+			c.lru.Remove(el)
+			delete(c.entries, p)
+			c.invalidations++
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether path currently has an entry (test helper).
+func (c *ReadCache) Contains(path string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[path]
+	return ok
+}

@@ -1,0 +1,158 @@
+package client
+
+import (
+	"testing"
+
+	"vortex/internal/ros"
+	"vortex/internal/schema"
+	"vortex/internal/truetime"
+)
+
+func TestFragIndexFromPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"tables/t/sl-1/f-0", 0},
+		{"tables/t/sl-1/f-17", 17},
+		{"a/b/f-3.groomed", 3}, // suffix after the digit run
+		{"a/b/f-3/part", 3},    // nested segment after the index
+		{"a/f-2/x/f-9", 9},     // last "/f-" wins
+		{"f-4", -1},            // no "/f-" separator
+		{"a/b/f-", -1},         // no digits at all
+		{"a/b/f-x7", -1},       // digits must lead the segment
+		{"a/b/g-7", -1},        // wrong marker
+		{"", -1},
+		{"a/b/f-00012", 12}, // leading zeros
+	}
+	for _, c := range cases {
+		if got := fragIndexFromPath(c.path); got != c.want {
+			t.Errorf("fragIndexFromPath(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+func TestReadCacheNilSafe(t *testing.T) {
+	var c *ReadCache // NewReadCache(0) returns nil: the disabled cache
+	if NewReadCache(0) != nil || NewReadCache(-1) != nil {
+		t.Fatal("non-positive budget must disable the cache")
+	}
+	if rd := c.getROS("p"); rd != nil {
+		t.Fatal("nil cache returned a reader")
+	}
+	if _, ok := c.getWOS("p", 1); ok {
+		t.Fatal("nil cache returned wos blocks")
+	}
+	c.putROS("p", &ros.Reader{}, 10)
+	c.putWOS("p", 1, nil, 10)
+	if n := c.Invalidate("p"); n != 0 {
+		t.Fatalf("nil cache invalidated %d entries", n)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestReadCacheLRUEviction(t *testing.T) {
+	c := NewReadCache(100)
+	c.putROS("a", &ros.Reader{}, 40)
+	c.putROS("b", &ros.Reader{}, 40)
+	// Touch "a" so "b" is the least recently used entry.
+	if c.getROS("a") == nil {
+		t.Fatal("miss on a")
+	}
+	// 40+40+40 > 100: inserting "c" must evict "b", not "a".
+	c.putROS("c", &ros.Reader{}, 40)
+	if !c.Contains("a") || !c.Contains("c") || c.Contains("b") {
+		t.Fatalf("eviction order wrong: a=%v b=%v c=%v",
+			c.Contains("a"), c.Contains("b"), c.Contains("c"))
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.SizeBytes != 80 {
+		t.Fatalf("size = %d, want 80", st.SizeBytes)
+	}
+	// An entry larger than the whole budget is refused outright.
+	c.putROS("huge", &ros.Reader{}, 101)
+	if c.Contains("huge") {
+		t.Fatal("oversized entry was cached")
+	}
+}
+
+func TestReadCacheBytesSavedAndHitRatio(t *testing.T) {
+	c := NewReadCache(1 << 20)
+	c.putROS("a", &ros.Reader{}, 1000)
+	if c.getROS("a") == nil || c.getROS("a") == nil {
+		t.Fatal("expected hits")
+	}
+	c.getROS("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.BytesSaved != 2000 {
+		t.Fatalf("bytesSaved = %d, want 2000", st.BytesSaved)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio = %v, want 2/3", got)
+	}
+}
+
+func TestReadCacheWOSCommittedBytesMismatch(t *testing.T) {
+	c := NewReadCache(1 << 20)
+	blocks := []wosBlock{{Timestamp: truetime.Timestamp(7), StartRow: 0, Rows: []schema.Row{{}}}}
+	c.putWOS("p", 512, blocks, 100)
+	if got, ok := c.getWOS("p", 512); !ok || len(got) != 1 {
+		t.Fatal("expected hit at matching committedBytes")
+	}
+	// A record refresh moved the sealed boundary: the entry is stale.
+	if _, ok := c.getWOS("p", 768); ok {
+		t.Fatal("served wos blocks decoded under a different sealed boundary")
+	}
+	// Kind mismatch: a wos entry must not satisfy a ros lookup and vice
+	// versa.
+	if c.getROS("p") != nil {
+		t.Fatal("wos entry served as ros reader")
+	}
+	c.putROS("r", &ros.Reader{}, 10)
+	if _, ok := c.getWOS("r", 10); ok {
+		t.Fatal("ros entry served as wos blocks")
+	}
+}
+
+func TestReadCacheInvalidate(t *testing.T) {
+	c := NewReadCache(1 << 20)
+	c.putROS("a", &ros.Reader{}, 10)
+	c.putROS("b", &ros.Reader{}, 20)
+	if n := c.Invalidate("a", "nope"); n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	if c.Contains("a") || !c.Contains("b") {
+		t.Fatal("wrong entry invalidated")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.SizeBytes != 20 {
+		t.Fatalf("size = %d, want 20", st.SizeBytes)
+	}
+	if c.getROS("a") != nil {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+func TestReadCacheOverwriteSamePath(t *testing.T) {
+	c := NewReadCache(1 << 20)
+	c.putROS("a", &ros.Reader{}, 10)
+	c.putROS("a", &ros.Reader{}, 30)
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.SizeBytes != 30 {
+		t.Fatalf("size = %d, want 30 (old entry's bytes must be released)", st.SizeBytes)
+	}
+}

@@ -61,6 +61,9 @@ type Options struct {
 	Retry RetryPolicy
 	// Seed makes backoff jitter deterministic (tests, simulations).
 	Seed int64
+	// ReadCacheBytes bounds the snapshot-safe fragment read cache; 0
+	// (the default) disables caching and every scan reads Colossus.
+	ReadCacheBytes int64
 }
 
 // DefaultOptions returns production-like client options.
@@ -90,6 +93,11 @@ type Client struct {
 	hedgeWins     metrics.Counter
 	smsRetries    metrics.Counter
 	appendLatency *metrics.Histogram
+	scanLatency   *metrics.Histogram
+
+	// cache is the snapshot-safe fragment read cache; nil when disabled
+	// (a nil *ReadCache no-ops every method).
+	cache *ReadCache
 
 	mu      sync.Mutex
 	schemas map[meta.TableID]*schema.Schema
@@ -114,9 +122,16 @@ func New(net *rpc.Network, router Router, region *colossus.Region, keyring *bloc
 		opts:          opts,
 		rng:           newRNG(opts.Seed),
 		appendLatency: metrics.NewLatencyHistogram(),
+		scanLatency:   metrics.NewLatencyHistogram(),
+		cache:         NewReadCache(opts.ReadCacheBytes),
 		schemas:       make(map[meta.TableID]*schema.Schema),
 	}
 }
+
+// ReadCache returns the client's fragment read cache, or nil when the
+// client was built without ReadCacheBytes. Region wiring registers it
+// for GC-driven invalidation.
+func (c *Client) ReadCache() *ReadCache { return c.cache }
 
 func (c *Client) sms(ctx context.Context, table meta.TableID, method string, req any) (any, error) {
 	addr, err := c.router.SMSFor(table)

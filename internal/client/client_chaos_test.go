@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -90,6 +91,74 @@ func TestFlushAndFinalizeUnderRetry(t *testing.T) {
 	}
 	if c.Metrics().SMSRetries == 0 {
 		t.Fatal("dropped control-plane requests must be counted as SMS retries")
+	}
+}
+
+// TestReplicaFailoverOnRead poisons every Colossus read on the alpha
+// cluster after ingest: the replicated read path must fail over to beta
+// and serve every row. Chaos is attached after setup so ingest-side
+// file creation is unaffected.
+func TestReplicaFailoverOnRead(t *testing.T) {
+	r, c, ctx := chaosEnv(t, nil, client.DefaultOptions())
+	s, err := c.CreateStream(ctx, "d.t", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	r.Colossus.Cluster("alpha").SetChaos(
+		chaos.NewSchedule(3).FailBetween(chaos.PointColossusRead, "alpha", 1, 1<<30))
+	rows, _, err := c.ReadAll(ctx, "d.t", 0)
+	if err != nil {
+		t.Fatalf("read must fail over to the healthy replica: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("read %d rows, want 5", len(rows))
+	}
+}
+
+// TestReplicatedReadErrorBothReplicasDown poisons reads on both
+// clusters: the read must fail with a ReplicatedReadError that names
+// each replica's failure (the §5.6 outage-window diagnosis) and is
+// classified retryable, with no replica reported as unknown.
+func TestReplicatedReadErrorBothReplicasDown(t *testing.T) {
+	r, c, ctx := chaosEnv(t, nil, client.DefaultOptions())
+	s, err := c.CreateStream(ctx, "d.t", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(ctx, []schema.Row{row(0)}, client.AtOffset(0)); err != nil {
+		t.Fatal(err)
+	}
+	r.Colossus.SetChaos(chaos.NewSchedule(4).
+		FailBetween(chaos.PointColossusRead, "alpha", 1, 1<<30).
+		FailBetween(chaos.PointColossusRead, "beta", 1, 1<<30))
+	_, _, err = c.ReadAll(ctx, "d.t", 0)
+	if err == nil {
+		t.Fatal("read with both replicas down must fail")
+	}
+	var rre *client.ReplicatedReadError
+	if !errors.As(err, &rre) {
+		t.Fatalf("error type = %T (%v), want *client.ReplicatedReadError", err, err)
+	}
+	if len(rre.Unknown) != 0 {
+		t.Fatalf("replicas wrongly reported unknown: %v", rre.Unknown)
+	}
+	if len(rre.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want one per replica", rre.Attempts)
+	}
+	seen := map[string]bool{}
+	for _, a := range rre.Attempts {
+		seen[a.Cluster] = true
+		if a.Err == nil {
+			t.Fatalf("attempt %s carries no cause", a.Cluster)
+		}
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("attempts name %v, want alpha and beta", rre.Attempts)
 	}
 }
 

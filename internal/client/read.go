@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"vortex/internal/dml"
 	"vortex/internal/fragment"
@@ -140,37 +141,90 @@ func (c *Client) planStreamletTail(ctx context.Context, table meta.TableID, ts t
 	return out, nil
 }
 
-// fragIndexFromPath parses the trailing "/f-N" of a fragment path.
+// fragIndexFromPath parses the "f-N" segment of a fragment path: the
+// leading digit run after the last "/f-". Groomed or renamed files may
+// carry a suffix ("f-3.groomed", "f-3/part") and must still sort into
+// tail order, so only a segment with no digits at all yields -1.
 func fragIndexFromPath(p string) int {
 	i := strings.LastIndex(p, "/f-")
 	if i < 0 {
 		return -1
 	}
-	n, err := strconv.Atoi(p[i+3:])
+	rest := p[i+3:]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	n, err := strconv.Atoi(rest[:j])
 	if err != nil {
 		return -1
 	}
 	return n
 }
 
+// ReplicaAttempt is one replica's failure during a replicated Colossus
+// operation.
+type ReplicaAttempt struct {
+	Cluster string
+	Err     error
+}
+
+// ReplicatedReadError reports that no replica served a Colossus
+// operation. It distinguishes clusters the region does not know
+// (misconfiguration — retrying cannot help) from replicas that failed
+// the operation (an outage window — retryable), and wraps every
+// per-replica error so tests can assert which replica failed and why.
+type ReplicatedReadError struct {
+	Op       string // "read" or "list"
+	Path     string
+	Unknown  []string         // cluster names absent from the region
+	Attempts []ReplicaAttempt // failed attempts, in replica-preference order
+}
+
+func (e *ReplicatedReadError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "client: %s %s: no replica served", e.Op, e.Path)
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, "; %s: %v", a.Cluster, a.Err)
+	}
+	if len(e.Unknown) > 0 {
+		fmt.Fprintf(&b, "; unknown clusters %v", e.Unknown)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-replica errors to errors.Is/errors.As.
+func (e *ReplicatedReadError) Unwrap() []error {
+	out := make([]error, 0, len(e.Attempts))
+	for _, a := range e.Attempts {
+		out = append(out, a.Err)
+	}
+	return out
+}
+
+// retryable: a replica that exists but failed may heal; an error made
+// only of unknown clusters is a configuration problem no retry fixes.
+func (e *ReplicatedReadError) retryable() bool { return len(e.Attempts) > 0 }
+
 // listReplicated lists a prefix from the first reachable replica.
 func (c *Client) listReplicated(clusters [2]string, prefix string) ([]string, error) {
-	var lastErr error
+	rerr := &ReplicatedReadError{Op: "list", Path: prefix}
 	for _, name := range c.replicaOrder(clusters) {
+		if name == "" {
+			continue
+		}
 		cl := c.region.Cluster(name)
 		if cl == nil {
+			rerr.Unknown = append(rerr.Unknown, name)
 			continue
 		}
 		paths, err := cl.List(prefix)
 		if err == nil {
 			return paths, nil
 		}
-		lastErr = err
+		rerr.Attempts = append(rerr.Attempts, ReplicaAttempt{Cluster: name, Err: err})
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("client: no cluster of %v exists", clusters)
-	}
-	return nil, lastErr
+	return nil, rerr
 }
 
 // replicaOrder prefers the configured local cluster (§5.4.6).
@@ -184,24 +238,26 @@ func (c *Client) replicaOrder(clusters [2]string) []string {
 	return []string{clusters[0], clusters[1]}
 }
 
-// readReplicated reads a whole file from the first replica that serves it.
+// readReplicated reads a whole file from the first replica that serves
+// it, returning the serving cluster's name alongside the data.
 func (c *Client) readReplicated(clusters [2]string, path string) ([]byte, string, error) {
-	var lastErr error
+	rerr := &ReplicatedReadError{Op: "read", Path: path}
 	for _, name := range c.replicaOrder(clusters) {
+		if name == "" {
+			continue
+		}
 		cl := c.region.Cluster(name)
 		if cl == nil {
+			rerr.Unknown = append(rerr.Unknown, name)
 			continue
 		}
 		data, err := cl.Read(path, 0, -1)
 		if err == nil {
 			return data, name, nil
 		}
-		lastErr = err
+		rerr.Attempts = append(rerr.Attempts, ReplicaAttempt{Cluster: name, Err: err})
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("client: no cluster of %v exists", clusters)
-	}
-	return nil, "", lastErr
+	return nil, "", rerr
 }
 
 // PosRow is a visible row with its physical position — the provenance
@@ -238,20 +294,37 @@ func (c *Client) Scan(ctx context.Context, plan *ScanPlan, a Assignment) ([]rowe
 
 // ScanDetailed reads one assignment with per-row provenance.
 func (c *Client) ScanDetailed(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	start := time.Now()
+	var (
+		rows []PosRow
+		err  error
+	)
 	if a.Frag.Format == meta.ROS {
-		return c.scanROS(plan, a)
+		rows, err = c.scanROS(plan, a)
+	} else {
+		rows, err = c.scanWOS(ctx, plan, a)
 	}
-	return c.scanWOS(ctx, plan, a)
+	if err == nil {
+		c.scanLatency.Record(time.Since(start))
+	}
+	return rows, err
 }
 
+// scanROS scans a ROS fragment. ROS files are immutable once written, so
+// the decoded reader is cached by path; projection and snapshot filters
+// are re-applied per scan, which keeps one entry correct for every query.
 func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
-	data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
-	if err != nil {
-		return nil, err
-	}
-	rd, err := ros.Open(data)
-	if err != nil {
-		return nil, err
+	rd := c.cache.getROS(a.Frag.Path)
+	if rd == nil {
+		data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
+		if err != nil {
+			return nil, err
+		}
+		rd, err = ros.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.putROS(a.Frag.Path, rd, int64(len(data)))
 	}
 	rows, err := rd.RowsProjected(plan.Schema, plan.Projection)
 	if err != nil {
@@ -269,8 +342,16 @@ func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
 
 // scanWOS reads a WOS fragment file and extracts the visible rows. For
 // live files it applies the §7.1 commit rule, consulting the second
-// replica or SMS reconciliation for the final append.
+// replica or SMS reconciliation for the final append. Sealed fragments
+// (finalized streamlets) are immutable up to their committed boundary,
+// so their decoded blocks are cached keyed by (path, CommittedBytes);
+// live tail files always bypass the cache.
 func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	if !a.Live {
+		if cached, ok := c.cache.getWOS(a.Frag.Path, a.Frag.CommittedBytes); ok {
+			return c.assembleWOS(plan, a, a.Frag.StartRow, a.Frag.ID, cached), nil
+		}
+	}
 	order := c.replicaOrder(a.Frag.Clusters)
 	data, usedCluster, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
 	if err != nil {
@@ -329,14 +410,10 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 	if a.Live {
 		fragID = meta.FragmentIDFor(a.Frag.Streamlet, a.FragIndex)
 	}
-	var out []PosRow
+	decoded := make([]wosBlock, 0, len(blocks))
 	for _, b := range blocks {
 		if b.Kind != fragment.BlockData {
 			continue
-		}
-		// Snapshot bound: stop at appends newer than the read time (§7.1).
-		if b.Timestamp > plan.SnapshotTS {
-			break
 		}
 		plain, err := c.openSealed(b.Payload)
 		if err != nil {
@@ -346,7 +423,26 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 		if err != nil {
 			return nil, err
 		}
-		for i, r := range rows {
+		decoded = append(decoded, wosBlock{Timestamp: b.Timestamp, StartRow: b.StartRow, Rows: rows})
+	}
+	if !a.Live {
+		c.cache.putWOS(a.Frag.Path, a.Frag.CommittedBytes, decoded, int64(len(data)))
+	}
+	return c.assembleWOS(plan, a, fragStartRow, fragID, decoded), nil
+}
+
+// assembleWOS applies the §7.1 snapshot bound, visibility rules and
+// deletion masks to decoded blocks. Shared by the direct read and the
+// cache hit path: cached blocks carry no snapshot filtering, so every
+// scan re-applies it here. The bound is two-level — a block past the
+// snapshot ends the whole fragment, a row past it ends only its block.
+func (c *Client) assembleWOS(plan *ScanPlan, a Assignment, fragStartRow int64, fragID meta.FragmentID, blocks []wosBlock) []PosRow {
+	var out []PosRow
+	for _, b := range blocks {
+		if b.Timestamp > plan.SnapshotTS {
+			break
+		}
+		for i, r := range b.Rows {
 			seq := int64(b.Timestamp) + int64(i)
 			if truetime.Timestamp(seq) > plan.SnapshotTS {
 				break
@@ -368,7 +464,7 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 			})
 		}
 	}
-	return out, nil
+	return out
 }
 
 func (a Assignment) streamletStart() int64 {

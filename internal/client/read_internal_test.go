@@ -1,0 +1,55 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// ReplicatedReadError must separate "the region has no such cluster"
+// (configuration — not retryable) from "the replica failed the
+// operation" (outage window — retryable), and expose each per-replica
+// cause to errors.Is.
+func TestReplicatedReadErrorClassification(t *testing.T) {
+	cause := errors.New("disk on fire")
+	outage := &ReplicatedReadError{
+		Op:   "read",
+		Path: "tables/t/sl-1/f-0",
+		Attempts: []ReplicaAttempt{
+			{Cluster: "alpha", Err: cause},
+			{Cluster: "beta", Err: errors.New("sealed reader gone")},
+		},
+	}
+	if !outage.retryable() {
+		t.Fatal("per-replica failures must be retryable")
+	}
+	if !errors.Is(outage, cause) {
+		t.Fatal("per-replica cause not reachable through errors.Is")
+	}
+	msg := outage.Error()
+	for _, want := range []string{"read", "tables/t/sl-1/f-0", "alpha", "beta", "disk on fire"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+
+	misconfig := &ReplicatedReadError{
+		Op:      "list",
+		Path:    "tables/t/",
+		Unknown: []string{"gamma"},
+	}
+	if misconfig.retryable() {
+		t.Fatal("unknown clusters are a configuration error; retrying cannot help")
+	}
+	if !strings.Contains(misconfig.Error(), "gamma") {
+		t.Fatalf("error %q does not name the unknown cluster", misconfig.Error())
+	}
+
+	// The retry policy consults the same classification.
+	if !retryableErr(outage) {
+		t.Fatal("retry policy must retry a replica outage")
+	}
+	if retryableErr(misconfig) {
+		t.Fatal("retry policy must not retry a misconfiguration")
+	}
+}

@@ -178,6 +178,10 @@ func retryableErr(err error) bool {
 	if errors.As(err, &e) {
 		return e.Retryable
 	}
+	var rre *ReplicatedReadError
+	if errors.As(err, &rre) {
+		return rre.retryable()
+	}
 	return errors.Is(err, rpc.ErrUnreachable) ||
 		errors.Is(err, rpc.ErrDropped) ||
 		errors.Is(err, sms.ErrUnavailable)
@@ -235,6 +239,11 @@ type Metrics struct {
 	// AppendLatency is the end-to-end Append latency distribution
 	// (successful calls, retries included).
 	AppendLatency *metrics.Histogram
+	// ScanLatency is the per-assignment ScanDetailed latency
+	// distribution (successful scans, cache hits and misses alike).
+	ScanLatency *metrics.Histogram
+	// Cache is the read cache's counter snapshot (zero when disabled).
+	Cache CacheStats
 }
 
 // Metrics returns a snapshot of the client's resilience counters.
@@ -246,6 +255,8 @@ func (c *Client) Metrics() Metrics {
 		HedgeWins:     c.hedgeWins.Value(),
 		SMSRetries:    c.smsRetries.Value(),
 		AppendLatency: c.appendLatency.Snapshot(),
+		ScanLatency:   c.scanLatency.Snapshot(),
+		Cache:         c.cache.Stats(),
 	}
 }
 

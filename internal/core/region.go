@@ -79,6 +79,9 @@ type Region struct {
 	cfg    Config
 
 	mu sync.Mutex
+	// readCaches are the client fragment caches registered for GC-driven
+	// invalidation; every file-deletion hook fans out to all of them.
+	readCaches []*client.ReadCache
 }
 
 // NewRegion builds and starts a region.
@@ -121,6 +124,7 @@ func NewRegion(cfg Config) *Region {
 		task := sms.New(addr, r.DB, r.Net, r.placer)
 		task.SetColossus(r.Colossus)
 		task.SetFragmentListener(r.BigMeta)
+		task.SetFileGCListener(r)
 		r.SMSTasks = append(r.SMSTasks, task)
 		r.Slicer.AddTask(addr)
 	}
@@ -132,6 +136,7 @@ func NewRegion(cfg Config) *Region {
 				sscfg.MaxFragmentBytes = cfg.MaxFragmentBytes
 			}
 			srv := streamserver.New(sscfg, r.Colossus, clock, r.Keyring, r.router, r.Net)
+			srv.SetFileDeleteObserver(r.FragmentFilesDeleted)
 			r.StreamServers[addr] = srv
 			r.placer.addServer(addr, cl)
 		}
@@ -160,9 +165,38 @@ func (r *Region) installChaos(s *chaos.Schedule) {
 // Chaos returns the region's fault-injection schedule (nil when none).
 func (r *Region) Chaos() *chaos.Schedule { return r.chaos }
 
-// NewClient returns a client bound to this region.
+// NewClient returns a client bound to this region. A client opened with
+// a read cache is automatically registered for GC invalidation.
 func (r *Region) NewClient(opts client.Options) *client.Client {
-	return client.New(r.Net, r.router, r.Colossus, r.Keyring, r.Clock, opts)
+	c := client.New(r.Net, r.router, r.Colossus, r.Keyring, r.Clock, opts)
+	if rc := c.ReadCache(); rc != nil {
+		r.RegisterReadCache(rc)
+	}
+	return c
+}
+
+// RegisterReadCache subscribes a client read cache to the region's
+// fragment file-deletion events (SMS groomer and heartbeat-driven
+// Stream Server GC).
+func (r *Region) RegisterReadCache(rc *client.ReadCache) {
+	if rc == nil {
+		return
+	}
+	r.mu.Lock()
+	r.readCaches = append(r.readCaches, rc)
+	r.mu.Unlock()
+}
+
+// FragmentFilesDeleted implements sms.FileGCListener (and receives the
+// Stream Servers' GC callbacks): fragment files are physically gone, so
+// no registered cache may serve their bytes again.
+func (r *Region) FragmentFilesDeleted(paths []string) {
+	r.mu.Lock()
+	caches := append([]*client.ReadCache(nil), r.readCaches...)
+	r.mu.Unlock()
+	for _, rc := range caches {
+		rc.Invalidate(paths...)
+	}
 }
 
 // Router exposes the table→SMS routing (used by tools and the optimizer).
@@ -203,6 +237,7 @@ func (r *Region) RestartStreamServer(addr string) *streamserver.Server {
 		sscfg.MaxFragmentBytes = r.cfg.MaxFragmentBytes
 	}
 	srv := streamserver.New(sscfg, r.Colossus, r.Clock, r.Keyring, r.router, r.Net)
+	srv.SetFileDeleteObserver(r.FragmentFilesDeleted)
 	if r.chaos != nil {
 		srv.SetChaos(r.chaos)
 	}

@@ -130,6 +130,11 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile's body; h.mu must be held.
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
@@ -153,12 +158,16 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
-// Quantiles returns several quantiles in one lock acquisition.
+// Quantiles returns several quantiles in one lock acquisition, so the
+// returned set is internally consistent: concurrent Record calls cannot
+// produce a torn percentile set (e.g. p50 > p99).
 func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
 	out := make([]time.Duration, len(qs))
+	h.mu.Lock()
 	for i, q := range qs {
-		out[i] = h.Quantile(q)
+		out[i] = h.quantileLocked(q)
 	}
+	h.mu.Unlock()
 	return out
 }
 

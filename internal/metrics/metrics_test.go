@@ -67,6 +67,46 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 	}
 }
 
+// TestHistogramConcurrentQuantiles is the regression test for the
+// Quantiles torn-read bug: the old implementation released the lock
+// between per-quantile reads, so concurrent Records could make a later
+// (higher) quantile resolve against a different distribution than an
+// earlier one and come back smaller. Quantiles must take one lock for
+// the whole batch and therefore always return a non-decreasing slice.
+func TestHistogramConcurrentQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(time.Millisecond) // non-empty so Quantiles resolves from the start
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(time.Duration(1 + rng.Intn(50_000_000)))
+				}
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 2000; i++ {
+		qs := h.Quantiles(0.10, 0.50, 0.90, 0.99)
+		for j := 1; j < len(qs); j++ {
+			if qs[j] < qs[j-1] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("iteration %d: quantiles not monotone: %v", i, qs)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestHistogramMergePreservesTotals(t *testing.T) {
 	a, b := NewLatencyHistogram(), NewLatencyHistogram()
 	a.Record(5 * time.Millisecond)

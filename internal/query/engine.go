@@ -63,6 +63,12 @@ type ExecStats struct {
 	RowsScanned       int64
 	RowsAffected      int64
 	SnapshotTS        truetime.Timestamp
+	// Read-cache deltas observed across this query's leaf stage
+	// (best-effort when queries run concurrently on one client; all
+	// zero when the client has no read cache).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheBytesSaved int64
 }
 
 // Result is a query result set.
@@ -134,6 +140,7 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 	}
 
 	// Leaf stage: parallel shard scans (the Dremel leaf dispatch, §3.1).
+	cacheBefore := e.c.ReadCache().Stats()
 	results := make([][]client.PosRow, len(assignments))
 	errs := make([]error, len(assignments))
 	sem := make(chan struct{}, e.cfg.Shards)
@@ -148,6 +155,10 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 		}(i, a)
 	}
 	wg.Wait()
+	cacheAfter := e.c.ReadCache().Stats()
+	stats.CacheHits = cacheAfter.Hits - cacheBefore.Hits
+	stats.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
+	stats.CacheBytesSaved = cacheAfter.BytesSaved - cacheBefore.BytesSaved
 	var rows []client.PosRow
 	for i := range results {
 		if errs[i] != nil {

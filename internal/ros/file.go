@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"vortex/internal/blockenc"
 	"vortex/internal/bloom"
@@ -442,11 +443,18 @@ type Column struct {
 	rawReps   []byte
 	rawDefs   []byte
 	rawValues []byte
-	decoded   bool
+
+	// mu guards lazy decoding: a Reader may be shared across concurrent
+	// scans (the client's read cache hands one Reader to every query),
+	// so materialize must be safe to race.
+	mu      sync.Mutex
+	decoded bool
 }
 
 // materialize decodes the column's level and value pages.
 func (c *Column) materialize() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.decoded {
 		return nil
 	}

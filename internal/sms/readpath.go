@@ -168,12 +168,14 @@ func (t *Task) handleGC(_ context.Context, req any) (any, error) {
 		return nil, err
 	}
 	resp := &wire.GCResponse{}
+	var deletedPaths []string
 	for _, c := range cands {
 		for _, cn := range c.info.Clusters {
 			if cl := region.Cluster(cn); cl != nil {
 				_ = cl.Delete(c.info.Path)
 			}
 		}
+		deletedPaths = append(deletedPaths, c.info.Path)
 		_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
 			if _, ok := tx.Get(c.key); ok {
 				tx.Delete(c.key)
@@ -182,10 +184,12 @@ func (t *Task) handleGC(_ context.Context, req any) (any, error) {
 			return nil
 		})
 		if err != nil {
+			t.notifyFilesDeleted(deletedPaths)
 			return nil, unwrapAbort(err)
 		}
 		resp.FragmentsDeleted++
 	}
+	t.notifyFilesDeleted(deletedPaths)
 	return resp, nil
 }
 

@@ -53,6 +53,15 @@ type FragmentListener interface {
 	FragmentsChanged(table meta.TableID, added []meta.FragmentInfo, deleted []meta.FragmentID)
 }
 
+// FileGCListener observes fragment files the groomer physically deleted
+// from Colossus. The region fans this out to client read caches: Spanner
+// is MVCC, so an old-snapshot read view still lists a GC'd fragment, and
+// invalidation is the only thing keeping a cache from serving its bytes
+// after the file is gone.
+type FileGCListener interface {
+	FragmentFilesDeleted(paths []string)
+}
+
 // Task is one SMS task.
 type Task struct {
 	addr   string
@@ -61,10 +70,11 @@ type Task struct {
 	net    *rpc.Network
 	placer Placer
 
-	mu       sync.Mutex
-	srv      *rpc.Server
-	listener FragmentListener
-	region   *colossus.Region
+	mu         sync.Mutex
+	srv        *rpc.Server
+	listener   FragmentListener
+	gcListener FileGCListener
+	region     *colossus.Region
 
 	// retention is how long deleted fragments stay readable (§5.4.3).
 	retention truetime.Timestamp
@@ -150,6 +160,25 @@ func (t *Task) notifyFragments(table meta.TableID, added []meta.FragmentInfo, de
 	t.mu.Unlock()
 	if l != nil {
 		l.FragmentsChanged(table, added, deleted)
+	}
+}
+
+// SetFileGCListener installs the groomer's file-deletion observer.
+func (t *Task) SetFileGCListener(l FileGCListener) {
+	t.mu.Lock()
+	t.gcListener = l
+	t.mu.Unlock()
+}
+
+func (t *Task) notifyFilesDeleted(paths []string) {
+	if len(paths) == 0 {
+		return
+	}
+	t.mu.Lock()
+	l := t.gcListener
+	t.mu.Unlock()
+	if l != nil {
+		l.FragmentFilesDeleted(paths)
 	}
 }
 

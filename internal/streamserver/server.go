@@ -84,6 +84,11 @@ type Server struct {
 	crashed     bool
 	quarantine  bool
 
+	// fileDeleteObserver is invoked with the Colossus paths of fragment
+	// files this server deletes during GC (§5.4.3); the region uses it
+	// to invalidate client read caches.
+	fileDeleteObserver func(paths []string)
+
 	bytesAppended  metrics.Counter
 	appendOps      metrics.Counter
 	degradedWrites metrics.Counter
@@ -882,6 +887,13 @@ func (s *Server) applyHeartbeatResponse(resp *wire.HeartbeatResponse) {
 	}
 }
 
+// SetFileDeleteObserver installs the GC file-deletion callback.
+func (s *Server) SetFileDeleteObserver(fn func(paths []string)) {
+	s.mu.Lock()
+	s.fileDeleteObserver = fn
+	s.mu.Unlock()
+}
+
 func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
 	// Fragment ids embed the streamlet id: find the owning streamlet.
 	s.mu.Lock()
@@ -892,12 +904,13 @@ func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
 			break
 		}
 	}
+	obs := s.fileDeleteObserver
 	s.mu.Unlock()
 	if owner == nil {
 		return
 	}
+	var deleted []string
 	owner.mu.Lock()
-	defer owner.mu.Unlock()
 	kept := owner.fragments[:0]
 	for _, f := range owner.fragments {
 		if f.ID == fid {
@@ -906,11 +919,16 @@ func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
 					_ = c.Delete(f.Path)
 				}
 			}
+			deleted = append(deleted, f.Path)
 			continue
 		}
 		kept = append(kept, f)
 	}
 	owner.fragments = kept
+	owner.mu.Unlock()
+	if obs != nil && len(deleted) > 0 {
+		obs(deleted)
+	}
 }
 
 // Stats reports the server's load counters (heartbeats carry them).

@@ -1,9 +1,17 @@
 #!/usr/bin/env sh
-# Full local check: vet + race-enabled tests across every package.
-# The chaos suite (internal/chaos, core/client chaos tests) is expected
-# to be deterministic under -race; any ordering flake is a bug.
+# Full local check: formatting gate + vet + race-enabled tests across
+# every package. The chaos suite (internal/chaos, core/client chaos
+# tests) is expected to be deterministic under -race; any ordering
+# flake is a bug.
 set -eu
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go test -race ./...

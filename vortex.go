@@ -75,6 +75,8 @@ type (
 	RetryPolicy = client.RetryPolicy
 	// ClientMetrics snapshots the client's resilience counters.
 	ClientMetrics = client.Metrics
+	// CacheStats snapshots the read cache's counters (see WithReadCache).
+	CacheStats = client.CacheStats
 	// ChaosSchedule is a deterministic fault-injection plan (see
 	// WithChaos and the internal/chaos package).
 	ChaosSchedule = chaos.Schedule
@@ -187,6 +189,7 @@ type openConfig struct {
 	maxFragmentBytes    int64
 	chaos               *chaos.Schedule
 	retry               *client.RetryPolicy
+	readCacheBytes      int64
 }
 
 type openOptionFunc func(*openConfig)
@@ -230,6 +233,16 @@ func WithChaos(s *ChaosSchedule) OpenOption {
 // policy (backoff, per-attempt deadlines, hedging).
 func WithRetryPolicy(p RetryPolicy) OpenOption {
 	return openOptionFunc(func(c *openConfig) { c.retry = &p })
+}
+
+// WithReadCache bounds the client's snapshot-safe fragment read cache
+// to the given raw byte budget. Sealed fragments (immutable ROS files
+// and finalized WOS logs) are cached decoded and keyed by path; live
+// streamlet-tail files always bypass the cache, and SMS grooming/GC
+// invalidates entries whose files are physically deleted. 0 (the
+// default) disables caching.
+func WithReadCache(bytes int64) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.readCacheBytes = bytes })
 }
 
 // Config tunes an embedded region. It implements OpenOption, so
@@ -310,6 +323,7 @@ func Open(opts ...OpenOption) *DB {
 	if oc.retry != nil {
 		copts.Retry = *oc.retry
 	}
+	copts.ReadCacheBytes = oc.readCacheBytes
 	c := region.NewClient(copts)
 	return &DB{
 		Region: region,
@@ -328,6 +342,10 @@ func (db *DB) Chaos() *ChaosSchedule { return db.Region.Chaos() }
 // ClientMetrics snapshots the client's resilience counters (retries,
 // rotations, hedges, append latency).
 func (db *DB) ClientMetrics() ClientMetrics { return db.c.Metrics() }
+
+// ReadCacheStats snapshots the read cache's counters. All zero when the
+// DB was opened without WithReadCache.
+func (db *DB) ReadCacheStats() CacheStats { return db.c.ReadCache().Stats() }
 
 // Errors returns background-maintenance errors (RunBackground's
 // optimizer and reclustering passes). The channel is bounded; when full
