@@ -35,6 +35,9 @@ func TestFig7Smoke(t *testing.T) {
 }
 
 func TestCompressionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke")
+	}
 	rows, err := Compression(1000)
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +56,9 @@ func TestCompressionSmoke(t *testing.T) {
 }
 
 func TestUnaryVsBidiSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke")
+	}
 	rows, err := UnaryVsBidi(context.Background(), 20, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +78,9 @@ func TestUnaryVsBidiSmoke(t *testing.T) {
 }
 
 func TestWOSvsROSSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke")
+	}
 	scans, res, err := WOSvsROS(context.Background(), 2000)
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +94,9 @@ func TestWOSvsROSSmoke(t *testing.T) {
 }
 
 func TestReclusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke")
+	}
 	steps, err := Recluster(context.Background(), 2, 400)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,55 @@
+package blockenc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen feeds arbitrary bytes to the block envelope opener: hostile
+// inputs (bad magic, truncated headers, flipped ciphertext) must be
+// rejected with an error, never a panic, and the same bytes used as a
+// plaintext must survive a seal/open round trip.
+func FuzzOpen(f *testing.F) {
+	s := NewSealer(NewKeyring())
+	for _, plain := range [][]byte{
+		nil,
+		[]byte("hello"),
+		bytes.Repeat([]byte("clusterBy=customerKey;"), 64),
+	} {
+		sealed, err := s.Seal(plain, Checksum(plain), SystemKey)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sealed)
+	}
+	f.Add([]byte("VXB1"))
+	f.Add([]byte("VXB0not-a-block"))
+	f.Add(bytes.Repeat([]byte{0}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got, err := s.Open(data); err == nil {
+			// Anything Open accepts must re-seal and re-open to the same
+			// plaintext.
+			resealed, err := s.Seal(got, Checksum(got), SystemKey)
+			if err != nil {
+				t.Fatalf("re-sealing opened plaintext: %v", err)
+			}
+			back, err := s.Open(resealed)
+			if err != nil || !bytes.Equal(back, got) {
+				t.Fatalf("re-opened plaintext differs: %v", err)
+			}
+		}
+
+		sealed, err := s.Seal(data, Checksum(data), SystemKey)
+		if err != nil {
+			t.Fatalf("sealing fuzz input: %v", err)
+		}
+		back, err := s.Open(sealed)
+		if err != nil {
+			t.Fatalf("opening sealed fuzz input: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("seal/open round trip mismatch")
+		}
+	})
+}

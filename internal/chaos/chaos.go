@@ -128,6 +128,7 @@ type Schedule struct {
 	events   []Event
 	crashers map[string]func(target string)
 	manual   map[string]bool // manually-toggled cluster outages
+	paused   bool
 }
 
 // NewSchedule returns an empty schedule. The seed drives every
@@ -168,6 +169,12 @@ func (s *Schedule) FailProb(point, target string, p float64) *Schedule {
 // sleep honours the caller's context, so per-attempt deadlines fire.
 func (s *Schedule) DelayAt(point, target string, d time.Duration, nth ...int64) *Schedule {
 	return s.add(&rule{point: point, target: target, action: actionDelay, delay: d, occurrences: occSet(nth)})
+}
+
+// DelayBetween injects a latency spike of d on occurrences from..to
+// (1-based, inclusive).
+func (s *Schedule) DelayBetween(point, target string, d time.Duration, from, to int64) *Schedule {
+	return s.add(&rule{point: point, target: target, action: actionDelay, delay: d, from: from, to: to})
 }
 
 // DelayProb injects a latency spike of d with probability p.
@@ -233,6 +240,25 @@ func (s *Schedule) ClusterOut(cluster string) bool {
 	return false
 }
 
+// Pause suspends injection: Inject returns nil without matching rules
+// or advancing occurrence counters, freezing every fault window. The
+// deterministic simulation pauses the schedule while it observes
+// invariants, so verification reads neither fail nor consume the
+// occurrences the workload phase would otherwise see — measurement must
+// not perturb the system under test.
+func (s *Schedule) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume re-enables injection after Pause.
+func (s *Schedule) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.mu.Unlock()
+}
+
 // OnCrash installs the callback invoked when a crash rule of the given
 // kind fires. internal/core wires region crash/restart here.
 func (s *Schedule) OnCrash(kind string, fn func(target string)) {
@@ -250,6 +276,10 @@ func (s *Schedule) Inject(ctx context.Context, point, target string) error {
 		return nil
 	}
 	s.mu.Lock()
+	if s.paused {
+		s.mu.Unlock()
+		return nil
+	}
 	var (
 		delay   time.Duration
 		failed  *Event

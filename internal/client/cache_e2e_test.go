@@ -60,6 +60,9 @@ func ingestRound(t *testing.T, ctx context.Context, c *client.Client, base, n in
 // twice: the second scan must be served from the cache (hits and bytes
 // saved accrue) and return the same rows.
 func TestReadCacheServesRepeatedScans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache e2e")
+	}
 	r, c, ctx := cacheEnv(t)
 	ingestRound(t, ctx, c, 0, 30)
 	r.HeartbeatAll(ctx, false)
@@ -91,6 +94,9 @@ func TestReadCacheServesRepeatedScans(t *testing.T) {
 // old-snapshot read view still lists the GC'd fragments and only
 // invalidation stops the cache from serving their bytes forever.
 func TestReadCacheInvalidatedByHeartbeatGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache e2e")
+	}
 	r, c, ctx := cacheEnv(t)
 	streamID := ingestRound(t, ctx, c, 0, 30)
 	r.HeartbeatAll(ctx, false)
@@ -169,6 +175,9 @@ func TestReadCacheInvalidatedByHeartbeatGC(t *testing.T) {
 // grooming cycle deletes its files, and the cached readers for those
 // fragments must be dropped.
 func TestReadCacheInvalidatedByGroomerGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache e2e")
+	}
 	r, c, ctx := cacheEnv(t)
 	ingestRound(t, ctx, c, 0, 30)
 	r.HeartbeatAll(ctx, false)

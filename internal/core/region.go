@@ -42,6 +42,11 @@ type Config struct {
 	Seed int64
 	// ClockEpsilon is the TrueTime uncertainty (default ±4ms).
 	ClockEpsilon time.Duration
+	// Clock, when non-nil, replaces the region's system TrueTime clock.
+	// Deterministic simulation injects a truetime.Manual here so that all
+	// commit timestamps, visibility decisions and retention horizons are
+	// functions of simulated time only.
+	Clock truetime.Clock
 	// MaxFragmentBytes overrides the fragment rotation size.
 	MaxFragmentBytes int64
 	// Chaos, when non-nil, is the fault-injection schedule wired through
@@ -98,7 +103,10 @@ func NewRegion(cfg Config) *Region {
 	if cfg.ClockEpsilon <= 0 {
 		cfg.ClockEpsilon = 4 * time.Millisecond
 	}
-	clock := truetime.NewSystem(cfg.ClockEpsilon, 0)
+	clock := cfg.Clock
+	if clock == nil {
+		clock = truetime.NewSystem(cfg.ClockEpsilon, 0)
+	}
 	var sampler *latencymodel.Sampler
 	if !cfg.Latency.Zero() {
 		sampler = latencymodel.NewSampler(cfg.Latency, cfg.Seed)
@@ -204,16 +212,39 @@ func (r *Region) Router() client.Router { return r.router }
 
 // HeartbeatAll drives one heartbeat round on every live Stream Server —
 // the simulation's stand-in for the paper's periodic heartbeats (§5.5).
+// Servers are visited in address order so that heartbeat side effects
+// (placement load reports, fragment GC) happen in a replayable order.
 func (r *Region) HeartbeatAll(ctx context.Context, full bool) {
+	for _, addr := range r.ServerAddrs() {
+		r.mu.Lock()
+		s := r.StreamServers[addr]
+		r.mu.Unlock()
+		if s != nil {
+			_ = s.HeartbeatNow(ctx, full)
+		}
+	}
+}
+
+// ServerAddrs returns all Stream Server addresses in sorted order.
+func (r *Region) ServerAddrs() []string {
 	r.mu.Lock()
-	servers := make([]*streamserver.Server, 0, len(r.StreamServers))
-	for _, s := range r.StreamServers {
-		servers = append(servers, s)
+	addrs := make([]string, 0, len(r.StreamServers))
+	for a := range r.StreamServers {
+		addrs = append(addrs, a)
 	}
 	r.mu.Unlock()
-	for _, s := range servers {
-		_ = s.HeartbeatNow(ctx, full)
+	sort.Strings(addrs)
+	return addrs
+}
+
+// SMSAddrs returns all SMS task addresses in sorted order.
+func (r *Region) SMSAddrs() []string {
+	addrs := make([]string, 0, len(r.SMSTasks))
+	for _, t := range r.SMSTasks {
+		addrs = append(addrs, t.Addr())
 	}
+	sort.Strings(addrs)
+	return addrs
 }
 
 // CrashStreamServer simulates a hard Stream Server crash.

@@ -9,8 +9,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"vortex/internal/truetime"
 )
@@ -28,13 +30,42 @@ type StreamletID string
 // FragmentID identifies a Fragment within its Streamlet.
 type FragmentID string
 
+var entropyMu sync.Mutex
+
+// entropy is the id-generation randomness source; nil means crypto/rand.
+var entropy io.Reader
+
+// SetEntropy replaces the randomness source behind RandomHex (stream and
+// ROS ids). Deterministic simulation installs a seeded reader so that
+// generated ids — which become Spanner keys and therefore drive scan,
+// placement and conversion order — replay identically; nil restores
+// crypto/rand. Reads of a non-nil source are serialized.
+func SetEntropy(r io.Reader) {
+	entropyMu.Lock()
+	entropy = r
+	entropyMu.Unlock()
+}
+
+// RandomHex returns 2*nBytes hex characters from the configured entropy
+// source.
+func RandomHex(nBytes int) string {
+	b := make([]byte, nBytes)
+	entropyMu.Lock()
+	src := entropy
+	if src == nil {
+		src = rand.Reader
+	}
+	_, err := io.ReadFull(src, b)
+	entropyMu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("meta: reading id entropy: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
+
 // NewStreamID generates a fresh random stream id.
 func NewStreamID() StreamID {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("meta: generating stream id: %v", err))
-	}
-	return StreamID("s-" + hex.EncodeToString(b[:]))
+	return StreamID("s-" + RandomHex(8))
 }
 
 // StreamletIDFor derives the id of the seq'th streamlet of a stream.

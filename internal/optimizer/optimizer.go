@@ -9,8 +9,6 @@ package optimizer
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -343,9 +341,5 @@ func (o *Optimizer) deleteFiles(paths []string, clusters [2]string) {
 }
 
 func newROSID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("optimizer: id: %v", err))
-	}
-	return hex.EncodeToString(b[:])
+	return meta.RandomHex(8)
 }

@@ -1,0 +1,664 @@
+// Package sim is a FoundationDB-style deterministic simulation harness
+// for the Vortex reproduction: a seeded Simulation drives N logically
+// concurrent clients against an embedded region while a chaos program —
+// derived from the same seed — crashes Stream Servers and SMS tasks,
+// drops and delays RPCs, and schedules Colossus outage windows. A
+// manual TrueTime clock makes simulated time a pure function of the
+// seed, and after every epoch the harness runs the §6.3 continuous
+// verification invariants (exactly-once, no-missing/no-duplicate,
+// content integrity) plus snapshot-read monotonicity, WOS∪ROS union
+// completeness across conversion, no-stale-read-after-GC, and a DML
+// row-count model check.
+//
+// Determinism contract: with a fixed Config, two Runs produce
+// byte-identical event logs. Everything that executes while the chaos
+// schedule is live is sequential (one operation at a time); invariant
+// observation happens with the schedule paused so measurement cannot
+// perturb fault-window accounting. On an invariant failure the run
+// stops, the failing schedule is minimized by delta-debugging re-runs,
+// and a self-contained repro command line is emitted.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"vortex/internal/chaos"
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/optimizer"
+	"vortex/internal/query"
+	"vortex/internal/truetime"
+	"vortex/internal/verify"
+	"vortex/internal/wire"
+)
+
+// Region shape: fixed so the fault topology is a function of nothing
+// but this package's constants.
+const (
+	smsTasks          = 2
+	serversPerCluster = 3
+	fragmentBytes     = 4 << 10
+)
+
+func simClusters() []string { return []string{"alpha", "beta"} }
+
+// Topology returns the fault surfaces of the simulated region.
+func Topology() chaos.Topology {
+	t := chaos.Topology{Clusters: simClusters()}
+	for _, cl := range t.Clusters {
+		for i := 0; i < serversPerCluster; i++ {
+			t.Servers = append(t.Servers, fmt.Sprintf("ss-%s-%d", cl, i))
+		}
+	}
+	for i := 0; i < smsTasks; i++ {
+		t.SMS = append(t.SMS, fmt.Sprintf("sms-%d", i))
+	}
+	return t
+}
+
+// Simulated-time layout. An epoch is one workload+maintenance+verify
+// round; Config.Duration counts simulated (manual-clock) time, so the
+// epoch count — and with it the whole run — is seed-deterministic.
+const (
+	epochSim       = 100 * time.Millisecond
+	stepsPerClient = 5
+	rotateEvery    = 4 // epochs between stream finalize/recreate rounds
+	reclusterEvery = 8
+	gcEvery        = 4
+	retention      = 2 * time.Second // SMS deleted-fragment retention
+	sampleMaxAge   = 4               // epochs a snapshot sample is re-checked
+)
+
+const (
+	tableLedger = meta.TableID("sim.ledger")
+	tableDML    = meta.TableID("sim.dml")
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Seed int64
+	// Duration is the simulated run length (manual-clock time).
+	Duration time.Duration
+	// Clients is the number of logically concurrent workload clients.
+	Clients int
+	// Faults sizes the random chaos program when Specs is nil.
+	Faults int
+	// Specs, when non-nil, replays an explicit chaos program instead of
+	// generating one (the -replay path).
+	Specs []chaos.Spec
+	// Bug injects a deliberate defect so the harness can prove it
+	// catches one: "dup-ledger" double-records an acked append.
+	Bug string
+	// Log receives the deterministic event log (nil discards it).
+	Log io.Writer
+	// Minimize shrinks a failing chaos program by re-running subsets.
+	Minimize bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Faults < 0 {
+		c.Faults = 0
+	}
+}
+
+// Failure describes one invariant violation.
+type Failure struct {
+	Epoch     int
+	Invariant string
+	Detail    string
+	// Specs is the (possibly minimized) chaos program that reproduces
+	// the failure together with the seed.
+	Specs []chaos.Spec
+	// ReproLine is a self-contained command reproducing the failure.
+	ReproLine string
+}
+
+// Result summarizes a run.
+type Result struct {
+	Seed    int64
+	Epochs  int
+	Specs   []chaos.Spec
+	Appends int64
+	Rows    int64
+	Reads   int64
+	DMLs    int64
+	// Uncertain counts appends whose first ack was lost and that the
+	// exactly-once protocol later resolved (retried or content-matched).
+	Uncertain int64
+	ChaosLog  string
+	Failure   *Failure
+}
+
+// runMu serializes Runs: the seedable id-entropy hook (meta.SetEntropy)
+// is process-global.
+var runMu sync.Mutex
+
+// Run executes one simulation. On failure with cfg.Minimize set it
+// re-runs spec subsets (logs discarded) to shrink the chaos program
+// before building the repro line.
+func Run(cfg Config) *Result {
+	runMu.Lock()
+	defer runMu.Unlock()
+	cfg.setDefaults()
+	specs := cfg.Specs
+	if specs == nil && cfg.Faults > 0 {
+		specs = chaos.RandomSpecs(rand.New(rand.NewSource(cfg.Seed)), Topology(), cfg.Faults)
+	}
+	res := runOnce(cfg, specs)
+	if res.Failure != nil {
+		if cfg.Minimize {
+			quiet := cfg
+			quiet.Log = nil
+			inv := res.Failure.Invariant
+			res.Failure.Specs = chaos.MinimizeSpecs(specs, func(ss []chaos.Spec) bool {
+				r := runOnce(quiet, ss)
+				return r.Failure != nil && r.Failure.Invariant == inv
+			})
+		} else {
+			res.Failure.Specs = specs
+		}
+		res.Failure.ReproLine = ReproLine(cfg, res.Failure.Specs)
+	}
+	return res
+}
+
+// ReproLine renders the command that replays cfg with the given chaos
+// program.
+func ReproLine(cfg Config, specs []chaos.Spec) string {
+	line := fmt.Sprintf("go run ./cmd/vortex-sim -seed %d -clients %d -duration %s -replay %q",
+		cfg.Seed, cfg.Clients, cfg.Duration, chaos.FormatSpecs(specs))
+	if cfg.Bug != "" {
+		line += fmt.Sprintf(" -bug %s", cfg.Bug)
+	}
+	return line
+}
+
+type crashRec struct {
+	addr  string
+	epoch int
+}
+
+type snapSample struct {
+	epoch  int
+	at     truetime.Timestamp
+	digest uint64
+	count  int
+}
+
+type simulation struct {
+	cfg    Config
+	specs  []chaos.Spec
+	clock  *truetime.Manual
+	region *core.Region
+	sched  *chaos.Schedule
+	cached *client.Client // read-cache client (stale-read-after-GC probe)
+	plain  *client.Client // uncached observer
+	eng    *query.Engine
+	opt    *optimizer.Optimizer
+	ledger *verify.Ledger
+
+	clients []*simClient
+	dml     *dmlActor
+
+	epoch   int
+	samples []snapSample
+	out     io.Writer
+	res     *Result
+
+	crashMu    sync.Mutex
+	crashedSS  []crashRec
+	crashedSMS []crashRec
+}
+
+func runOnce(cfg Config, specs []chaos.Spec) *Result {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := &simulation{
+		cfg:    cfg,
+		specs:  specs,
+		clock:  truetime.NewManual(base, time.Millisecond),
+		ledger: verify.NewLedger(),
+		out:    cfg.Log,
+		res:    &Result{Seed: cfg.Seed, Specs: specs},
+	}
+	if s.out == nil {
+		s.out = io.Discard
+	}
+
+	// Seedable id entropy: stream/ROS ids become Spanner keys and drive
+	// scan and placement order, so they must replay.
+	meta.SetEntropy(rand.New(rand.NewSource(cfg.Seed ^ 0x5eed1d)))
+	defer meta.SetEntropy(nil)
+
+	s.sched = chaos.FromSpecs(cfg.Seed, specs)
+	s.sched.Pause() // no faults during setup
+	s.region = core.NewRegion(core.Config{
+		Clusters:                simClusters(),
+		SMSTasks:                smsTasks,
+		StreamServersPerCluster: serversPerCluster,
+		ClockEpsilon:            time.Millisecond,
+		Clock:                   s.clock,
+		MaxFragmentBytes:        fragmentBytes,
+		Chaos:                   s.sched,
+		Seed:                    cfg.Seed,
+	})
+	// Take over crash handling: the region still crashes the task, and
+	// the simulation additionally records it for a delayed restart.
+	s.sched.OnCrash(chaos.KindStreamServer, func(addr string) {
+		s.region.CrashStreamServer(addr)
+		s.crashMu.Lock()
+		s.crashedSS = append(s.crashedSS, crashRec{addr, s.epoch})
+		s.crashMu.Unlock()
+		s.logf("e%d crash ss %s", s.epoch, addr)
+	})
+	s.sched.OnCrash(chaos.KindSMS, func(addr string) {
+		s.region.CrashSMSTask(addr)
+		s.crashMu.Lock()
+		s.crashedSMS = append(s.crashedSMS, crashRec{addr, s.epoch})
+		s.crashMu.Unlock()
+		s.logf("e%d crash sms %s", s.epoch, addr)
+	})
+	for _, t := range s.region.SMSTasks {
+		t.SetRetention(truetime.Timestamp(retention.Nanoseconds()))
+	}
+
+	copts := client.DefaultOptions()
+	copts.Seed = cfg.Seed
+	copts.ReadCacheBytes = 1 << 20
+	s.cached = s.region.NewClient(copts)
+	popts := client.DefaultOptions()
+	popts.Seed = cfg.Seed + 1
+	s.plain = s.region.NewClient(popts)
+	// Shards=1 keeps the engine's leaf dispatch strictly sequential, so
+	// chaos occurrence accounting during DML scans is replayable.
+	s.eng = query.New(s.plain, s.region.BigMeta, s.region.Net, s.region.Router(), query.Config{Shards: 1})
+	s.opt = optimizer.New(optimizer.DefaultConfig(), s.plain, s.region.Net, s.region.Router(), s.region.Colossus, s.clock)
+
+	ctx := context.Background()
+	s.logf("sim seed=%d clients=%d duration=%s faults=%d", cfg.Seed, cfg.Clients, cfg.Duration, len(specs))
+	for _, sp := range specs {
+		s.logf("spec %s", sp)
+	}
+	if err := s.setup(ctx); err != nil {
+		s.fail("setup", err.Error())
+		return s.finish()
+	}
+
+	epochs := int(cfg.Duration / epochSim)
+	if epochs < 1 {
+		epochs = 1
+	}
+	s.sched.Resume()
+	for s.epoch = 1; s.epoch <= epochs && s.res.Failure == nil; s.epoch++ {
+		epochStart := s.clock.At()
+		s.workloadPhase(ctx)
+		s.maintenancePhase(ctx)
+		s.verifyPhase(ctx)
+		// Land exactly on the epoch boundary so simulated time is a pure
+		// function of the epoch count.
+		s.clock.Set(epochStart.Add(epochSim))
+	}
+	if s.res.Failure == nil {
+		s.drain(ctx)
+	}
+	return s.finish()
+}
+
+func (s *simulation) logf(format string, args ...any) {
+	fmt.Fprintf(s.out, format+"\n", args...)
+}
+
+func (s *simulation) fail(invariant, detail string) {
+	if s.res.Failure != nil {
+		return
+	}
+	s.res.Failure = &Failure{Epoch: s.epoch, Invariant: invariant, Detail: detail}
+	s.logf("FAIL e%d invariant=%s detail=%s", s.epoch, invariant, detail)
+}
+
+func (s *simulation) finish() *Result {
+	if s.res.Epochs == 0 && s.epoch > 0 {
+		s.res.Epochs = s.epoch - 1
+	}
+	s.res.ChaosLog = s.sched.LogString()
+	s.logf("chaos events:\n%s", s.res.ChaosLog)
+	s.logf("result epochs=%d appends=%d rows=%d reads=%d dmls=%d uncertain=%d fail=%v",
+		s.res.Epochs, s.res.Appends, s.res.Rows, s.res.Reads, s.res.DMLs, s.res.Uncertain, s.res.Failure != nil)
+	return s.res
+}
+
+func (s *simulation) setup(ctx context.Context) error {
+	if err := s.plain.CreateTable(ctx, tableLedger, eventsSchema()); err != nil {
+		return err
+	}
+	if err := s.plain.CreateTable(ctx, tableDML, logSchema()); err != nil {
+		return err
+	}
+	for i := 0; i < s.cfg.Clients; i++ {
+		copts := client.DefaultOptions()
+		copts.Seed = s.cfg.Seed*1009 + int64(i)
+		s.clients = append(s.clients, newSimClient(i, s, s.region.NewClient(copts)))
+	}
+	s.dml = newDMLActor(s)
+	return nil
+}
+
+// workloadPhase runs the logically concurrent clients one operation at
+// a time: a sequential interleaving chosen by the seed, the only
+// scheduling under which chaos occurrence accounting replays exactly.
+func (s *simulation) workloadPhase(ctx context.Context) {
+	for step := 0; step < stepsPerClient; step++ {
+		for _, c := range s.clients {
+			c.step(ctx)
+			if s.res.Failure != nil {
+				return
+			}
+		}
+		s.dml.step(ctx)
+		if s.res.Failure != nil {
+			return
+		}
+		s.clock.Advance(time.Millisecond)
+	}
+}
+
+func (s *simulation) maintenancePhase(ctx context.Context) {
+	// Restart tasks that crashed in an earlier epoch: roughly one epoch
+	// of downtime, like a Borg reschedule.
+	s.crashMu.Lock()
+	ss, sms := s.crashedSS, s.crashedSMS
+	s.crashedSS, s.crashedSMS = nil, nil
+	s.crashMu.Unlock()
+	restartDue(ss, s.epoch, func(addr string) {
+		s.region.RestartStreamServer(addr)
+		s.logf("e%d restart ss %s", s.epoch, addr)
+	}, func(r crashRec) {
+		s.crashMu.Lock()
+		s.crashedSS = append(s.crashedSS, r)
+		s.crashMu.Unlock()
+	})
+	restartDue(sms, s.epoch, func(addr string) {
+		s.region.RestartSMSTask(addr)
+		s.logf("e%d restart sms %s", s.epoch, addr)
+	}, func(r crashRec) {
+		s.crashMu.Lock()
+		s.crashedSMS = append(s.crashedSMS, r)
+		s.crashMu.Unlock()
+	})
+
+	s.region.HeartbeatAll(ctx, s.epoch%10 == 0)
+	if s.epoch%rotateEvery == 0 {
+		for _, c := range s.clients {
+			c.rotate(ctx)
+		}
+		s.dml.rotate(ctx)
+		s.region.HeartbeatAll(ctx, false)
+	}
+	for _, table := range []meta.TableID{tableLedger, tableDML} {
+		res, err := s.opt.ConvertTable(ctx, table)
+		if err != nil {
+			s.logf("e%d maint convert t=%s err=%s", s.epoch, table, errCategory(err))
+		} else if res.FragmentsConverted > 0 {
+			s.logf("e%d maint convert t=%s frags=%d rows=%d", s.epoch, table, res.FragmentsConverted, res.RowsConverted)
+		}
+	}
+	if s.epoch%reclusterEvery == 0 {
+		if n, err := s.opt.Recluster(ctx, tableLedger, true); err != nil {
+			s.logf("e%d maint recluster err=%s", s.epoch, errCategory(err))
+		} else {
+			s.logf("e%d maint recluster files=%d", s.epoch, n)
+		}
+	}
+	if s.epoch%gcEvery == 0 {
+		s.runGC(ctx)
+	}
+}
+
+func (s *simulation) runGC(ctx context.Context) {
+	for _, addr := range s.region.SMSAddrs() {
+		resp, err := s.region.Net.Unary(ctx, addr, wire.MethodGC, &wire.GCRequest{})
+		if err != nil {
+			s.logf("e%d maint gc %s err=%s", s.epoch, addr, errCategory(err))
+			continue
+		}
+		if gr := resp.(*wire.GCResponse); gr.FragmentsDeleted > 0 {
+			s.logf("e%d maint gc %s frags=%d", s.epoch, addr, gr.FragmentsDeleted)
+		}
+	}
+}
+
+func restartDue(recs []crashRec, epoch int, restart func(string), requeue func(crashRec)) {
+	due := map[string]bool{}
+	for _, r := range recs {
+		if r.epoch < epoch {
+			due[r.addr] = true
+		} else {
+			requeue(r)
+		}
+	}
+	addrs := make([]string, 0, len(due))
+	for a := range due {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		restart(a)
+	}
+}
+
+// verifyPhase observes the system with the chaos schedule paused:
+// measurement must neither fail spuriously nor advance fault windows.
+func (s *simulation) verifyPhase(ctx context.Context) {
+	s.sched.Pause()
+	defer s.sched.Resume()
+
+	if s.cfg.Bug == "dup-ledger" && s.epoch == 2 {
+		// Deliberate defect: re-record the first acked append, claiming
+		// the same stream location twice. §6.3 verification must flag it.
+		if recs := s.ledger.Appends(); len(recs) > 0 {
+			s.ledger.Record(recs[0])
+		}
+	}
+
+	// Resolve in-doubt appends first so the ledger is complete; a batch
+	// stuck behind a still-crashed server skips verification this epoch.
+	pending := 0
+	for _, c := range s.clients {
+		if c.pending != nil {
+			c.resolve(ctx)
+		}
+		if c.pending != nil {
+			pending++
+		}
+	}
+	s.dml.resolve(ctx)
+
+	if pending == 0 {
+		rep, err := verify.VerifyTable(ctx, s.plain, tableLedger, s.ledger, 0)
+		if err != nil {
+			s.logf("e%d verify ledger err=%s", s.epoch, errCategory(err))
+		} else {
+			s.logf("e%d verify ledger %s", s.epoch, rep)
+			if !rep.OK() {
+				s.fail("exactly-once", rep.String())
+				return
+			}
+			s.res.Uncertain = int64(rep.ResolvedUncertain)
+		}
+	} else {
+		s.logf("e%d verify skipped pending=%d", s.epoch, pending)
+	}
+
+	if s.dml.idle() {
+		if got, err := s.dml.storedCount(ctx); err != nil {
+			s.logf("e%d verify dml err=%s", s.epoch, errCategory(err))
+		} else if got != s.dml.modelCount() {
+			s.fail("dml-count", fmt.Sprintf("stored=%d model=%d", got, s.dml.modelCount()))
+			return
+		} else {
+			s.logf("e%d verify dml count=%d", s.epoch, got)
+		}
+	}
+
+	s.checkSnapshots(ctx)
+}
+
+// checkSnapshots enforces snapshot-read monotonicity and WOS∪ROS union
+// completeness: a snapshot digest taken at epoch E must be bit-identical
+// when re-read at later epochs, across the WOS→ROS conversions,
+// reclustering and GC that ran in between — and the read-cache client
+// must agree with the uncached one after GC (no stale reads).
+func (s *simulation) checkSnapshots(ctx context.Context) {
+	// Read errors here mean unavailability (a task crashed and not yet
+	// restarted) — an availability event, not a correctness violation.
+	// Checks are skipped for this epoch and retried later; only data
+	// that reads successfully but reads WRONG fails the run.
+	at := s.clock.Commit()
+	d, n, err := verify.SnapshotDigest(ctx, s.plain, tableLedger, at)
+	if err != nil {
+		s.logf("e%d digest unavailable err=%s", s.epoch, errCategory(err))
+	} else {
+		s.logf("e%d digest at=%d n=%d d=%016x", s.epoch, at, n, d)
+		s.samples = append(s.samples, snapSample{epoch: s.epoch, at: at, digest: d, count: n})
+		if dc, nc, err := verify.SnapshotDigest(ctx, s.cached, tableLedger, at); err != nil {
+			s.logf("e%d stale-read check unavailable err=%s", s.epoch, errCategory(err))
+		} else if dc != d || nc != n {
+			s.fail("stale-read-after-gc", fmt.Sprintf("cached=(%016x,%d) plain=(%016x,%d) at=%d", dc, nc, d, n, at))
+			return
+		}
+	}
+	kept := s.samples[:0]
+	for _, sm := range s.samples {
+		if s.epoch-sm.epoch > sampleMaxAge {
+			continue // beyond the re-check horizon (stays within retention)
+		}
+		kept = append(kept, sm)
+		if sm.epoch == s.epoch {
+			continue
+		}
+		d2, n2, err := verify.SnapshotDigest(ctx, s.plain, tableLedger, sm.at)
+		if err != nil {
+			s.logf("e%d reread at=%d unavailable err=%s", s.epoch, sm.at, errCategory(err))
+			continue
+		}
+		if d2 != sm.digest || n2 != sm.count {
+			s.fail("snapshot-monotonic", fmt.Sprintf("at=%d was=(%016x,%d) now=(%016x,%d)", sm.at, sm.digest, sm.count, d2, n2))
+			return
+		}
+	}
+	s.samples = kept
+}
+
+// drain heals the region (chaos off, everything restarted), resolves
+// every in-doubt operation, and runs the final full verification — the
+// durable exactly-once-across-crash/restart check.
+func (s *simulation) drain(ctx context.Context) {
+	s.sched.Pause()
+	s.crashMu.Lock()
+	ss, sms := s.crashedSS, s.crashedSMS
+	s.crashedSS, s.crashedSMS = nil, nil
+	s.crashMu.Unlock()
+	restartDue(ss, s.epoch+1, func(addr string) {
+		s.region.RestartStreamServer(addr)
+		s.logf("drain restart ss %s", addr)
+	}, func(crashRec) {})
+	restartDue(sms, s.epoch+1, func(addr string) {
+		s.region.RestartSMSTask(addr)
+		s.logf("drain restart sms %s", addr)
+	}, func(crashRec) {})
+	s.region.HeartbeatAll(ctx, true)
+
+	for round := 0; round < 5; round++ {
+		n := 0
+		for _, c := range s.clients {
+			if c.pending != nil {
+				c.resolve(ctx)
+			}
+			if c.pending != nil {
+				n++
+			}
+		}
+		s.dml.resolve(ctx)
+		if n == 0 && s.dml.idle() {
+			break
+		}
+		s.clock.Advance(10 * time.Millisecond)
+	}
+	for _, c := range s.clients {
+		if c.pending != nil {
+			s.fail("exactly-once", fmt.Sprintf("c%d append unresolvable after heal off=%d n=%d", c.id, c.pending.off, len(c.pending.rows)))
+			return
+		}
+	}
+	if !s.dml.idle() {
+		s.fail("dml-count", "dml operation unresolvable after heal")
+		return
+	}
+
+	rep, err := verify.VerifyTable(ctx, s.plain, tableLedger, s.ledger, 0)
+	if err != nil {
+		s.fail("exactly-once", fmt.Sprintf("final verify read failed: %s", errCategory(err)))
+		return
+	}
+	s.logf("final verify ledger %s", rep)
+	if !rep.OK() {
+		s.fail("exactly-once", rep.String())
+		return
+	}
+	s.res.Uncertain = int64(rep.ResolvedUncertain)
+	if got, err := s.dml.storedCount(ctx); err != nil {
+		s.fail("dml-count", fmt.Sprintf("final count read failed: %s", errCategory(err)))
+	} else if got != s.dml.modelCount() {
+		s.fail("dml-count", fmt.Sprintf("final stored=%d model=%d", got, s.dml.modelCount()))
+	} else {
+		s.logf("final dml count=%d", got)
+	}
+}
+
+// errCategory reduces an error to a stable category for the event log:
+// full error text can embed interleaving- or host-dependent detail,
+// categories cannot.
+var debugErrors = os.Getenv("VORTEX_SIM_DEBUG") != ""
+
+func errCategory(err error) string {
+	if debugErrors {
+		fmt.Fprintf(os.Stderr, "DEBUG err: %v\n", err)
+	}
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		return string(ce.Code)
+	}
+	switch {
+	case errors.Is(err, chaos.ErrInjected):
+		return "INJECTED"
+	case errors.Is(err, client.ErrWrongOffset):
+		return "WRONG_OFFSET"
+	case errors.Is(err, client.ErrStreamFinalized):
+		return "STREAM_FINALIZED"
+	case errors.Is(err, client.ErrExhausted):
+		return "EXHAUSTED"
+	case errors.Is(err, client.ErrUnavailable):
+		return "UNAVAILABLE"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "DEADLINE"
+	default:
+		return "ERR"
+	}
+}

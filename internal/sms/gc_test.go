@@ -12,6 +12,7 @@ import (
 	"vortex/internal/optimizer"
 	"vortex/internal/schema"
 	"vortex/internal/streamserver"
+	"vortex/internal/truetime"
 	"vortex/internal/wire"
 )
 
@@ -151,6 +152,105 @@ func TestGarbageCollectionLifecycle(t *testing.T) {
 	for _, a := range plan.Assignments {
 		if strings.HasPrefix(string(a.Frag.ID), "ros/") && !a.Frag.Live() {
 			t.Fatalf("deleted fragment %s still planned", a.Frag.ID)
+		}
+	}
+}
+
+// TestGroomerLeavesServerOwnedFragmentsToHeartbeat pins the division of
+// labour between the two GC paths (§5.4.3). A converted WOS fragment
+// whose streamlet record still exists may still be reported by its
+// owning Stream Server; if the groomer deletes the Spanner record
+// directly, the next full heartbeat re-registers the fragment as live
+// with its files already gone, and every later read of the table fails.
+// The groomer must skip such fragments and leave them to the heartbeat
+// instruct/ack protocol, which removes server-local state before the
+// record and therefore cannot resurrect.
+//
+// Found by the deterministic simulation harness (seed 42: groom at one
+// epoch, full heartbeat two epochs later, permanent read wedge).
+func TestGroomerLeavesServerOwnedFragmentsToHeartbeat(t *testing.T) {
+	clock := truetime.NewManual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC), time.Millisecond)
+	cfg := core.DefaultConfig()
+	cfg.Clock = clock
+	r := core.NewRegion(cfg)
+	c := r.NewClient(client.DefaultOptions())
+	ctx := context.Background()
+	const table = meta.TableID("d.groom")
+
+	retention := truetime.Timestamp((2 * time.Second).Nanoseconds())
+	for _, task := range r.SMSTasks {
+		task.SetRetention(retention)
+	}
+
+	sc := &schema.Schema{Fields: []*schema.Field{
+		{Name: "k", Kind: schema.KindString, Mode: schema.Required},
+	}}
+	if err := c.CreateTable(ctx, table, sc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.CreateStream(ctx, table, meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(ctx, []schema.Row{schema.NewRow(schema.String("k"))}, client.AtOffset(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.HeartbeatAll(ctx, false)
+
+	// Convert: the WOS fragments gain DeletionTS but their streamlet
+	// records — and the owning server's local state — remain.
+	opt := optimizer.New(optimizer.DefaultConfig(), c, r.Net, r.Router(), r.Colossus, r.Clock)
+	res, err := opt.ConvertTable(ctx, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FragmentsConverted == 0 {
+		t.Fatal("conversion found no candidates")
+	}
+
+	clock.Advance(3 * time.Second) // past retention
+
+	// The groomer must not collect the retired WOS fragments: their
+	// streamlet records still exist, so the owning server may still
+	// report them.
+	for _, addr := range r.SMSAddrs() {
+		resp, err := r.Net.Unary(ctx, addr, wire.MethodGC, &wire.GCRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.(*wire.GCResponse).FragmentsDeleted; got != 0 {
+			t.Fatalf("groomer deleted %d server-owned fragments", got)
+		}
+	}
+
+	// A full heartbeat re-reports the streamlet. Before the groomer fix
+	// this resurrected the fragment record as live (files gone) and the
+	// read below failed with file-not-found on every replica. It now
+	// carries the DeleteFragments instruction instead; the follow-up
+	// heartbeat acks, and the records die without resurrection risk.
+	r.HeartbeatAll(ctx, true)
+	r.HeartbeatAll(ctx, false)
+
+	rows, _, err := c.ReadAll(ctx, table, 0)
+	if err != nil {
+		t.Fatalf("read after groom+heartbeat: %v", err)
+	}
+	if len(rows) != n {
+		t.Fatalf("rows after groom+heartbeat = %d, want %d", len(rows), n)
+	}
+	plan, err := c.Plan(ctx, table, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Frag.Format != meta.ROS {
+			t.Fatalf("scan plan still contains %v fragment %s", a.Frag.Format, a.Frag.ID)
 		}
 	}
 }

@@ -158,9 +158,21 @@ func (t *Task) handleGC(_ context.Context, req any) (any, error) {
 			if err != nil {
 				continue
 			}
-			if f.DeletionTS != 0 && t.clock.After(f.DeletionTS+retention) {
-				cands = append(cands, cand{key: kv.Key, info: f})
+			if f.DeletionTS == 0 || !t.clock.After(f.DeletionTS+retention) {
+				continue
 			}
+			// WOS fragments whose streamlet record still exists belong to
+			// the heartbeat instruct/ack protocol: the owning server may
+			// still report them, and a report arriving after this record
+			// is dropped would revive the fragment as live with its files
+			// gone. The heartbeat path removes server-local state before
+			// the record, so it cannot resurrect; leave those to it.
+			if f.Streamlet != "" {
+				if _, ok := tx.Get(streamletKey(f.Table, f.Streamlet)); ok {
+					continue
+				}
+			}
+			cands = append(cands, cand{key: kv.Key, info: f})
 		}
 		return nil
 	})

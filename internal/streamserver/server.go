@@ -204,12 +204,17 @@ func (s *Server) SetQuarantine(v bool) {
 func (s *Server) assignTS(n int64) truetime.Timestamp {
 	s.seqMu.Lock()
 	defer s.seqMu.Unlock()
-	ts := s.clock.Commit()
-	if ts <= s.lastSeq {
-		ts = s.lastSeq + 1
-	}
 	if n < 1 {
 		n = 1
+	}
+	// Reserve the whole [ts, ts+n) range on the clock, not just its
+	// first tick: servers sharing one clock (the embedded region, the
+	// deterministic simulation) would otherwise hand out overlapping
+	// row-sequence ranges whenever the clock advances less than n ns
+	// between batches.
+	ts := truetime.CommitRange(s.clock, n)
+	if ts <= s.lastSeq {
+		ts = s.lastSeq + 1
 	}
 	s.lastSeq = ts + truetime.Timestamp(n) - 1
 	return ts

@@ -68,6 +68,38 @@ type Clock interface {
 	Before(ts Timestamp) bool
 }
 
+// RangeCommitter is implemented by clocks that can atomically reserve a
+// range of n consecutive commit timestamps. Row-sequence assignment
+// (one timestamp per row of an append batch) needs ranges, not single
+// ticks: when several Stream Servers share one clock — always true in
+// the embedded region and the simulation — per-call Commit values are
+// only 1ns apart and a batch's [ts, ts+n) span would collide with the
+// next server's assignment.
+type RangeCommitter interface {
+	// CommitN returns the first timestamp of a reserved range
+	// [ts, ts+n); no later Commit or CommitN call on this clock
+	// returns a timestamp inside the range.
+	CommitN(n int64) Timestamp
+}
+
+// CommitRange reserves n consecutive commit timestamps on c, using
+// CommitN when the clock supports it and falling back to n individual
+// Commit calls (which, being strictly monotonic, still leaves the
+// returned ts with n reserved successors) otherwise.
+func CommitRange(c Clock, n int64) Timestamp {
+	if n < 1 {
+		n = 1
+	}
+	if rc, ok := c.(RangeCommitter); ok {
+		return rc.CommitN(n)
+	}
+	ts := c.Commit()
+	for i := int64(1); i < n; i++ {
+		c.Commit()
+	}
+	return ts
+}
+
 // System is a Clock backed by the machine's real clock with a simulated
 // fixed uncertainty bound. It is safe for concurrent use.
 type System struct {
@@ -104,13 +136,22 @@ func (s *System) Now() Interval {
 // Commit implements Clock. The returned timestamp is the interval
 // midpoint, bumped to preserve strict monotonicity across calls.
 func (s *System) Commit() Timestamp {
+	return s.CommitN(1)
+}
+
+// CommitN implements RangeCommitter: it reserves [ts, ts+n) so that no
+// later commit on this clock lands inside the range.
+func (s *System) CommitN(n int64) Timestamp {
+	if n < 1 {
+		n = 1
+	}
 	mid := int64(FromTime(time.Now().Add(s.skew)))
 	for {
 		last := s.last.Load()
 		if mid <= last {
 			mid = last + 1
 		}
-		if s.last.CompareAndSwap(last, mid) {
+		if s.last.CompareAndSwap(last, mid+n-1) {
 			return Timestamp(mid)
 		}
 	}
@@ -168,14 +209,29 @@ func (m *Manual) Now() Interval {
 
 // Commit implements Clock.
 func (m *Manual) Commit() Timestamp {
+	return m.CommitN(1)
+}
+
+// CommitN implements RangeCommitter.
+func (m *Manual) CommitN(n int64) Timestamp {
+	if n < 1 {
+		n = 1
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ts := m.now
 	if ts <= m.last {
 		ts = m.last + 1
 	}
-	m.last = ts
+	m.last = ts + Timestamp(n) - 1
 	return ts
+}
+
+// At returns the clock's current position (the interval midpoint).
+func (m *Manual) At() Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
 }
 
 // After implements Clock.

@@ -27,6 +27,13 @@ import (
 )
 
 // AppendRecord is one acknowledged append in the ledger.
+//
+// FirstSeq < 0 marks an *uncertain ack*: the client learned the append
+// landed (e.g. a retry at a pinned offset returned WRONG_OFFSET after an
+// earlier attempt's response was lost) but never saw the assigned
+// timestamps. Verification resolves such records by content: it searches
+// the snapshot for an unaccounted run of RowCount consecutive sequences
+// whose hashes match RowHashes.
 type AppendRecord struct {
 	Table     meta.TableID
 	Stream    meta.StreamID
@@ -60,10 +67,14 @@ func (l *Ledger) Appends() []AppendRecord {
 	return append([]AppendRecord(nil), l.appends...)
 }
 
-// rowHash fingerprints a row's content.
-func rowHash(r schema.Row) uint32 {
+// RowHash fingerprints a row's content. Ledger producers that build
+// AppendRecords by hand (e.g. the deterministic simulation's uncertain
+// acks) must use the same fingerprint the verifier compares against.
+func RowHash(r schema.Row) uint32 {
 	return blockenc.Checksum(rowenc.AppendRow(nil, r))
 }
+
+func rowHash(r schema.Row) uint32 { return RowHash(r) }
 
 // TrackedStream wraps a client stream, recording every acknowledged
 // append in the ledger — the request tracing of §6.3.
@@ -119,6 +130,9 @@ type Report struct {
 	OverlappingAppends int
 	// PhantomRows are stored rows no acked append accounts for.
 	PhantomRows int64
+	// ResolvedUncertain counts uncertain-ack appends (FirstSeq < 0) that
+	// were matched to stored rows by content.
+	ResolvedUncertain int
 }
 
 // OK reports whether the pass found no violations.
@@ -158,6 +172,7 @@ func VerifyTable(ctx context.Context, c *client.Client, table meta.TableID, ledg
 	type span struct{ lo, hi int64 }
 	byStream := map[meta.StreamID][]span{}
 	accounted := make(map[int64]bool, len(rows))
+	var uncertain []AppendRecord
 	for _, rec := range ledger.Appends() {
 		if rec.Table != table {
 			continue
@@ -166,6 +181,12 @@ func VerifyTable(ctx context.Context, c *client.Client, table meta.TableID, ledg
 		rep.RowsChecked += rec.RowCount
 		byStream[rec.Stream] = append(byStream[rec.Stream], span{rec.Offset, rec.Offset + rec.RowCount})
 
+		if rec.FirstSeq < 0 {
+			// Uncertain ack: resolve by content once every certain
+			// append has claimed its sequences.
+			uncertain = append(uncertain, rec)
+			continue
+		}
 		missing := false
 		for i := int64(0); i < rec.RowCount; i++ {
 			seq := rec.FirstSeq + i
@@ -183,6 +204,24 @@ func VerifyTable(ctx context.Context, c *client.Client, table meta.TableID, ledg
 			rep.Missing = append(rep.Missing, rec)
 		}
 	}
+	if len(uncertain) > 0 {
+		// Stored sequences in order; a batch's rows occupy consecutive
+		// sequences (assignTS reserves the whole range), so an uncertain
+		// append resolves to an unaccounted consecutive run with matching
+		// hashes. Greedy first-match keeps the pass deterministic.
+		seqs := make([]int64, 0, len(stored))
+		for s := range stored {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, rec := range uncertain {
+			if !resolveUncertain(rec, seqs, stored, accounted) {
+				rep.Missing = append(rep.Missing, rec)
+				continue
+			}
+			rep.ResolvedUncertain++
+		}
+	}
 	for _, spans := range byStream {
 		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
 		for i := 1; i < len(spans); i++ {
@@ -198,4 +237,59 @@ func VerifyTable(ctx context.Context, c *client.Client, table meta.TableID, ledg
 	}
 	sort.Slice(rep.DuplicateSeqs, func(i, j int) bool { return rep.DuplicateSeqs[i] < rep.DuplicateSeqs[j] })
 	return rep, nil
+}
+
+// resolveUncertain claims the first unaccounted run of consecutive
+// stored sequences whose hashes match rec.RowHashes, marking it
+// accounted. It reports whether a run was found.
+func resolveUncertain(rec AppendRecord, seqs []int64, stored map[int64]uint32, accounted map[int64]bool) bool {
+	n := int(rec.RowCount)
+	if n == 0 {
+		return true
+	}
+outer:
+	for i := 0; i+n <= len(seqs); i++ {
+		base := seqs[i]
+		for k := 0; k < n; k++ {
+			seq := base + int64(k)
+			if i+k >= len(seqs) || seqs[i+k] != seq || accounted[seq] || stored[seq] != rec.RowHashes[k] {
+				continue outer
+			}
+		}
+		for k := 0; k < n; k++ {
+			accounted[base+int64(k)] = true
+		}
+		return true
+	}
+	return false
+}
+
+// SnapshotDigest reads table at the snapshot and returns an order- and
+// replica-independent digest of its visible rows plus the row count. Two
+// reads of the same snapshot must digest identically — the simulation's
+// snapshot-read monotonicity invariant — and the digest feeds the
+// WOS∪ROS union-completeness check across conversion boundaries.
+func SnapshotDigest(ctx context.Context, c *client.Client, table meta.TableID, at truetime.Timestamp) (uint64, int, error) {
+	rows, _, err := c.ReadAll(ctx, table, at)
+	if err != nil {
+		return 0, 0, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Seq < rows[j].Seq })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, r := range rows {
+		mix(uint64(r.Seq))
+		mix(uint64(rowHash(r.Row)))
+	}
+	return h, len(rows), nil
 }

@@ -190,3 +190,102 @@ func TestVerifyDetectsContentMismatch(t *testing.T) {
 		t.Fatalf("content mismatch not detected: %s", rep)
 	}
 }
+
+func TestVerifyResolvesUncertainAckByContent(t *testing.T) {
+	// An append whose ack was lost is recorded with FirstSeq=-1; the
+	// verifier must find its rows by content instead of by sequence.
+	_, c, ledger, ctx := setup(t)
+	s, err := c.CreateStream(ctx, "d.v", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := verify.Track(s, ledger)
+	for i := 0; i < 9; i += 3 {
+		if _, err := ts.Append(ctx, []schema.Row{row(i), row(i + 1), row(i + 2)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rewrite the middle batch as uncertain.
+	recs := ledger.Appends()
+	l2 := verify.NewLedger()
+	for i, r := range recs {
+		if i == 1 {
+			r.FirstSeq = -1
+		}
+		l2.Record(r)
+	}
+	rep, err := verify.VerifyTable(ctx, c, "d.v", l2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("uncertain ack not resolved: %s", rep)
+	}
+	if rep.ResolvedUncertain != 1 {
+		t.Fatalf("ResolvedUncertain = %d, want 1 (%s)", rep.ResolvedUncertain, rep)
+	}
+}
+
+func TestVerifyUncertainAckWithNoMatchIsMissing(t *testing.T) {
+	_, c, ledger, ctx := setup(t)
+	s, err := c.CreateStream(ctx, "d.v", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := verify.Track(s, ledger)
+	if _, err := ts.Append(ctx, []schema.Row{row(0)}, client.AtOffset(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Uncertain record whose content exists nowhere: genuinely lost rows.
+	ledger.Record(verify.AppendRecord{
+		Table: "d.v", Stream: "s-lost", Offset: 5, RowCount: 2,
+		FirstSeq: -1, RowHashes: []uint32{0xAAAA, 0xBBBB},
+	})
+	rep, err := verify.VerifyTable(ctx, c, "d.v", ledger, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Missing) != 1 || rep.ResolvedUncertain != 0 {
+		t.Fatalf("lost uncertain append not flagged missing: %s", rep)
+	}
+}
+
+func TestSnapshotDigestStableAndSensitive(t *testing.T) {
+	r, c, _, ctx := setup(t)
+	s, err := c.CreateStream(ctx, "d.v", meta.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(ctx, []schema.Row{row(i)}, client.AtOffset(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := r.Clock.Commit()
+	d1, n1, err := verify.SnapshotDigest(ctx, c, "d.v", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 10 {
+		t.Fatalf("digest saw %d rows, want 10", n1)
+	}
+	// More appends after the snapshot must not change it.
+	if _, err := s.Append(ctx, []schema.Row{row(10)}, client.AtOffset(10)); err != nil {
+		t.Fatal(err)
+	}
+	d2, n2, err := verify.SnapshotDigest(ctx, c, "d.v", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || n2 != n1 {
+		t.Fatalf("snapshot digest moved: (%x,%d) -> (%x,%d)", d1, n1, d2, n2)
+	}
+	// A later snapshot that includes the new row must differ.
+	d3, n3, err := verify.SnapshotDigest(ctx, c, "d.v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 11 || d3 == d1 {
+		t.Fatalf("later snapshot not distinguished: (%x,%d)", d3, n3)
+	}
+}

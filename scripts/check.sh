@@ -2,7 +2,8 @@
 # Full local check: formatting gate + vet + race-enabled tests across
 # every package. The chaos suite (internal/chaos, core/client chaos
 # tests) is expected to be deterministic under -race; any ordering
-# flake is a bug.
+# flake is a bug, so tests run with -shuffle=on to surface hidden
+# inter-test order dependencies.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,4 +15,13 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go test -race ./...
+go test -race -shuffle=on ./...
+
+# Fuzz smoke: a short budget per decoder target catches regressions in
+# the hostile-input guards without turning the check into a soak. The
+# checked-in corpora under testdata/fuzz run as plain seeds above; this
+# explores beyond them.
+for target in FuzzDecodeRow FuzzDecodeRows; do
+    go test -run '^$' -fuzz "${target}\$" -fuzztime 10s ./internal/rowenc/
+done
+go test -run '^$' -fuzz 'FuzzOpen$' -fuzztime 10s ./internal/blockenc/
