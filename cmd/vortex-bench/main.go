@@ -8,6 +8,7 @@
 //	vortex-bench -experiment fig7 -duration 30s -writers 48
 //	vortex-bench -experiment fig8 -duration 20s
 //	vortex-bench -experiment read-cache -repeats 40 -read-out BENCH_read.json
+//	vortex-bench -experiment readsession -rows 20000 -session-out BENCH_readsession.json
 //	vortex-bench -experiment compression|unary-vs-bidi|wos-vs-ros|recluster|chaos
 package main
 
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | readsession | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
 		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
@@ -31,6 +32,7 @@ func main() {
 		repeats      = flag.Int("repeats", 40, "repeated queries per side for read-cache")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "read cache byte budget for read-cache")
 		readOut      = flag.String("read-out", "BENCH_read.json", "output path for the read-cache JSON report")
+		sessionOut   = flag.String("session-out", "BENCH_readsession.json", "output path for the readsession JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -126,6 +128,25 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *readOut)
+			return nil
+		})
+	}
+	if want("readsession") {
+		run("readsession", func() error {
+			res, err := bench.ReadSessionBench(ctx, *rows, nil)
+			if err != nil {
+				return err
+			}
+			bench.PrintReadSession(out, res)
+			f, err := os.Create(*sessionOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteReadSessionJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *sessionOut)
 			return nil
 		})
 	}

@@ -115,6 +115,48 @@ func TestReclusterSmoke(t *testing.T) {
 	}
 }
 
+func TestReadSessionBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-model experiment")
+	}
+	res, err := ReadSessionBench(context.Background(), 3000, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Rows == 0 || p.Batches == 0 || p.Shards == 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		if p.Rows != res.Points[0].Rows {
+			t.Fatalf("reader counts disagree on row count: %+v", res.Points)
+		}
+	}
+	if res.Split.MovedRows == 0 {
+		t.Fatalf("split moved no work: %+v", res.Split)
+	}
+	// No timing assertion: CI machines are noisy. The JSON must be
+	// well-formed and round-trip.
+	var buf bytes.Buffer
+	if err := WriteReadSessionJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back ReadSessionResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_readsession.json round-trip: %v", err)
+	}
+	if back.Experiment != "readsession" || len(back.Points) != 3 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	var tbl bytes.Buffer
+	PrintReadSession(&tbl, res)
+	if !strings.Contains(tbl.String(), "rows/s") || !strings.Contains(tbl.String(), "liquid split") {
+		t.Fatal("table missing readsession columns")
+	}
+}
+
 func TestReadCacheBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("latency-model experiment")

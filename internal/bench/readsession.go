@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/latencymodel"
+	"vortex/internal/meta"
+	"vortex/internal/optimizer"
+	"vortex/internal/readsession"
+	"vortex/internal/workload"
+)
+
+// ReadSessionPoint is one reader-count measurement: a session fanned out
+// into min(readers, assignments) shards, each drained by its own reader.
+type ReadSessionPoint struct {
+	Readers    int     `json:"readers"`
+	Shards     int     `json:"shards"`
+	Rows       int64   `json:"rows"`
+	Batches    int64   `json:"batches"`
+	Bytes      int64   `json:"wire_bytes"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// ReadSessionSplit measures liquid sharding: the same single-shard scan
+// with and without a mid-scan split that hands the unserved tail to a
+// second reader.
+type ReadSessionSplit struct {
+	BaselineMS float64 `json:"baseline_ms"`
+	SplitMS    float64 `json:"split_ms"`
+	MovedRows  int64   `json:"moved_rows"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// ReadSessionResult is the readsession experiment output;
+// cmd/vortex-bench serializes it as BENCH_readsession.json.
+type ReadSessionResult struct {
+	Experiment string             `json:"experiment"`
+	Rows       int                `json:"rows"`
+	Points     []ReadSessionPoint `json:"points"`
+	Split      ReadSessionSplit   `json:"split"`
+}
+
+// drainShard pulls a shard to EOF, committing after every batch.
+func drainShard(ctx context.Context, sh *readsession.Shard) error {
+	for {
+		_, err := sh.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sh.Commit()
+	}
+}
+
+// ReadSessionBench measures the parallel read-session fan-out over a
+// groomed table under the paper-calibrated latency profile: the same
+// full-table scan at reader counts 1..16 (each shard drained by a
+// dedicated reader), plus the split experiment — a straggler's unserved
+// tail handed to an idle reader mid-scan.
+func ReadSessionBench(ctx context.Context, nRows int, readers []int) (*ReadSessionResult, error) {
+	if len(readers) == 0 {
+		readers = []int{1, 2, 4, 8, 16}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Latency = latencymodel.ProductionLike()
+	cfg.Seed = 31
+	cfg.StreamServersPerCluster = 4
+	cfg.MaxFragmentBytes = 128 << 10
+	r := core.NewRegion(cfg)
+	ingest := r.NewClient(client.DefaultOptions())
+	table := meta.TableID("bench.readsession")
+	if err := ingest.CreateTable(ctx, table, workload.SalesSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewGen(5, 300)
+	s, err := ingest.CreateStream(ctx, table, meta.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 200
+	for lo := 0; lo < nRows; lo += batch {
+		n := batch
+		if lo+n > nRows {
+			n = nRows - lo
+		}
+		if _, err := s.Append(ctx, gen.SalesRows(lo%3, n), client.AppendOptions{Offset: -1}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		return nil, err
+	}
+	r.HeartbeatAll(ctx, false)
+	// Smaller ROS files than the default conversion target so the table
+	// grooms into enough assignments for a 16-way fan-out to mean
+	// something (assignments bound the shard count).
+	ocfg := optimizer.DefaultConfig()
+	ocfg.TargetROSRows = 1024
+	opt := optimizer.New(ocfg, ingest, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, table); err != nil {
+		return nil, err
+	}
+
+	res := &ReadSessionResult{Experiment: "readsession", Rows: nRows}
+	c := r.NewClient(client.DefaultOptions())
+
+	for _, n := range readers {
+		sess, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: n})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		shards := sess.Shards()
+		errs := make(chan error, len(shards))
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *readsession.Shard) {
+				defer wg.Done()
+				errs <- drainShard(ctx, sh)
+			}(sh)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		st := sess.Stats()
+		if err := sess.Close(ctx); err != nil {
+			return nil, err
+		}
+		p := ReadSessionPoint{
+			Readers:   n,
+			Shards:    st.Shards,
+			Rows:      st.Rows,
+			Batches:   st.Batches,
+			Bytes:     st.Bytes,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		}
+		if elapsed > 0 {
+			p.RowsPerSec = float64(st.Rows) / elapsed.Seconds()
+		}
+		res.Points = append(res.Points, p)
+	}
+
+	// Split experiment. Baseline: one reader drains the single shard end
+	// to end. Split run: after the first batch the shard's unserved tail
+	// is handed to a second reader; both halves drain concurrently. Small
+	// batches plus a small flow-control window keep the server's frontier
+	// near the reader so the split has a tail to move.
+	r.ReadSessions.SetBatchRows(100)
+	base, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: 1, Window: 32 << 10})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := drainShard(ctx, base.Shards()[0]); err != nil {
+		return nil, err
+	}
+	res.Split.BaselineMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err := base.Close(ctx); err != nil {
+		return nil, err
+	}
+
+	sess, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: 1, Window: 32 << 10})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	sh := sess.Shards()[0]
+	if _, err := sh.Next(ctx); err != nil && err != io.EOF {
+		return nil, err
+	}
+	sh.Commit()
+	moved, err := sess.Split(ctx, sh)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); errs <- drainShard(ctx, sh) }()
+	if moved != nil {
+		res.Split.MovedRows = moved.PlannedRows
+		wg.Add(1)
+		go func() { defer wg.Done(); errs <- drainShard(ctx, moved) }()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Split.SplitMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err := sess.Close(ctx); err != nil {
+		return nil, err
+	}
+	if res.Split.SplitMS > 0 {
+		res.Split.Speedup = res.Split.BaselineMS / res.Split.SplitMS
+	}
+	return res, nil
+}
+
+// PrintReadSession renders the readsession experiment.
+func PrintReadSession(w io.Writer, res *ReadSessionResult) {
+	fmt.Fprintln(w, "Read sessions — parallel snapshot scan throughput by reader count")
+	fmt.Fprintln(w, "(one shard per reader; the Storage-Read-API fan-out of §7.4)")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "  readers=%-3d shards=%-3d rows=%-7d batches=%-5d wire=%dKB  %8.1fms  %10.0f rows/s\n",
+			p.Readers, p.Shards, p.Rows, p.Batches, p.Bytes/1024, p.ElapsedMS, p.RowsPerSec)
+	}
+	fmt.Fprintf(w, "liquid split: baseline %.1fms, split+2 readers %.1fms (%.2fx), %d rows moved\n\n",
+		res.Split.BaselineMS, res.Split.SplitMS, res.Split.Speedup, res.Split.MovedRows)
+}
+
+// WriteReadSessionJSON serializes the result (BENCH_readsession.json).
+func WriteReadSessionJSON(w io.Writer, res *ReadSessionResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

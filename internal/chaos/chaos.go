@@ -28,12 +28,14 @@ import (
 //
 //	rpc.request / rpc.response  →  "addr/Method" (e.g. "ss-alpha-0/Append")
 //	rpc.stream.send             →  "addr"
+//	rpc.stream.response        →  "addr"
 //	colossus.write / .read      →  cluster name
 //	streamserver.append         →  server addr
 const (
 	PointRPCRequest    = "rpc.request"
 	PointRPCResponse   = "rpc.response"
 	PointStreamSend    = "rpc.stream.send"
+	PointStreamResp    = "rpc.stream.response"
 	PointColossusWrite = "colossus.write"
 	PointColossusRead  = "colossus.read"
 	PointAppend        = "streamserver.append"

@@ -95,6 +95,13 @@ type Client struct {
 	appendLatency *metrics.Histogram
 	scanLatency   *metrics.Histogram
 
+	// Read-session consumption counters, fed by the readsession package
+	// through ObserveReadSession.
+	rsBatches metrics.Counter
+	rsBytes   metrics.Counter
+	rsSplits  metrics.Counter
+	rsResumes metrics.Counter
+
 	// cache is the snapshot-safe fragment read cache; nil when disabled
 	// (a nil *ReadCache no-ops every method).
 	cache *ReadCache

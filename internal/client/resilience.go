@@ -244,6 +244,13 @@ type Metrics struct {
 	ScanLatency *metrics.Histogram
 	// Cache is the read cache's counter snapshot (zero when disabled).
 	Cache CacheStats
+	// Read-session consumption counters: record batches and batch bytes
+	// delivered to this client's shard iterators, shard splits it
+	// triggered, and checkpoint-resumed shard streams.
+	ReadBatches       int64
+	ReadBatchBytes    int64
+	ShardSplits       int64
+	CheckpointResumes int64
 }
 
 // Metrics returns a snapshot of the client's resilience counters.
@@ -257,6 +264,11 @@ func (c *Client) Metrics() Metrics {
 		AppendLatency: c.appendLatency.Snapshot(),
 		ScanLatency:   c.scanLatency.Snapshot(),
 		Cache:         c.cache.Stats(),
+
+		ReadBatches:       c.rsBatches.Value(),
+		ReadBatchBytes:    c.rsBytes.Value(),
+		ShardSplits:       c.rsSplits.Value(),
+		CheckpointResumes: c.rsResumes.Value(),
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"vortex/internal/colossus"
 	"vortex/internal/latencymodel"
 	"vortex/internal/meta"
+	"vortex/internal/readsession"
 	"vortex/internal/rpc"
 	"vortex/internal/slicer"
 	"vortex/internal/sms"
@@ -77,6 +78,7 @@ type Region struct {
 	SMSTasks      []*sms.Task
 	StreamServers map[string]*streamserver.Server // by address
 	BigMeta       *bigmeta.Index
+	ReadSessions  *readsession.Server
 
 	placer *placer
 	router *router
@@ -150,6 +152,12 @@ func NewRegion(cfg Config) *Region {
 		}
 	}
 	r.cfg = cfg
+	// The read-session service runs as its own task with an internal
+	// scan client: a cached leaf-scan substrate shared by every session
+	// (the Storage Read API's server-side Dremel shards, in miniature).
+	rsOpts := client.DefaultOptions()
+	rsOpts.ReadCacheBytes = 32 << 20
+	r.ReadSessions = readsession.NewServer(readsession.DefaultAddr, r.NewClient(rsOpts), r.BigMeta, clock)
 	if cfg.Chaos != nil {
 		r.installChaos(cfg.Chaos)
 	}

@@ -115,28 +115,9 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 	// change types cannot hide per-key state in pruned fragments, so it
 	// is applied to tables without a primary key.
 	if where != nil && len(plan.Schema.PrimaryKey) == 0 {
-		preds := sql.ExtractPredicates(where)
-		if len(preds) > 0 {
-			kept := assignments[:0:0]
-			for _, a := range assignments {
-				if a.Frag.ID == "" {
-					kept = append(kept, a) // undiscovered tail: unprunable
-					continue
-				}
-				entry := e.index.Lookup(table, a.Frag.ID)
-				if entry == nil {
-					if en, err := bigmeta.EntryFromFragment(&a.Frag); err == nil {
-						entry = en
-					}
-				}
-				if bigmeta.CanMatch(entry, plan.Schema, preds) {
-					kept = append(kept, a)
-				} else {
-					stats.AssignmentsPruned++
-				}
-			}
-			assignments = kept
-		}
+		var pruned int
+		assignments, pruned = PruneAssignments(e.index, table, plan.Schema, sql.ExtractPredicates(where), assignments)
+		stats.AssignmentsPruned += pruned
 	}
 
 	// Leaf stage: parallel shard scans (the Dremel leaf dispatch, §3.1).
@@ -168,6 +149,43 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 	}
 	stats.RowsScanned = int64(len(rows))
 	return plan, rows, nil
+}
+
+// PruneAssignments applies Big Metadata partition elimination (§7.2) to
+// a scan plan's assignments: fragments whose index entry (or, fallback,
+// inline fragment statistics) provably cannot match the predicates are
+// dropped. Undiscovered live tails are unprunable and always kept. It
+// returns the surviving assignments and the pruned count. Shared by the
+// query engine's scanTable and the read-session shard planner, so the
+// two paths cannot drift. Callers are responsible for the soundness
+// precondition: no pruning on primary-keyed tables.
+func PruneAssignments(index *bigmeta.Index, table meta.TableID, sc *schema.Schema, preds []bigmeta.Predicate, assignments []client.Assignment) ([]client.Assignment, int) {
+	if len(preds) == 0 {
+		return assignments, 0
+	}
+	kept := assignments[:0:0]
+	pruned := 0
+	for _, a := range assignments {
+		if a.Frag.ID == "" {
+			kept = append(kept, a) // undiscovered tail: unprunable
+			continue
+		}
+		var entry *bigmeta.Entry
+		if index != nil {
+			entry = index.Lookup(table, a.Frag.ID)
+		}
+		if entry == nil {
+			if en, err := bigmeta.EntryFromFragment(&a.Frag); err == nil {
+				entry = en
+			}
+		}
+		if bigmeta.CanMatch(entry, sc, preds) {
+			kept = append(kept, a)
+		} else {
+			pruned++
+		}
+	}
+	return kept, pruned
 }
 
 // projectionOf collects the top-level columns a SELECT touches, plus the

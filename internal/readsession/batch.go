@@ -1,0 +1,113 @@
+// Package readsession is the Storage-Read-API-style subsystem: a client
+// opens a session against a table pinned at a TrueTime snapshot and
+// receives N shard handles, each a resumable stream of columnar record
+// batches served over bi-di RPC with byte-based flow control. Sessions
+// plan shards from the same fragment assignments queries scan, prune
+// them through Big Metadata (§7.2), push predicates and projections
+// down to the leaf scans, support dynamic shard splitting (a straggler
+// hands its unserved tail to an idle reader) and offset-checkpointed
+// resume, and hold an SMS snapshot lease so GC cannot delete fragments
+// out from under an open session.
+package readsession
+
+import (
+	"fmt"
+
+	"vortex/internal/client"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+	"vortex/internal/wire"
+)
+
+// Reserved batch column names carrying row identity alongside the data
+// columns: the storage sequence (TrueTime-derived, the exactly-once
+// accounting key of §6.3), the row's original value arity (so schema
+// evolution round-trips byte-identically), and the DML change type.
+const (
+	colSeq    = "__seq"
+	colArity  = "__arity"
+	colChange = "__change"
+)
+
+// encodeBatchRows builds one record-batch frame from scanned rows:
+// the reserved identity columns plus every projected top-level schema
+// field, each column independently encoded (PLAIN/DICT/RLE) by the
+// wire codec.
+func encodeBatchRows(sc *schema.Schema, projection map[string]bool, rows []client.PosRow) []byte {
+	b := &wire.RecordBatch{NumRows: len(rows)}
+	seqs := make([]schema.Value, len(rows))
+	arity := make([]schema.Value, len(rows))
+	change := make([]schema.Value, len(rows))
+	for i, r := range rows {
+		seqs[i] = schema.Int64(r.Stamped.Seq)
+		arity[i] = schema.Int64(int64(len(r.Stamped.Row.Values)))
+		change[i] = schema.Int64(int64(r.Stamped.Row.Change))
+	}
+	b.Cols = append(b.Cols,
+		wire.BatchColumn{Name: colSeq, Values: seqs},
+		wire.BatchColumn{Name: colArity, Values: arity},
+		wire.BatchColumn{Name: colChange, Values: change},
+	)
+	for fi, f := range sc.Fields {
+		if projection != nil && !projection[f.Name] {
+			continue
+		}
+		vals := make([]schema.Value, len(rows))
+		for i, r := range rows {
+			if fi < len(r.Stamped.Row.Values) {
+				vals[i] = r.Stamped.Row.Values[fi]
+			} else {
+				vals[i] = schema.Null()
+			}
+		}
+		b.Cols = append(b.Cols, wire.BatchColumn{Name: f.Name, Values: vals})
+	}
+	return wire.EncodeRecordBatch(b)
+}
+
+// decodeBatchRows reassembles stamped rows from a record-batch frame.
+// Columns are matched to schema fields by name; fields absent from the
+// frame (projected away) read as NULL up to each row's recorded arity.
+func decodeBatchRows(data []byte, sc *schema.Schema) ([]rowenc.Stamped, error) {
+	b, n, err := wire.DecodeRecordBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", wire.ErrBatchCorrupt, len(data)-n)
+	}
+	cols := make(map[string][]schema.Value, len(b.Cols))
+	for _, c := range b.Cols {
+		cols[c.Name] = c.Values
+	}
+	seqs, ok := cols[colSeq]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colSeq)
+	}
+	arity, ok := cols[colArity]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colArity)
+	}
+	change := cols[colChange]
+	out := make([]rowenc.Stamped, b.NumRows)
+	for i := range out {
+		na := int(arity[i].AsInt64())
+		if na < 0 || na > len(sc.Fields) {
+			return nil, fmt.Errorf("%w: row arity %d", wire.ErrBatchCorrupt, na)
+		}
+		vals := make([]schema.Value, na)
+		for fi := 0; fi < na; fi++ {
+			if cv, ok := cols[sc.Fields[fi].Name]; ok {
+				vals[fi] = cv[i]
+			} else {
+				vals[fi] = schema.Null()
+			}
+		}
+		row := schema.Row{Values: vals, Change: schema.ChangeType(0)}
+		if change != nil {
+			row.Change = schema.ChangeType(change[i].AsInt64())
+		}
+		out[i] = rowenc.Stamped{Row: row, Seq: seqs[i].AsInt64()}
+	}
+	return out, nil
+}

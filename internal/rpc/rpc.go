@@ -64,6 +64,7 @@ const (
 	ChaosPointRequest    = "rpc.request"
 	ChaosPointResponse   = "rpc.response"
 	ChaosPointStreamSend = "rpc.stream.send"
+	ChaosPointStreamResp = "rpc.stream.response"
 )
 
 // UnaryHandler serves one request/response call.
@@ -284,15 +285,16 @@ type streamCore struct {
 	net  *Network
 	addr string
 
-	mu       sync.Mutex
-	sendQ    []any // client -> server
-	recvQ    []any // server -> client
-	inflight int   // bytes sent by client, not yet received by server
-	window   int
-	sendDone bool  // client called CloseSend
-	closed   bool  // stream torn down
-	err      error // terminal error
-	cond     *sync.Cond
+	mu           sync.Mutex
+	sendQ        []any // client -> server
+	recvQ        []any // server -> client
+	inflight     int   // bytes sent by client, not yet received by server
+	respInflight int   // bytes sent by server, not yet received by client
+	window       int
+	sendDone     bool  // client called CloseSend
+	closed       bool  // stream torn down
+	err          error // terminal error
+	cond         *sync.Cond
 }
 
 func (c *streamCore) fail(err error) {
@@ -377,7 +379,11 @@ func (cs *ClientStream) Send(m any) error {
 	}
 	c.net.hop(size)
 	c.mu.Lock()
-	for !c.closed && !c.sendDone && c.inflight+size > c.window && size <= c.window {
+	// The window bounds *buffered* bytes, HTTP/2-style: a message larger
+	// than the whole window is still admitted once nothing else is in
+	// flight, so an undersized window degrades to lock-step transfer
+	// instead of wedging the stream.
+	for !c.closed && !c.sendDone && c.inflight+size > c.window && c.inflight > 0 {
 		c.cond.Wait()
 	}
 	if c.closed {
@@ -392,10 +398,6 @@ func (cs *ClientStream) Send(m any) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	if size > c.window {
-		c.mu.Unlock()
-		return fmt.Errorf("rpc: message of %d bytes exceeds flow-control window %d", size, c.window)
-	}
 	c.inflight += size
 	c.sendQ = append(c.sendQ, m)
 	c.net.streamMsgs.Add(1)
@@ -404,8 +406,9 @@ func (cs *ClientStream) Send(m any) error {
 	return nil
 }
 
-// Recv returns the next response from the server. It returns io.EOF when
-// the handler finished cleanly and no responses remain.
+// Recv returns the next response from the server, releasing its
+// flow-control credit so the server may push more. It returns io.EOF
+// when the handler finished cleanly and no responses remain.
 func (cs *ClientStream) Recv() (any, error) {
 	c := cs.core
 	c.mu.Lock()
@@ -416,6 +419,8 @@ func (cs *ClientStream) Recv() (any, error) {
 	if len(c.recvQ) > 0 {
 		m := c.recvQ[0]
 		c.recvQ = c.recvQ[1:]
+		c.respInflight -= sizeOf(m)
+		c.cond.Broadcast()
 		return m, nil
 	}
 	return nil, c.err
@@ -470,18 +475,35 @@ func (ss *ServerStream) Recv() (any, error) {
 	return nil, io.EOF
 }
 
-// Send transmits one response to the client.
+// Send transmits one response to the client, blocking while the
+// response-direction flow-control window is exhausted. This is the
+// server-side mirror of ClientStream.Send: a slow reader draining a
+// record-batch stream throttles the server instead of letting it queue
+// unbounded bytes in transit.
 func (ss *ServerStream) Send(m any) error {
+	size := sizeOf(m)
 	c := ss.core
-	c.net.hop(sizeOf(m))
+	// Chaos cut-point: a response may be lost mid-stream after the server
+	// produced it — the reader must resume from its last checkpoint.
+	if err := c.net.inject(context.Background(), ChaosPointStreamResp, c.addr); err != nil {
+		return err
+	}
+	c.net.hop(size)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// As in ClientStream.Send, the window bounds buffered bytes: an
+	// oversized response is admitted once the direction is idle rather
+	// than failing the stream.
+	for !c.closed && c.respInflight+size > c.window && c.respInflight > 0 {
+		c.cond.Wait()
+	}
 	if c.closed {
 		if c.err != nil && c.err != io.EOF {
 			return c.err
 		}
 		return ErrClosed
 	}
+	c.respInflight += size
 	c.recvQ = append(c.recvQ, m)
 	c.net.streamMsgs.Add(1)
 	c.cond.Broadcast()
@@ -495,4 +517,13 @@ func (ss *ServerStream) InflightBytes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inflight
+}
+
+// ResponseInflightBytes reports the bytes currently counted against the
+// response-direction window.
+func (ss *ServerStream) ResponseInflightBytes() int {
+	c := ss.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.respInflight
 }

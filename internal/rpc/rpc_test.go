@@ -177,15 +177,32 @@ func TestStreamFlowControlThrottles(t *testing.T) {
 	}
 }
 
-func TestStreamOversizeMessageRejected(t *testing.T) {
+func TestStreamOversizeMessageLockStep(t *testing.T) {
+	// The window bounds *buffered* bytes, HTTP/2-style: a message larger
+	// than the whole window is still admitted when nothing is in flight,
+	// so an undersized window degrades to lock-step transfer instead of
+	// wedging the stream.
 	n := NewNetwork(nil)
 	n.Register("s", echoServer())
 	cs, err := n.OpenStream(context.Background(), "s", "echo", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cs.Send(sizedMsg{size: 101}); err == nil {
-		t.Fatal("oversize message accepted")
+	for i := 0; i < 3; i++ {
+		if err := cs.Send(sizedMsg{id: i, size: 101}); err != nil {
+			t.Fatalf("oversize message %d rejected: %v", i, err)
+		}
+		m, err := cs.Recv()
+		if err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if got := m.(sizedMsg).id; got != i {
+			t.Fatalf("echo %d returned id %d", i, got)
+		}
+	}
+	cs.CloseSend()
+	if _, err := cs.Recv(); err != io.EOF {
+		t.Fatalf("after CloseSend: %v, want EOF", err)
 	}
 }
 

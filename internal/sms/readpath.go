@@ -73,14 +73,18 @@ func (t *Task) handleHeartbeat(_ context.Context, req any) (any, error) {
 			t.upsertFragments(tx, hb.Info.Table, cur, hb.Fragments)
 		}
 		// Instruct GC of sufficiently old deleted fragments owned by the
-		// reporting server's streamlets (§5.4.3).
+		// reporting server's streamlets (§5.4.3). Snapshot leases veto
+		// deletion exactly as they do in the groomer — the two GC paths
+		// must agree, or an open read session loses files under one of
+		// them (the PR 3 race, in lease form).
 		for table := range tables {
+			pins := t.pinnedLeases(tx, table)
 			for _, kv := range tx.Scan(fragmentPrefix(table)) {
 				f, err := meta.UnmarshalFragment(kv.Value)
 				if err != nil {
 					continue
 				}
-				if streamletIDs[f.Streamlet] && f.DeletionTS != 0 && t.pastRetention(f.DeletionTS) {
+				if streamletIDs[f.Streamlet] && f.DeletionTS != 0 && t.pastRetention(f.DeletionTS) && !leasePinned(f, pins) {
 					toDelete = append(toDelete, f.ID)
 				}
 			}
@@ -153,12 +157,22 @@ func (t *Task) handleGC(_ context.Context, req any) (any, error) {
 	}
 	var cands []cand
 	err := t.db.ReadTxn(func(tx *spanner.Txn) error {
+		pins := map[meta.TableID][]leaseRecord{}
 		for _, kv := range tx.Scan("fragments/") {
 			f, err := meta.UnmarshalFragment(kv.Value)
 			if err != nil {
 				continue
 			}
 			if f.DeletionTS == 0 || !t.clock.After(f.DeletionTS+retention) {
+				continue
+			}
+			// Snapshot leases pin fragments still visible at an open read
+			// session's snapshot; deleting their files would fail the
+			// session's shards mid-scan.
+			if _, ok := pins[f.Table]; !ok {
+				pins[f.Table] = t.pinnedLeases(tx, f.Table)
+			}
+			if leasePinned(f, pins[f.Table]) {
 				continue
 			}
 			// WOS fragments whose streamlet record still exists belong to

@@ -129,6 +129,9 @@ func New(addr string, db *spanner.DB, net *rpc.Network, placer Placer) *Task {
 	srv.RegisterUnary(wire.MethodCommitDML, t.handleCommitDML)
 	srv.RegisterUnary(wire.MethodGC, t.handleGC)
 	srv.RegisterUnary(wire.MethodDegradeStreamlet, t.handleDegradeStreamlet)
+	srv.RegisterUnary(wire.MethodAcquireLease, t.handleAcquireLease)
+	srv.RegisterUnary(wire.MethodRenewLease, t.handleRenewLease)
+	srv.RegisterUnary(wire.MethodReleaseLease, t.handleReleaseLease)
 	t.srv = srv
 	net.Register(addr, srv)
 	return t

@@ -274,7 +274,16 @@ func SnapshotDigest(ctx context.Context, c *client.Client, table meta.TableID, a
 	if err != nil {
 		return 0, 0, err
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Seq < rows[j].Seq })
+	return DigestStamped(rows), len(rows), nil
+}
+
+// DigestStamped digests stamped rows in storage-sequence order,
+// independent of input order. Rows delivered through any read path
+// (direct scan, query, read session) of the same snapshot must digest
+// identically.
+func DigestStamped(rows []rowenc.Stamped) uint64 {
+	sorted := append([]rowenc.Stamped(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -287,9 +296,9 @@ func SnapshotDigest(ctx context.Context, c *client.Client, table meta.TableID, a
 			v >>= 8
 		}
 	}
-	for _, r := range rows {
+	for _, r := range sorted {
 		mix(uint64(r.Seq))
 		mix(uint64(rowHash(r.Row)))
 	}
-	return h, len(rows), nil
+	return h
 }

@@ -1,0 +1,310 @@
+// Record-batch wire format: the self-describing columnar frame that
+// read-session shards stream to parallel consumers. A frame carries a
+// row count and named columns, each independently encoded as PLAIN
+// (every value), DICT (distinct values + indexes) or RLE (run-length
+// runs), with values in the rowenc single-value codec and the whole
+// frame CRC32C-framed end-to-end like append payloads (§5.4.5).
+//
+// The encoder picks each column's encoding deterministically from its
+// content, so encode∘decode is a fixpoint — the property the fuzz
+// target checks on every accepted input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+)
+
+// ErrBatchCorrupt is returned for any malformed record-batch frame.
+var ErrBatchCorrupt = errors.New("wire: corrupt record batch")
+
+// Column encodings.
+const (
+	BatchEncPlain = byte(0)
+	BatchEncDict  = byte(1)
+	BatchEncRLE   = byte(2)
+)
+
+const (
+	batchMagic   = uint32(0x56585242) // "VXRB"
+	batchVersion = byte(1)
+
+	// Hostile-input guards: bound allocations before any payload bytes
+	// are trusted (the rowenc maxDecodeElems pattern). RLE amplifies a
+	// few payload bytes into many values, so the row bound also caps
+	// what a hostile frame can make the decoder materialize.
+	maxBatchRows   = 1 << 16
+	maxBatchCols   = 1 << 8
+	maxBatchValues = 1 << 20
+)
+
+// BatchColumn is one named, fully materialized column of a batch.
+type BatchColumn struct {
+	Name   string
+	Values []schema.Value
+}
+
+// RecordBatch is the decoded form of one frame. Every column holds
+// exactly NumRows values.
+type RecordBatch struct {
+	NumRows int
+	Cols    []BatchColumn
+}
+
+// valueKey returns an injective equality key for run/dictionary
+// detection: the value's canonical rowenc encoding.
+func valueKey(v schema.Value) string { return string(rowenc.AppendValue(nil, v)) }
+
+// chooseEncoding deterministically picks a column encoding: RLE when
+// values average runs of at least two, DICT when at most half the
+// values are distinct, PLAIN otherwise.
+func chooseEncoding(vals []schema.Value) byte {
+	n := len(vals)
+	if n == 0 {
+		return BatchEncPlain
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if valueKey(vals[i]) != valueKey(vals[i-1]) {
+			runs++
+		}
+	}
+	if runs*2 <= n {
+		return BatchEncRLE
+	}
+	distinct := make(map[string]struct{}, n)
+	for _, v := range vals {
+		distinct[valueKey(v)] = struct{}{}
+	}
+	if len(distinct)*2 <= n {
+		return BatchEncDict
+	}
+	return BatchEncPlain
+}
+
+func appendColumnPayload(dst []byte, enc byte, vals []schema.Value) []byte {
+	switch enc {
+	case BatchEncPlain:
+		for _, v := range vals {
+			dst = rowenc.AppendValue(dst, v)
+		}
+	case BatchEncRLE:
+		for i := 0; i < len(vals); {
+			j := i + 1
+			for j < len(vals) && valueKey(vals[j]) == valueKey(vals[i]) {
+				j++
+			}
+			dst = binary.AppendUvarint(dst, uint64(j-i))
+			dst = rowenc.AppendValue(dst, vals[i])
+			i = j
+		}
+	case BatchEncDict:
+		index := make(map[string]int)
+		var dict []schema.Value
+		idx := make([]int, len(vals))
+		for i, v := range vals {
+			k := valueKey(v)
+			d, ok := index[k]
+			if !ok {
+				d = len(dict)
+				index[k] = d
+				dict = append(dict, v)
+			}
+			idx[i] = d
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(dict)))
+		for _, v := range dict {
+			dst = rowenc.AppendValue(dst, v)
+		}
+		for _, d := range idx {
+			dst = binary.AppendUvarint(dst, uint64(d))
+		}
+	}
+	return dst
+}
+
+// EncodeRecordBatch serializes b into a CRC-framed columnar frame,
+// choosing each column's encoding from its content. It panics if a
+// column's length disagrees with NumRows (a programming error, not a
+// wire condition).
+func EncodeRecordBatch(b *RecordBatch) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint32(dst, batchMagic)
+	dst = append(dst, batchVersion)
+	dst = binary.AppendUvarint(dst, uint64(b.NumRows))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Cols)))
+	for _, col := range b.Cols {
+		if len(col.Values) != b.NumRows {
+			panic(fmt.Sprintf("wire: column %q has %d values, batch has %d rows", col.Name, len(col.Values), b.NumRows))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(col.Name)))
+		dst = append(dst, col.Name...)
+		enc := chooseEncoding(col.Values)
+		dst = append(dst, enc)
+		payload := appendColumnPayload(nil, enc, col.Values)
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = append(dst, payload...)
+	}
+	return binary.LittleEndian.AppendUint32(dst, blockenc.Checksum(dst))
+}
+
+type batchDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *batchDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, ErrBatchCorrupt
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *batchDecoder) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, ErrBatchCorrupt
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func decodeColumnPayload(enc byte, payload []byte, rows int) ([]schema.Value, error) {
+	capHint := rows
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	vals := make([]schema.Value, 0, capHint)
+	pos := 0
+	switch enc {
+	case BatchEncPlain:
+		for i := 0; i < rows; i++ {
+			v, n, err := rowenc.DecodeValue(payload[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBatchCorrupt, err)
+			}
+			pos += n
+			vals = append(vals, v)
+		}
+	case BatchEncRLE:
+		for len(vals) < rows {
+			runLen, n := binary.Uvarint(payload[pos:])
+			if n <= 0 || runLen == 0 || runLen > uint64(rows-len(vals)) {
+				return nil, ErrBatchCorrupt
+			}
+			pos += n
+			v, vn, err := rowenc.DecodeValue(payload[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBatchCorrupt, err)
+			}
+			pos += vn
+			for i := uint64(0); i < runLen; i++ {
+				vals = append(vals, v)
+			}
+		}
+	case BatchEncDict:
+		dictLen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || dictLen > uint64(rows) {
+			return nil, ErrBatchCorrupt
+		}
+		pos += n
+		dict := make([]schema.Value, 0, capHint)
+		for i := uint64(0); i < dictLen; i++ {
+			v, vn, err := rowenc.DecodeValue(payload[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBatchCorrupt, err)
+			}
+			pos += vn
+			dict = append(dict, v)
+		}
+		for i := 0; i < rows; i++ {
+			idx, in := binary.Uvarint(payload[pos:])
+			if in <= 0 || idx >= uint64(len(dict)) {
+				return nil, ErrBatchCorrupt
+			}
+			pos += in
+			vals = append(vals, dict[idx])
+		}
+	default:
+		return nil, fmt.Errorf("%w: encoding 0x%02x", ErrBatchCorrupt, enc)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrBatchCorrupt, len(payload)-pos)
+	}
+	return vals, nil
+}
+
+// DecodeRecordBatch decodes one frame from the front of data, returning
+// the batch and the number of bytes consumed. Malformed frames —
+// truncation, bad magic, CRC mismatch, over-long runs, out-of-range
+// dictionary indexes — are rejected with ErrBatchCorrupt.
+func DecodeRecordBatch(data []byte) (*RecordBatch, int, error) {
+	d := &batchDecoder{data: data}
+	hdr, err := d.take(5)
+	if err != nil {
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != batchMagic || hdr[4] != batchVersion {
+		return nil, 0, fmt.Errorf("%w: bad magic/version", ErrBatchCorrupt)
+	}
+	rows, err := d.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if rows > maxBatchRows {
+		return nil, 0, fmt.Errorf("%w: %d rows", ErrBatchCorrupt, rows)
+	}
+	nCols, err := d.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nCols > maxBatchCols {
+		return nil, 0, fmt.Errorf("%w: %d columns", ErrBatchCorrupt, nCols)
+	}
+	if rows*nCols > maxBatchValues {
+		return nil, 0, fmt.Errorf("%w: %d values", ErrBatchCorrupt, rows*nCols)
+	}
+	b := &RecordBatch{NumRows: int(rows)}
+	for i := uint64(0); i < nCols; i++ {
+		nameLen, err := d.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		name, err := d.take(int(nameLen))
+		if err != nil {
+			return nil, 0, err
+		}
+		encByte, err := d.take(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		payloadLen, err := d.uvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, err := d.take(int(payloadLen))
+		if err != nil {
+			return nil, 0, err
+		}
+		vals, err := decodeColumnPayload(encByte[0], payload, int(rows))
+		if err != nil {
+			return nil, 0, err
+		}
+		b.Cols = append(b.Cols, BatchColumn{Name: string(name), Values: vals})
+	}
+	crcBytes, err := d.take(4)
+	if err != nil {
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(crcBytes) != blockenc.Checksum(data[:d.pos-4]) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBatchCorrupt)
+	}
+	return b, d.pos, nil
+}

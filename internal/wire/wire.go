@@ -43,6 +43,18 @@ const (
 	MethodBeginDML             = "BeginDML"
 	MethodEndDML               = "EndDML"
 	MethodGC                   = "GC"
+	MethodAcquireLease         = "AcquireLease"
+	MethodRenewLease           = "RenewLease"
+	MethodReleaseLease         = "ReleaseLease"
+)
+
+// Read-session service method names (served by the read-session task,
+// not the SMS; the SMS only holds the snapshot leases).
+const (
+	MethodOpenReadSession  = "OpenReadSession"
+	MethodCloseReadSession = "CloseReadSession"
+	MethodSplitShard       = "SplitShard"
+	MethodReadRows         = "ReadRows" // bi-di stream
 )
 
 // ---- Stream Server messages ----
@@ -461,3 +473,137 @@ type GCResponse struct {
 	FragmentsDeleted int
 	StreamsDeleted   int
 }
+
+// ---- Snapshot lease messages (SMS) ----
+//
+// A lease pins a table snapshot: while it is unexpired, neither the
+// groomer nor heartbeat GC may physically delete a fragment that is
+// still visible at the lease's snapshot timestamp. Read sessions hold
+// one lease each for their lifetime.
+
+// AcquireLeaseRequest pins Table at SnapshotTS for TTL.
+type AcquireLeaseRequest struct {
+	Table      meta.TableID
+	SnapshotTS truetime.Timestamp
+	TTL        truetime.Timestamp // lease duration in clock units
+}
+
+// AcquireLeaseResponse identifies the durable lease record. SnapshotTS
+// echoes the pinned snapshot (resolved server-side when the request
+// passed 0), so the holder can plan its reads at exactly the protected
+// timestamp.
+type AcquireLeaseResponse struct {
+	LeaseID    string
+	SnapshotTS truetime.Timestamp
+	Expires    truetime.Timestamp
+}
+
+// RenewLeaseRequest extends an existing lease by TTL from now.
+type RenewLeaseRequest struct {
+	Table   meta.TableID
+	LeaseID string
+	TTL     truetime.Timestamp
+}
+
+// RenewLeaseResponse carries the new expiry. Renewing an expired or
+// unknown lease fails with ErrCodeLeaseExpired.
+type RenewLeaseResponse struct {
+	Expires truetime.Timestamp
+}
+
+// ReleaseLeaseRequest drops a lease (session close). Idempotent.
+type ReleaseLeaseRequest struct {
+	Table   meta.TableID
+	LeaseID string
+}
+
+// ReleaseLeaseResponse acknowledges.
+type ReleaseLeaseResponse struct{}
+
+// ErrCodeLeaseExpired is returned when renewing a lease that no longer
+// exists (expired and collected, or never granted).
+const ErrCodeLeaseExpired = "LEASE_EXPIRED"
+
+// ---- Read-session messages ----
+
+// OpenReadSessionRequest opens a session over Table pinned at
+// SnapshotTS (0 = now), asking for up to MaxShards parallel shards.
+// Where optionally carries a SQL predicate (the text after WHERE) for
+// pushdown; Columns optionally projects the batch columns.
+type OpenReadSessionRequest struct {
+	Table      meta.TableID
+	SnapshotTS truetime.Timestamp
+	MaxShards  int
+	Where      string
+	Columns    []string
+}
+
+// ShardInfo describes one shard handle of a session.
+type ShardInfo struct {
+	ID string
+	// PlannedRows is the row count known from fragment metadata at
+	// planning time; live streamlet tails contribute an estimate of 0.
+	PlannedRows int64
+}
+
+// OpenReadSessionResponse returns the shard handles plus planning
+// statistics (Big Metadata pruning, §7.2).
+type OpenReadSessionResponse struct {
+	SessionID        string
+	SnapshotTS       truetime.Timestamp
+	Schema           *schema.Schema
+	Shards           []ShardInfo
+	AssignmentsTotal int
+	AssignmentsPrune int
+}
+
+// CloseReadSessionRequest ends a session and releases its lease.
+type CloseReadSessionRequest struct {
+	SessionID string
+}
+
+// CloseReadSessionResponse acknowledges.
+type CloseReadSessionResponse struct{}
+
+// SplitShardRequest splits the unserved tail of a straggling shard at a
+// row boundary, handing it to an idle reader (liquid sharding).
+type SplitShardRequest struct {
+	SessionID string
+	ShardID   string
+}
+
+// SplitShardResponse returns the new shard covering the tail. OK is
+// false when the shard has no splittable remainder (already nearly
+// drained), in which case NewShard is zero.
+type SplitShardResponse struct {
+	OK       bool
+	NewShard ShardInfo
+}
+
+// ReadRowsRequest is the first message on a ReadRows stream: it names
+// the shard and the shard-local row offset to start from. A reader
+// resuming after a crash passes its last checkpointed offset and
+// receives each remaining row exactly once.
+type ReadRowsRequest struct {
+	SessionID string
+	ShardID   string
+	Offset    int64
+}
+
+// ReadRowsResponse carries one encoded record batch. Offset is the
+// shard-local row offset of the batch's first row; the client's next
+// checkpoint after consuming it is Offset+RowCount. Done marks the
+// final (possibly empty) response of the shard.
+type ReadRowsResponse struct {
+	Offset   int64
+	RowCount int64
+	Batch    []byte // recordbatch-encoded frame
+	Done     bool
+	// Error carries a failure code (e.g. ErrCodeLeaseExpired) so the
+	// stream survives for diagnosis, mirroring AppendResponse.
+	Error string
+}
+
+// WireSize implements rpc.Sized: record batches dominate response
+// traffic and drive the response-direction flow-control window.
+func (r *ReadRowsResponse) WireSize() int { return len(r.Batch) + 64 }

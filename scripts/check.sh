@@ -17,6 +17,17 @@ fi
 go vet ./...
 go test -race -shuffle=on ./...
 
+# The read-session subsystem and its dataflow source connector are the
+# most concurrency-dense packages (parallel shard readers, splits racing
+# the serve loop, simulated worker crashes): run them again under -race
+# with a higher shuffle-independent count so interleavings vary.
+go test -race -count=2 ./internal/readsession/ ./internal/dataflow/
+
+# Bench smoke in -short mode: proves the experiment harness still builds
+# and runs end-to-end without paying for full latency-model experiments
+# (those are skipped under -short and run in the main suite above).
+go test -short ./internal/bench/
+
 # Fuzz smoke: a short budget per decoder target catches regressions in
 # the hostile-input guards without turning the check into a soak. The
 # checked-in corpora under testdata/fuzz run as plain seeds above; this
@@ -25,3 +36,4 @@ for target in FuzzDecodeRow FuzzDecodeRows; do
     go test -run '^$' -fuzz "${target}\$" -fuzztime 10s ./internal/rowenc/
 done
 go test -run '^$' -fuzz 'FuzzOpen$' -fuzztime 10s ./internal/blockenc/
+go test -run '^$' -fuzz 'FuzzDecodeRecordBatch$' -fuzztime 10s ./internal/wire/

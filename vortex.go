@@ -40,6 +40,7 @@ import (
 	"vortex/internal/metrics"
 	"vortex/internal/optimizer"
 	"vortex/internal/query"
+	"vortex/internal/readsession"
 	"vortex/internal/schema"
 	"vortex/internal/truetime"
 	"vortex/internal/verify"
@@ -94,6 +95,19 @@ type (
 	Ledger = verify.Ledger
 	// TrackedStream is a stream wrapped by Track.
 	TrackedStream = verify.TrackedStream
+	// ReadSession is an open parallel read session: a table snapshot
+	// fanned out into independently consumable shard streams (see
+	// DB.OpenReadSession).
+	ReadSession = readsession.Session
+	// ReadShard is one resumable shard stream of a ReadSession.
+	ReadShard = readsession.Shard
+	// ReadBatch is one decoded record batch from a shard.
+	ReadBatch = readsession.Batch
+	// ReadSessionOptions configures OpenReadSession (shard count,
+	// snapshot, predicate and projection pushdown).
+	ReadSessionOptions = readsession.Options
+	// ReadSessionStats are per-session consumption deltas.
+	ReadSessionStats = readsession.Stats
 )
 
 // Chaos cut-points and crash kinds, re-exported so schedules built with
@@ -334,6 +348,21 @@ func Open(opts ...OpenOption) *DB {
 		errs:   make(chan error, 16),
 	}
 }
+
+// OpenReadSession opens a parallel read session over table: a snapshot
+// pinned against GC by a lease, split into up to opts.Shards resumable
+// shard streams of columnar record batches. Each shard may be consumed
+// by its own reader; Shard.Commit checkpoints progress and
+// Session.Split rebalances a straggler's unserved tail onto a new
+// shard.
+func (db *DB) OpenReadSession(ctx context.Context, table TableID, opts ReadSessionOptions) (*ReadSession, error) {
+	return readsession.Dial(db.c, "").Open(ctx, table, opts)
+}
+
+// ReadSessionStats snapshots the client-wide read-session counters
+// (batches, bytes, splits, resumes) accumulated across all sessions
+// opened from this DB.
+func (db *DB) ReadSessionStats() ClientMetrics { return db.c.Metrics() }
 
 // Chaos returns the fault-injection schedule the DB was opened with
 // (nil when none).
