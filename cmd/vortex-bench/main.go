@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | readsession | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | readsession | fanout | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
 		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
@@ -33,6 +33,10 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "read cache byte budget for read-cache")
 		readOut      = flag.String("read-out", "BENCH_read.json", "output path for the read-cache JSON report")
 		sessionOut   = flag.String("session-out", "BENCH_readsession.json", "output path for the readsession JSON report")
+		streams      = flag.Int("streams", 2000, "concurrent append streams for fanout")
+		tables       = flag.Int("tables", 8, "zipf-skewed target tables for fanout")
+		seed         = flag.Int64("seed", 42, "workload seed for fanout")
+		fanoutOut    = flag.String("fanout-out", "BENCH_fanout.json", "output path for the fanout JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -147,6 +151,31 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *sessionOut)
+			return nil
+		})
+	}
+	// The fanout overload experiment is opt-in only: at its default
+	// scale (thousands of goroutines, a minute of drain headroom) it is
+	// too heavy for `-experiment all`.
+	if *experiment == "fanout" {
+		run("fanout", func() error {
+			res, err := bench.Fanout(ctx, *streams, *tables, *duration, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintFanout(out, res)
+			f, err := os.Create(*fanoutOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteFanoutJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *fanoutOut)
+			if ok, reason := bench.FanoutOK(res); !ok {
+				return fmt.Errorf("fanout invariant violated: %s", reason)
+			}
 			return nil
 		})
 	}

@@ -8,7 +8,9 @@
 //
 //	vortex-sim -seed 42 -duration 10s -clients 4          # one seeded run
 //	vortex-sim -seed 42 -replay "crash-ss:ss-alpha-0:7"   # replay a schedule
+//	vortex-sim -seed 42 -program overload                 # scripted overload→recover
 //	vortex-sim -soak 5m                                   # fresh seeds until budget
+//	vortex-sim -soak 5m -program overload                 # soak the overload program
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 		clients  = flag.Int("clients", 4, "logically concurrent workload clients")
 		faults   = flag.Int("faults", 8, "random fault events per run (ignored with -replay)")
 		replay   = flag.String("replay", "", "explicit chaos program (comma-separated fault specs) replacing the random one")
+		program  = flag.String("program", "", "scripted scenario instead of random chaos: overload (admission squeeze, rebalance, recover)")
 		bug      = flag.String("bug", "", "inject a deliberate defect (dup-ledger) to demonstrate detection")
 		soak     = flag.Duration("soak", 0, "wall-clock soak budget: run fresh seeds starting at -seed until it is spent")
 		minimize = flag.Bool("minimize", true, "on failure, shrink the chaos program by delta debugging")
@@ -41,6 +44,7 @@ func main() {
 		Clients:  *clients,
 		Faults:   *faults,
 		Bug:      *bug,
+		Program:  *program,
 		Minimize: *minimize,
 	}
 	if !*quiet {
@@ -90,8 +94,12 @@ func main() {
 func report(res *sim.Result, quiet bool) bool {
 	if res.Failure == nil {
 		if quiet {
-			fmt.Printf("seed %d ok: epochs=%d appends=%d rows=%d reads=%d dmls=%d uncertain=%d\n",
-				res.Seed, res.Epochs, res.Appends, res.Rows, res.Reads, res.DMLs, res.Uncertain)
+			extra := ""
+			if res.Sheds > 0 || res.Windows > 0 {
+				extra = fmt.Sprintf(" sheds=%d windows=%d", res.Sheds, res.Windows)
+			}
+			fmt.Printf("seed %d ok: epochs=%d appends=%d rows=%d reads=%d dmls=%d uncertain=%d%s\n",
+				res.Seed, res.Epochs, res.Appends, res.Rows, res.Reads, res.DMLs, res.Uncertain, extra)
 		}
 		return true
 	}

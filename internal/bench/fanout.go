@@ -1,0 +1,390 @@
+// The fanout experiment drives the overload-protection layer end to
+// end: thousands of concurrent append streams with zipf-skewed table
+// popularity push the region far past its admission quotas, so the run
+// exercises streamlet-creation shedding, per-table byte shedding with
+// server-suggested backoff, coalesced heartbeats, and a mid-run
+// load-driven Slicer rebalance. The two hard invariants the experiment
+// proves (and BENCH_fanout.json records):
+//
+//   - no accepted append is ever lost: every row acknowledged to a
+//     writer is present exactly once at read time, and nothing a shed
+//     append carried leaks in (LostRows == PhantomRows == 0);
+//   - shedding is always retryable-typed: every push-back surfaces as
+//     a RESOURCE_EXHAUSTED client error with Retryable set and a
+//     non-negative server hint (NonRetryableSheds == 0).
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/latencymodel"
+	"vortex/internal/meta"
+	"vortex/internal/metrics"
+	"vortex/internal/schema"
+	"vortex/internal/sms"
+	"vortex/internal/workload"
+)
+
+// FanoutResult is the fanout experiment's report; cmd/vortex-bench
+// serializes it as BENCH_fanout.json.
+type FanoutResult struct {
+	Experiment string `json:"experiment"`
+	Streams    int    `json:"streams"`
+	Tables     int    `json:"tables"`
+	DurationMS int64  `json:"duration_ms"`
+	WallMS     int64  `json:"wall_ms"`
+	Seed       int64  `json:"seed"`
+
+	// Write-path outcome.
+	AppendsAccepted int64 `json:"appends_accepted"`
+	RowsAccepted    int64 `json:"rows_accepted"`
+	RowsRead        int64 `json:"rows_read"`
+	LostRows        int64 `json:"lost_rows"`    // accepted but unreadable (must be 0)
+	PhantomRows     int64 `json:"phantom_rows"` // readable but never accepted (must be 0)
+
+	// Shedding outcome.
+	ShedAppendsObserved int64 `json:"shed_appends_observed"` // client-side push-backs
+	NonRetryableSheds   int64 `json:"non_retryable_sheds"`   // must be 0
+	// ShedAtExit counts writers whose batch was still being pushed back
+	// (retryable-typed) when the drain window closed — an outstanding
+	// retryable promise, not a loss: nothing of theirs was accepted.
+	// UndrainedWriters counts writers stuck on anything else; must be 0.
+	ShedAtExit       int64 `json:"shed_at_exit"`
+	UndrainedWriters int64 `json:"undrained_writers"`
+	OffsetAnomalies  int64 `json:"offset_anomalies"`
+
+	// Per-table zipf skew: accepted rows by table, hottest first.
+	RowsByTable []int64 `json:"rows_by_table"`
+
+	// Control-plane behaviour.
+	Ingest         core.IngestStats `json:"ingest"`
+	RebalancedKeys []string         `json:"rebalanced_keys"`
+
+	// Append latency of accepted appends (retries and honored backoff
+	// hints included — overload shows up here, not as loss).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// fanoutQuotas sizes admission control so any fleet worth the name is
+// genuinely over budget. The rates are deliberately far below what the
+// region can physically serve — admission control must be the thing
+// that says no, before queueing does: a few dozen streamlet creations
+// per second against thousands of writers, and per-table byte rates a
+// single chatty writer can exceed.
+func fanoutQuotas() sms.Quotas {
+	return sms.Quotas{
+		GlobalStreamletsPerSec: 24,
+		TableStreamletsPerSec:  8,
+		StreamletBurst:         48,
+		GlobalBytesPerSec:      96 << 10,
+		TableBytesPerSec:       16 << 10,
+		ByteBurst:              8 << 10,
+		MaxShed:                120 * time.Millisecond,
+	}
+}
+
+// fanoutWriter is one append stream's state.
+type fanoutWriter struct {
+	table    meta.TableID
+	tableIdx int
+	c        *client.Client
+	rng      *rand.Rand
+	gen      *workload.Gen
+
+	stream  *client.Stream
+	next    int64
+	pending []schema.Row
+}
+
+// Fanout runs the massive-fanout overload experiment: `streams` append
+// streams, zipf-assigned to `tables` tables, appending for `duration`
+// against deliberately undersized quotas, then draining every pending
+// shed batch and verifying the no-loss / always-retryable invariants.
+func Fanout(ctx context.Context, streams, tables int, duration time.Duration, seed int64) (*FanoutResult, error) {
+	if tables <= 0 {
+		tables = 8
+	}
+	if streams < tables {
+		streams = tables
+	}
+	cfg := core.DefaultConfig()
+	cfg.Latency = latencymodel.ProductionLike()
+	cfg.Seed = seed
+	cfg.StreamServersPerCluster = 4
+	cfg.Quotas = fanoutQuotas()
+	// Coalesce window > heartbeat period: back-to-back idle rounds batch
+	// away, keeping control-plane traffic O(servers) under load.
+	cfg.HeartbeatCoalesce = 40 * time.Millisecond
+	cfg.HeartbeatMaxStreamlets = 64
+	r := core.NewRegion(cfg)
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	r.RunHeartbeats(hbCtx, 25*time.Millisecond)
+
+	// A small client pool shared by the fleet: writers on one client
+	// share its retry budget, which is what keeps push-back storms from
+	// multiplying (§5.5).
+	nClients := 8
+	clients := make([]*client.Client, nClients)
+	for i := range clients {
+		opts := client.DefaultOptions()
+		opts.Seed = seed + int64(i)
+		opts.Retry = client.RetryPolicy{
+			MaxAttempts:    2,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			Multiplier:     2,
+			Jitter:         0.2,
+			RetryBudget:    1024,
+		}
+		clients[i] = r.NewClient(opts)
+	}
+
+	tableIDs := make([]meta.TableID, tables)
+	for i := range tableIDs {
+		tableIDs[i] = meta.TableID(fmt.Sprintf("bench.fanout%d", i))
+		if err := clients[0].CreateTable(ctx, tableIDs[i], workload.EventsSchema()); err != nil {
+			return nil, err
+		}
+	}
+
+	assign := workload.ZipfAssignments(seed, streams, tables)
+	writers := make([]*fanoutWriter, streams)
+	for i := range writers {
+		writers[i] = &fanoutWriter{
+			table:    tableIDs[assign[i]],
+			tableIdx: assign[i],
+			c:        clients[i%nClients],
+			rng:      rand.New(rand.NewSource(seed*6364136223846793005 + int64(i))),
+			gen:      workload.NewGen(seed+int64(i), 200),
+		}
+	}
+
+	res := &FanoutResult{
+		Experiment:  "fanout",
+		Streams:     streams,
+		Tables:      tables,
+		DurationMS:  duration.Milliseconds(),
+		Seed:        seed,
+		RowsByTable: make([]int64, tables),
+	}
+	var (
+		appends, rowsAccepted, shedObserved  int64
+		nonRetryable, undrained, offsetAnoms int64
+		shedAtExit                           int64
+		rowsByTable                          = make([]int64, tables)
+	)
+	hist := metrics.NewLatencyHistogram()
+	var histMu sync.Mutex
+
+	// classifyShed checks the always-retryable invariant on one error.
+	classifyShed := func(err error) {
+		atomic.AddInt64(&shedObserved, 1)
+		var ce *client.Error
+		if !errors.As(err, &ce) || !ce.Retryable || ce.Code != client.CodeResourceExhausted || ce.RetryAfter < 0 {
+			atomic.AddInt64(&nonRetryable, 1)
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	drainDeadline := start.Add(duration + 20*time.Second)
+
+	var wg sync.WaitGroup
+	for _, w := range writers {
+		wg.Add(1)
+		go func(w *fanoutWriter) {
+			defer wg.Done()
+			var err error
+			w.stream, err = w.c.CreateStream(ctx, w.table, meta.Unbuffered)
+			if err != nil {
+				if errors.Is(err, client.ErrResourceExhausted) {
+					classifyShed(err)
+				}
+				// Stream creation is not admission-gated; anything else
+				// here means the writer never enters the fleet.
+				atomic.AddInt64(&undrained, 1)
+				return
+			}
+			lastWasShed := false
+			for {
+				now := time.Now()
+				if w.pending == nil {
+					if now.After(deadline) {
+						return // measured window over, nothing owed
+					}
+					n := 2 + w.rng.Intn(3)
+					w.pending = w.gen.EventRows(now, n, time.Millisecond)
+				} else if now.After(drainDeadline) {
+					// Still owing a batch at the end of the drain window:
+					// acceptable only as an outstanding retryable promise.
+					if lastWasShed {
+						atomic.AddInt64(&shedAtExit, 1)
+					} else {
+						atomic.AddInt64(&undrained, 1)
+					}
+					return
+				}
+				t0 := time.Now()
+				_, err := w.stream.Append(ctx, w.pending, client.AtOffset(w.next))
+				lastWasShed = err != nil && errors.Is(err, client.ErrResourceExhausted)
+				switch {
+				case err == nil:
+					histMu.Lock()
+					hist.Record(time.Since(t0))
+					histMu.Unlock()
+					atomic.AddInt64(&appends, 1)
+					atomic.AddInt64(&rowsAccepted, int64(len(w.pending)))
+					atomic.AddInt64(&rowsByTable[w.tableIdx], int64(len(w.pending)))
+					w.next += int64(len(w.pending))
+					w.pending = nil
+					time.Sleep(time.Duration(5+w.rng.Intn(20)) * time.Millisecond)
+				case errors.Is(err, client.ErrResourceExhausted):
+					// Shed: keep the SAME batch pinned at the SAME offset and
+					// honor the hint (bounded, jittered) before retrying —
+					// recovery proves the push-back was an honest promise.
+					classifyShed(err)
+					wait := client.RetryAfter(err)
+					if wait < 5*time.Millisecond {
+						wait = 5 * time.Millisecond
+					}
+					if wait > 300*time.Millisecond {
+						wait = 300 * time.Millisecond
+					}
+					// Proportional jitter decorrelates thousands of shed
+					// writers so the retry wave does not arrive as one spike.
+					time.Sleep(wait + time.Duration(w.rng.Int63n(int64(wait))))
+				case errors.Is(err, client.ErrWrongOffset):
+					// Should not happen without chaos: an earlier attempt
+					// landed without our seeing the ack. Resync and surface.
+					atomic.AddInt64(&offsetAnoms, 1)
+					w.next = w.stream.Length()
+					w.pending = nil
+				default:
+					// Transient (e.g. retry budget dry on a busy client):
+					// back off briefly and retry the same pinned batch.
+					time.Sleep(time.Duration(10+w.rng.Intn(20)) * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+
+	// Mid-run control-plane exercise: rebalance hot table keys by
+	// observed load at T/2 (opening double-assignment windows), settle
+	// the windows at 3T/4.
+	controlDone := make(chan struct{})
+	go func() {
+		defer close(controlDone)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(duration / 2):
+			res.RebalancedKeys = r.RebalanceSMS(4)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(duration / 4):
+			r.SettleSlicer()
+		}
+	}()
+	wg.Wait()
+	<-controlDone
+	stopHB()
+	r.HeartbeatAll(ctx, true)
+
+	// Read back every table and hold the count against what writers were
+	// actually acknowledged: a lost accepted append shows as LostRows, a
+	// shed append that secretly landed shows as PhantomRows.
+	var rowsRead int64
+	for _, tid := range tableIDs {
+		stamped, _, err := clients[0].ReadAll(ctx, tid, r.Clock.Now().Latest)
+		if err != nil {
+			return nil, fmt.Errorf("read-back of %s: %w", tid, err)
+		}
+		rowsRead += int64(len(stamped))
+	}
+
+	res.WallMS = time.Since(start).Milliseconds()
+	res.AppendsAccepted = atomic.LoadInt64(&appends)
+	res.RowsAccepted = atomic.LoadInt64(&rowsAccepted)
+	res.RowsRead = rowsRead
+	if d := res.RowsAccepted - rowsRead; d > 0 {
+		res.LostRows = d
+	} else {
+		res.PhantomRows = -d
+	}
+	res.ShedAppendsObserved = atomic.LoadInt64(&shedObserved)
+	res.NonRetryableSheds = atomic.LoadInt64(&nonRetryable)
+	res.ShedAtExit = atomic.LoadInt64(&shedAtExit)
+	res.UndrainedWriters = atomic.LoadInt64(&undrained)
+	res.OffsetAnomalies = atomic.LoadInt64(&offsetAnoms)
+	for i := range rowsByTable {
+		res.RowsByTable[i] = atomic.LoadInt64(&rowsByTable[i])
+	}
+	res.Ingest = r.IngestStats()
+	res.P50MS = float64(hist.Quantile(0.5)) / float64(time.Millisecond)
+	res.P99MS = float64(hist.Quantile(0.99)) / float64(time.Millisecond)
+	if res.RebalancedKeys == nil {
+		res.RebalancedKeys = []string{}
+	}
+	return res, nil
+}
+
+// FanoutOK reports whether the run satisfied the experiment's hard
+// invariants, with a human-readable reason when it did not.
+func FanoutOK(res *FanoutResult) (bool, string) {
+	switch {
+	case res.LostRows != 0:
+		return false, fmt.Sprintf("%d accepted rows lost", res.LostRows)
+	case res.PhantomRows != 0:
+		return false, fmt.Sprintf("%d phantom rows (shed appends leaked in)", res.PhantomRows)
+	case res.NonRetryableSheds != 0:
+		return false, fmt.Sprintf("%d sheds were not retryable-typed", res.NonRetryableSheds)
+	case res.UndrainedWriters != 0:
+		return false, fmt.Sprintf("%d writers stuck on a non-retryable batch at drain end", res.UndrainedWriters)
+	case res.ShedAppendsObserved == 0:
+		return false, "no sheds observed — the quotas never bit, the run proved nothing"
+	}
+	return true, ""
+}
+
+// PrintFanout renders the fanout report.
+func PrintFanout(w io.Writer, res *FanoutResult) {
+	fmt.Fprintf(w, "fanout — %d zipf-skewed streams over %d tables for %dms (wall %dms, seed %d)\n",
+		res.Streams, res.Tables, res.DurationMS, res.WallMS, res.Seed)
+	fmt.Fprintf(w, "  accepted: %d appends / %d rows   read back: %d rows   lost=%d phantom=%d\n",
+		res.AppendsAccepted, res.RowsAccepted, res.RowsRead, res.LostRows, res.PhantomRows)
+	fmt.Fprintf(w, "  shed: %d push-backs observed (non-retryable=%d, still-shed-at-exit=%d, undrained=%d, offset-anomalies=%d)\n",
+		res.ShedAppendsObserved, res.NonRetryableSheds, res.ShedAtExit, res.UndrainedWriters, res.OffsetAnomalies)
+	fmt.Fprintf(w, "  admission: streamlets admitted=%d shed=%d; bytes debited=%d, table sheds=%d, data-plane shed appends=%d\n",
+		res.Ingest.Admission.StreamletsAdmitted, res.Ingest.Admission.StreamletsShed,
+		res.Ingest.Admission.BytesDebited, res.Ingest.Admission.TableSheds, res.Ingest.ShedAppends)
+	fmt.Fprintf(w, "  heartbeats: sent=%d coalesced=%d   rebalanced keys: %v\n",
+		res.Ingest.HeartbeatsSent, res.Ingest.HeartbeatsCoalesced, res.RebalancedKeys)
+	fmt.Fprintf(w, "  append latency (accepted): p50=%.1fms p99=%.1fms\n", res.P50MS, res.P99MS)
+	fmt.Fprintf(w, "  rows by table (zipf skew): %v\n", res.RowsByTable)
+	if ok, reason := FanoutOK(res); !ok {
+		fmt.Fprintf(w, "  INVARIANT VIOLATED: %s\n", reason)
+	} else {
+		fmt.Fprintln(w, "  invariants: no accepted append lost, every shed retryable — OK")
+	}
+}
+
+// WriteFanoutJSON serializes the result (BENCH_fanout.json).
+func WriteFanoutJSON(w io.Writer, res *FanoutResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFanoutSmoke runs the overload fanout experiment at reduced scale
+// (further reduced under -short, where it is the CI smoke): the quotas
+// must bite, every shed must be retryable-typed, and no accepted append
+// may be lost.
+func TestFanoutSmoke(t *testing.T) {
+	streams, dur := 256, 2*time.Second
+	if testing.Short() {
+		streams, dur = 128, 1200*time.Millisecond
+	}
+	res, err := Fanout(context.Background(), streams, 4, dur, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := FanoutOK(res); !ok {
+		t.Fatalf("fanout invariant violated: %s\n%+v", reason, res)
+	}
+	if res.AppendsAccepted == 0 {
+		t.Fatal("no appends accepted")
+	}
+	if res.Ingest.HeartbeatsCoalesced == 0 {
+		t.Fatal("heartbeat coalescing never engaged")
+	}
+	var buf bytes.Buffer
+	PrintFanout(&buf, res)
+	if !strings.Contains(buf.String(), "invariants: no accepted append lost") {
+		t.Fatalf("report missing invariant line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteFanoutJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back FanoutResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.RowsAccepted != res.RowsAccepted {
+		t.Fatalf("JSON round-trip mangled counts: %d != %d", back.RowsAccepted, res.RowsAccepted)
+	}
+}

@@ -34,6 +34,10 @@ var (
 	ErrStreamFinalized = errors.New("client: stream is finalized")
 	ErrExhausted       = errors.New("client: retries exhausted")
 	ErrUnavailable     = errors.New("client: service unavailable")
+	// ErrResourceExhausted matches admission-control push-back: the
+	// request was shed before any durable effect and may be retried
+	// after the error's RetryAfter hint.
+	ErrResourceExhausted = errors.New("client: resource exhausted")
 )
 
 // Router resolves the SMS task for a table (Slicer-backed, §5.2.1).
@@ -87,13 +91,21 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	retries       metrics.Counter
-	rotations     metrics.Counter
-	hedges        metrics.Counter
-	hedgeWins     metrics.Counter
-	smsRetries    metrics.Counter
-	appendLatency *metrics.Histogram
-	scanLatency   *metrics.Histogram
+	retries         metrics.Counter
+	rotations       metrics.Counter
+	hedges          metrics.Counter
+	hedgeWins       metrics.Counter
+	smsRetries      metrics.Counter
+	shedPushBacks   metrics.Counter
+	budgetExhausted metrics.Counter
+	appendLatency   *metrics.Histogram
+	scanLatency     *metrics.Histogram
+
+	// budgetTokens is the retry-budget token bucket (RetryPolicy.
+	// RetryBudget); shared across the client's streams so the cap
+	// bounds the whole process's retry debt.
+	budgetMu     sync.Mutex
+	budgetTokens float64
 
 	// Read-session consumption counters, fed by the readsession package
 	// through ObserveReadSession.
@@ -120,6 +132,7 @@ func New(net *rpc.Network, router Router, region *colossus.Region, keyring *bloc
 	}
 	opts.Retry = opts.Retry.withDefaults()
 	return &Client{
+		budgetTokens:  float64(opts.Retry.RetryBudget),
 		net:           net,
 		router:        router,
 		region:        region,
@@ -200,6 +213,12 @@ type Stream struct {
 	connServer   string
 	pending      []*PendingAppend
 	pendingMu    sync.Mutex
+
+	// noRetryBefore floors the next attempt per destination server: a
+	// RESOURCE_EXHAUSTED push-back's hint from server A must delay the
+	// next attempt against A, and only A — rotated or hedged attempts
+	// against other servers keep their own backoff state.
+	noRetryBefore map[string]time.Time
 
 	finalized bool
 }
@@ -321,8 +340,22 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts ...AppendOp
 	sameStreamletFails := 0
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if !s.c.takeRetryToken() {
+				// Budget dry: fail fast rather than join a retry storm.
+				break
+			}
 			s.c.retries.Add(1)
-			if err := sleepCtx(ctx, s.c.backoffFor(attempt)); err != nil {
+			// The backoff never undercuts a push-back hint: the floor is
+			// the later of this destination's no-retry-before mark and
+			// the hint carried by the last error.
+			d := s.c.backoffFor(attempt)
+			if w := s.retryFloor(); w > d {
+				d = w
+			}
+			if w := pushBackHint(lastErr); w > d {
+				d = w
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return 0, newError(CodeUnavailable, "append", false, err)
 			}
 		}
@@ -383,6 +416,7 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts ...AppendOp
 			s.appendsSeen++
 			s.lastBatchSeq = int64(resp.Timestamp)
 			s.c.appendLatency.Record(time.Since(t0))
+			s.c.creditRetryToken()
 			return resp.StreamOffset, nil
 		}
 		code := resp.Error
@@ -407,12 +441,65 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts ...AppendOp
 			lastErr = errors.New(resp.Error)
 		case wire.ErrCodeBadPayload:
 			return 0, newError(CodeInvalid, "append", false, errors.New(resp.Error))
+		case wire.ErrCodeResourceExhausted:
+			// Admission push-back (§5.5). The quota is per table, not per
+			// server, so rotating elsewhere would only add control-plane
+			// load to an overload — stay put and honor the hint against
+			// this destination.
+			hint := time.Duration(resp.RetryAfterNanos)
+			s.recordPushBack(s.sl.Server, hint)
+			s.c.shedPushBacks.Add(1)
+			lastErr = &Error{Code: CodeResourceExhausted, Op: "append", Retryable: true, RetryAfter: hint, Err: errors.New(resp.Error)}
 		default: // STREAMLET_CLOSED, UNKNOWN_STREAMLET, IO_ERROR
 			lastErr = errors.New(resp.Error)
 			s.rotate(ctx)
 		}
 	}
+	// Shed appends stay retryable-typed even out of attempts (or budget):
+	// nothing was written, and the caller may retry after the hint.
+	var ce *Error
+	if errors.As(lastErr, &ce) && ce.Code == CodeResourceExhausted {
+		hint := ce.RetryAfter
+		if w := s.retryFloor(); w > hint {
+			hint = w
+		}
+		return 0, &Error{Code: CodeResourceExhausted, Op: "append", Retryable: true, RetryAfter: hint, Err: lastErr}
+	}
 	return 0, newError(CodeExhausted, "append", false, lastErr)
+}
+
+// recordPushBack floors the next attempt against dest at now+hint.
+func (s *Stream) recordPushBack(dest string, hint time.Duration) {
+	if hint <= 0 {
+		return
+	}
+	if s.noRetryBefore == nil {
+		s.noRetryBefore = make(map[string]time.Time)
+	}
+	until := time.Now().Add(hint)
+	if until.After(s.noRetryBefore[dest]) {
+		s.noRetryBefore[dest] = until
+	}
+}
+
+// retryFloor returns the remaining push-back wait for the destination
+// the next attempt will hit: the current streamlet's server, or the
+// control plane ("") when a new streamlet must be fetched first.
+func (s *Stream) retryFloor() time.Duration {
+	dest := ""
+	if s.sl != nil {
+		dest = s.sl.Server
+	}
+	until, ok := s.noRetryBefore[dest]
+	if !ok {
+		return 0
+	}
+	d := time.Until(until)
+	if d <= 0 {
+		delete(s.noRetryBefore, dest)
+		return 0
+	}
+	return d
 }
 
 // sendHedged dispatches one append attempt, racing a delayed second

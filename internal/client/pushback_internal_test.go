@@ -1,0 +1,70 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"vortex/internal/meta"
+)
+
+// TestPushBackFloorPerDestination pins the fix for the shared-backoff
+// bug: push-back floors are kept per destination server, so a hint from
+// server A delays the next attempt against A — and only A. Rotated (or
+// hedged) attempts against other servers, and control-plane fetches,
+// keep their own state.
+func TestPushBackFloorPerDestination(t *testing.T) {
+	s := &Stream{sl: &meta.StreamletInfo{Server: "ss-a"}}
+	s.recordPushBack("ss-a", 80*time.Millisecond)
+
+	if got := s.retryFloor(); got <= 0 {
+		t.Fatalf("floor against pushed-back server = %v, want > 0", got)
+	}
+	// The stream rotates onto another server: A's floor must not follow.
+	s.sl.Server = "ss-b"
+	if got := s.retryFloor(); got != 0 {
+		t.Fatalf("server A's floor leaked to server B: %v", got)
+	}
+	// No streamlet → the next attempt hits the control plane (""), which
+	// has its own (empty) state.
+	s.sl = nil
+	if got := s.retryFloor(); got != 0 {
+		t.Fatalf("server A's floor leaked to the control plane: %v", got)
+	}
+	s.recordPushBack("", 50*time.Millisecond)
+	if got := s.retryFloor(); got <= 0 {
+		t.Fatalf("control-plane floor not honored: %v", got)
+	}
+}
+
+// TestPushBackFloorExtendOnly: a later, shorter hint must not shrink an
+// earlier floor (the strictest outstanding push-back wins), and
+// non-positive hints are ignored entirely.
+func TestPushBackFloorExtendOnly(t *testing.T) {
+	s := &Stream{sl: &meta.StreamletInfo{Server: "ss-a"}}
+	s.recordPushBack("ss-a", 80*time.Millisecond)
+	before := s.retryFloor()
+	s.recordPushBack("ss-a", time.Millisecond)
+	if after := s.retryFloor(); after < before-5*time.Millisecond {
+		t.Fatalf("shorter hint shrank the floor: %v -> %v", before, after)
+	}
+	s.recordPushBack("ss-z", 0)
+	s.recordPushBack("ss-z", -time.Second)
+	if _, ok := s.noRetryBefore["ss-z"]; ok {
+		t.Fatal("non-positive hint recorded a floor")
+	}
+}
+
+// TestPushBackFloorExpires: once the hinted wait has passed, the floor
+// is gone and its entry is lazily deleted — the map does not grow with
+// long-dead push-backs.
+func TestPushBackFloorExpires(t *testing.T) {
+	s := &Stream{sl: &meta.StreamletInfo{Server: "ss-a"}}
+	s.recordPushBack("ss-a", time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if got := s.retryFloor(); got != 0 {
+		t.Fatalf("expired floor still in force: %v", got)
+	}
+	if _, ok := s.noRetryBefore["ss-a"]; ok {
+		t.Fatal("expired floor not deleted")
+	}
+}

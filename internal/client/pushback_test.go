@@ -1,0 +1,115 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/schema"
+	"vortex/internal/sms"
+	"vortex/internal/truetime"
+)
+
+// TestPushBackHintNeverRetriedSooner pins the admission-control contract
+// between server and client: a RESOURCE_EXHAUSTED push-back carries a
+// server-suggested backoff, and the client's retry loop must never fire
+// the next attempt sooner than that hint — whatever its own (much
+// shorter) exponential schedule says.
+//
+// The region runs on a frozen TrueTime clock, so the shed instruction
+// never expires and every attempt is pushed back with the same hint;
+// the client's sleeps are real time, so the call's wall-clock duration
+// is a direct measurement of the floors it honored.
+func TestPushBackHintNeverRetriedSooner(t *testing.T) {
+	cases := []struct {
+		name     string
+		hint     time.Duration // MaxShed == the hint while the deficit is large
+		attempts int
+	}{
+		{"two-retries", 60 * time.Millisecond, 3},
+		{"single-retry", 40 * time.Millisecond, 2},
+		{"deep-retry", 20 * time.Millisecond, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.Clock = truetime.NewManual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC), time.Millisecond)
+			cfg.Quotas = sms.Quotas{
+				TableBytesPerSec: 1 << 10,
+				ByteBurst:        1 << 10,
+				MaxShed:          tc.hint,
+			}
+			r := core.NewRegion(cfg)
+			opts := client.DefaultOptions()
+			opts.Retry = client.RetryPolicy{
+				// Backoff schedule far below the hint: if the measured
+				// elapsed time reaches (attempts-1)×hint, it was the hint
+				// that set the pace, not the schedule.
+				MaxAttempts:    tc.attempts,
+				InitialBackoff: 100 * time.Microsecond,
+				MaxBackoff:     time.Millisecond,
+				Multiplier:     2,
+				RetryBudget:    -1,
+			}
+			c := r.NewClient(opts)
+			ctx := context.Background()
+			sc := &schema.Schema{Fields: []*schema.Field{
+				{Name: "k", Kind: schema.KindString, Mode: schema.Required},
+				{Name: "v", Kind: schema.KindInt64, Mode: schema.Nullable},
+			}}
+			if err := c.CreateTable(ctx, "d.push", sc); err != nil {
+				t.Fatal(err)
+			}
+			st, err := c.CreateStream(ctx, "d.push", meta.Unbuffered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Blow far past the byte budget: ~64KiB against 1KiB/s leaves a
+			// deficit whose shed duration clamps to exactly MaxShed.
+			big := schema.NewRow(schema.String(strings.Repeat("x", 4096)), schema.Int64(0))
+			rows := make([]schema.Row, 16)
+			for i := range rows {
+				rows[i] = big
+			}
+			if _, err := st.Append(ctx, rows, client.AtOffset(0)); err != nil {
+				t.Fatalf("over-quota append (accepted, debited later): %v", err)
+			}
+			// The heartbeat reports the bytes; the SMS answers with a shed
+			// instruction the server holds until the (frozen) clock passes it.
+			r.HeartbeatAll(ctx, false)
+
+			start := time.Now()
+			_, err = st.Append(ctx, []schema.Row{row(1)}, client.AtOffset(int64(len(rows))))
+			elapsed := time.Since(start)
+
+			if !errors.Is(err, client.ErrResourceExhausted) {
+				t.Fatalf("shed append: got %v, want ErrResourceExhausted", err)
+			}
+			var ce *client.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("shed error not typed: %v", err)
+			}
+			if !ce.Retryable || ce.Code != client.CodeResourceExhausted {
+				t.Fatalf("shed error not retryable RESOURCE_EXHAUSTED: %+v", ce)
+			}
+			if ce.RetryAfter <= 0 {
+				t.Fatalf("RetryAfter = %v, want > 0", ce.RetryAfter)
+			}
+			// Every attempt was pushed back, so every retry slept at least
+			// the full hint — the whole call cannot be faster than
+			// (attempts-1) hints back to back.
+			if floor := time.Duration(tc.attempts-1) * tc.hint; elapsed < floor {
+				t.Fatalf("retried sooner than the hint: %d attempts with a %v hint took %v, want ≥ %v",
+					tc.attempts, tc.hint, elapsed, floor)
+			}
+			if got := c.Metrics().ShedPushBacks; got != int64(tc.attempts) {
+				t.Fatalf("ShedPushBacks = %d, want %d (one per attempt)", got, tc.attempts)
+			}
+		})
+	}
+}

@@ -32,6 +32,10 @@ const (
 	CodeUnavailable ErrorCode = "UNAVAILABLE"
 	// CodeInvalid: the request itself is bad (payload, schema).
 	CodeInvalid ErrorCode = "INVALID"
+	// CodeResourceExhausted: admission control shed the request before
+	// any durable effect. Always retryable; the error's RetryAfter is
+	// the server-suggested minimum wait.
+	CodeResourceExhausted ErrorCode = "RESOURCE_EXHAUSTED"
 )
 
 // Error is the unified client error: a stable code, the operation that
@@ -40,7 +44,11 @@ type Error struct {
 	Code      ErrorCode
 	Op        string
 	Retryable bool
-	Err       error
+	// RetryAfter, when positive, is the server-suggested minimum wait
+	// before retrying (RESOURCE_EXHAUSTED push-back). Callers that see
+	// it should not retry sooner.
+	RetryAfter time.Duration
+	Err        error
 }
 
 func (e *Error) Error() string {
@@ -64,6 +72,8 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeExhausted
 	case ErrUnavailable:
 		return e.Code == CodeUnavailable
+	case ErrResourceExhausted, sms.ErrResourceExhausted:
+		return e.Code == CodeResourceExhausted
 	}
 	return false
 }
@@ -91,6 +101,12 @@ type RetryPolicy struct {
 	// offset-pinned unary append after this delay; the server's
 	// retransmission memo dedupes the loser. Zero disables hedging.
 	HedgeDelay time.Duration
+	// RetryBudget caps the client's outstanding retry debt: each retry
+	// spends one token, each success refunds half a token (up to the
+	// cap), and a client out of tokens fails fast instead of joining a
+	// retry storm against an overloaded service. Zero takes the default
+	// (256); negative disables budgeting.
+	RetryBudget int
 }
 
 // DefaultRetryPolicy returns the production-like policy.
@@ -101,6 +117,7 @@ func DefaultRetryPolicy() RetryPolicy {
 		MaxBackoff:     250 * time.Millisecond,
 		Multiplier:     2,
 		Jitter:         0.2,
+		RetryBudget:    256,
 	}
 }
 
@@ -124,6 +141,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.Jitter < 0 {
 		p.Jitter = 0
+	}
+	if p.RetryBudget == 0 {
+		p.RetryBudget = d.RetryBudget
 	}
 	return p
 }
@@ -184,7 +204,60 @@ func retryableErr(err error) bool {
 	}
 	return errors.Is(err, rpc.ErrUnreachable) ||
 		errors.Is(err, rpc.ErrDropped) ||
-		errors.Is(err, sms.ErrUnavailable)
+		errors.Is(err, sms.ErrUnavailable) ||
+		errors.Is(err, sms.ErrResourceExhausted)
+}
+
+// pushBackHint extracts the server-suggested backoff from an admission
+// push-back anywhere in err's chain (zero if none).
+func pushBackHint(err error) time.Duration {
+	var pb *sms.PushBackError
+	if errors.As(err, &pb) {
+		return pb.RetryAfter
+	}
+	var ce *Error
+	if errors.As(err, &ce) && ce.Code == CodeResourceExhausted {
+		return ce.RetryAfter
+	}
+	return 0
+}
+
+// RetryAfter returns the server-suggested minimum wait carried by a
+// RESOURCE_EXHAUSTED push-back anywhere in err's chain (zero if none).
+// Callers driving their own retry loops should never retry a shed
+// request sooner than this.
+func RetryAfter(err error) time.Duration { return pushBackHint(err) }
+
+// takeRetryToken spends one retry-budget token; false means the budget
+// is exhausted and the caller should fail fast rather than retry.
+func (c *Client) takeRetryToken() bool {
+	if c.opts.Retry.RetryBudget < 0 {
+		return true
+	}
+	c.budgetMu.Lock()
+	defer c.budgetMu.Unlock()
+	if c.budgetTokens < 1 {
+		c.budgetExhausted.Add(1)
+		return false
+	}
+	c.budgetTokens--
+	return true
+}
+
+// creditRetryToken refunds half a token on success, up to the cap, so a
+// healthy client regains headroom but a persistently failing one cannot
+// sustain an unbounded retry rate.
+func (c *Client) creditRetryToken() {
+	cap := c.opts.Retry.RetryBudget
+	if cap < 0 {
+		return
+	}
+	c.budgetMu.Lock()
+	c.budgetTokens += 0.5
+	if c.budgetTokens > float64(cap) {
+		c.budgetTokens = float64(cap)
+	}
+	c.budgetMu.Unlock()
 }
 
 // AppendOption modifies one append call.
@@ -236,6 +309,11 @@ type Metrics struct {
 	HedgeWins int64
 	// SMSRetries counts retried control-plane calls.
 	SMSRetries int64
+	// ShedPushBacks counts RESOURCE_EXHAUSTED push-backs received (data
+	// or control plane); RetryBudgetExhausted counts retries refused
+	// because the budget ran dry.
+	ShedPushBacks        int64
+	RetryBudgetExhausted int64
 	// AppendLatency is the end-to-end Append latency distribution
 	// (successful calls, retries included).
 	AppendLatency *metrics.Histogram
@@ -256,14 +334,16 @@ type Metrics struct {
 // Metrics returns a snapshot of the client's resilience counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Retries:       c.retries.Value(),
-		Rotations:     c.rotations.Value(),
-		Hedges:        c.hedges.Value(),
-		HedgeWins:     c.hedgeWins.Value(),
-		SMSRetries:    c.smsRetries.Value(),
-		AppendLatency: c.appendLatency.Snapshot(),
-		ScanLatency:   c.scanLatency.Snapshot(),
-		Cache:         c.cache.Stats(),
+		Retries:              c.retries.Value(),
+		Rotations:            c.rotations.Value(),
+		Hedges:               c.hedges.Value(),
+		HedgeWins:            c.hedgeWins.Value(),
+		SMSRetries:           c.smsRetries.Value(),
+		ShedPushBacks:        c.shedPushBacks.Value(),
+		RetryBudgetExhausted: c.budgetExhausted.Value(),
+		AppendLatency:        c.appendLatency.Snapshot(),
+		ScanLatency:          c.scanLatency.Snapshot(),
+		Cache:                c.cache.Stats(),
 
 		ReadBatches:       c.rsBatches.Value(),
 		ReadBatchBytes:    c.rsBytes.Value(),
@@ -285,7 +365,16 @@ func (c *Client) smsRetry(ctx context.Context, table meta.TableID, method string
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.smsRetries.Add(1)
-			if err := sleepCtx(ctx, c.backoffFor(attempt)); err != nil {
+			if !c.takeRetryToken() {
+				break
+			}
+			// Honor a control-plane push-back hint: never retry sooner
+			// than the server asked, whatever the backoff schedule says.
+			d := c.backoffFor(attempt)
+			if hint := pushBackHint(lastErr); hint > d {
+				d = hint
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return nil, err
 			}
 		}
@@ -294,9 +383,18 @@ func (c *Client) smsRetry(ctx context.Context, table meta.TableID, method string
 			return resp, nil
 		}
 		lastErr = err
+		if errors.Is(err, sms.ErrResourceExhausted) {
+			c.shedPushBacks.Add(1)
+		}
 		if !retryableErr(err) {
 			return nil, err
 		}
+	}
+	// A push-back exhausting its attempts stays retryable-typed: the
+	// request was shed, not failed, and the caller may try again after
+	// the hint.
+	if hint := pushBackHint(lastErr); hint > 0 || errors.Is(lastErr, sms.ErrResourceExhausted) {
+		return nil, &Error{Code: CodeResourceExhausted, Op: method, Retryable: true, RetryAfter: hint, Err: lastErr}
 	}
 	return nil, newError(CodeUnavailable, method, false, lastErr)
 }

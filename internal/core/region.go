@@ -54,6 +54,13 @@ type Config struct {
 	// every subsystem (transport, Colossus, Stream Servers) and granted
 	// crash/restart authority over individual tasks.
 	Chaos *chaos.Schedule
+	// Quotas installs ingestion admission control on every SMS task; the
+	// zero value disables it.
+	Quotas sms.Quotas
+	// HeartbeatCoalesce / HeartbeatMaxStreamlets configure heartbeat
+	// batching on every Stream Server (see streamserver.Config).
+	HeartbeatCoalesce      time.Duration
+	HeartbeatMaxStreamlets int
 }
 
 // DefaultConfig returns a two-cluster region with a small server pool.
@@ -89,6 +96,8 @@ type Region struct {
 	// readCaches are the client fragment caches registered for GC-driven
 	// invalidation; every file-deletion hook fans out to all of them.
 	readCaches []*client.ReadCache
+	// rebalancedKeys counts Slicer keys moved by RebalanceSMS.
+	rebalancedKeys int64
 }
 
 // NewRegion builds and starts a region.
@@ -135,6 +144,9 @@ func NewRegion(cfg Config) *Region {
 		task.SetColossus(r.Colossus)
 		task.SetFragmentListener(r.BigMeta)
 		task.SetFileGCListener(r)
+		if !cfg.Quotas.Unlimited() {
+			task.SetQuotas(cfg.Quotas)
+		}
 		r.SMSTasks = append(r.SMSTasks, task)
 		r.Slicer.AddTask(addr)
 	}
@@ -145,6 +157,8 @@ func NewRegion(cfg Config) *Region {
 			if cfg.MaxFragmentBytes > 0 {
 				sscfg.MaxFragmentBytes = cfg.MaxFragmentBytes
 			}
+			sscfg.HeartbeatCoalesce = cfg.HeartbeatCoalesce
+			sscfg.HeartbeatMaxStreamlets = cfg.HeartbeatMaxStreamlets
 			srv := streamserver.New(sscfg, r.Colossus, clock, r.Keyring, r.router, r.Net)
 			srv.SetFileDeleteObserver(r.FragmentFilesDeleted)
 			r.StreamServers[addr] = srv
@@ -275,6 +289,8 @@ func (r *Region) RestartStreamServer(addr string) *streamserver.Server {
 	if r.cfg.MaxFragmentBytes > 0 {
 		sscfg.MaxFragmentBytes = r.cfg.MaxFragmentBytes
 	}
+	sscfg.HeartbeatCoalesce = r.cfg.HeartbeatCoalesce
+	sscfg.HeartbeatMaxStreamlets = r.cfg.HeartbeatMaxStreamlets
 	srv := streamserver.New(sscfg, r.Colossus, r.Clock, r.Keyring, r.router, r.Net)
 	srv.SetFileDeleteObserver(r.FragmentFilesDeleted)
 	if r.chaos != nil {
@@ -304,6 +320,77 @@ func (r *Region) RestartSMSTask(addr string) {
 	}
 }
 
+// SetQuotas installs admission-control quotas on every SMS task.
+func (r *Region) SetQuotas(q sms.Quotas) {
+	for _, t := range r.SMSTasks {
+		t.SetQuotas(q)
+	}
+}
+
+// IngestStats aggregates the region's overload-protection counters:
+// admission decisions across SMS tasks and shed/heartbeat counters
+// across Stream Servers.
+type IngestStats struct {
+	Admission sms.AdmissionStats
+	// ShedAppends counts data-plane appends rejected under a shed
+	// instruction, summed over servers.
+	ShedAppends int64
+	// HeartbeatsSent / HeartbeatsCoalesced sum the servers' heartbeat
+	// round counters.
+	HeartbeatsSent      int64
+	HeartbeatsCoalesced int64
+	// RebalancedKeys counts Slicer keys moved by load rebalancing, and
+	// OpenStaleWindows the double-assignment windows currently open.
+	RebalancedKeys   int64
+	OpenStaleWindows int
+}
+
+// IngestStats snapshots the region's overload-protection counters.
+func (r *Region) IngestStats() IngestStats {
+	var out IngestStats
+	for _, t := range r.SMSTasks {
+		s := t.AdmissionStats()
+		out.Admission.StreamletsAdmitted += s.StreamletsAdmitted
+		out.Admission.StreamletsShed += s.StreamletsShed
+		out.Admission.BytesDebited += s.BytesDebited
+		out.Admission.TableSheds += s.TableSheds
+	}
+	r.mu.Lock()
+	servers := make([]*streamserver.Server, 0, len(r.StreamServers))
+	for _, srv := range r.StreamServers {
+		servers = append(servers, srv)
+	}
+	rebalanced := r.rebalancedKeys
+	r.mu.Unlock()
+	for _, srv := range servers {
+		st := srv.Stats()
+		out.ShedAppends += st.ShedAppends
+		out.HeartbeatsSent += st.HeartbeatsSent
+		out.HeartbeatsCoalesced += st.HeartbeatsCoalesced
+	}
+	out.RebalancedKeys = rebalanced
+	out.OpenStaleWindows = len(r.Slicer.StaleOwners())
+	return out
+}
+
+// RebalanceSMS runs one load-driven Slicer rebalance round, moving at
+// most maxMoves hot table keys between SMS tasks and leaving each moved
+// key's previous owner in the deliberate double-assignment window until
+// SettleSlicer. Returns the moved keys.
+func (r *Region) RebalanceSMS(maxMoves int) []string {
+	moved := r.Slicer.RebalanceByLoad(maxMoves)
+	r.mu.Lock()
+	r.rebalancedKeys += int64(len(moved))
+	r.mu.Unlock()
+	return moved
+}
+
+// SettleSlicer closes every open Slicer reassignment window (the moment
+// the stale task observes the new assignment).
+func (r *Region) SettleSlicer() {
+	r.Slicer.SettleAll()
+}
+
 // RunHeartbeats starts a background heartbeat loop until ctx ends.
 func (r *Region) RunHeartbeats(ctx context.Context, every time.Duration) {
 	go func() {
@@ -327,9 +414,16 @@ type router struct {
 	slicer *slicer.Slicer
 }
 
-// SMSFor returns the SMS task responsible for the table.
+// SMSFor returns the SMS task responsible for the table. Every lookup
+// counts as one unit of observed key load — the signal Slicer's
+// load-driven rebalancing moves hot tables by (§5.2.1).
 func (rt *router) SMSFor(table meta.TableID) (string, error) {
-	return rt.slicer.Lookup("table:" + string(table))
+	key := "table:" + string(table)
+	addr, err := rt.slicer.Lookup(key)
+	if err == nil {
+		rt.slicer.RecordKeyLoad(key, 1)
+	}
+	return addr, err
 }
 
 // placer implements sms.Placer: least-loaded healthy server wins, and

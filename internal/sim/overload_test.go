@@ -1,0 +1,71 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vortex/internal/sim"
+)
+
+// TestOverloadProgramSeeds runs the scripted overload→rebalance→recover
+// program across several seeds. Each run must (a) actually shed on both
+// the creation-budget and byte-rate paths, (b) open at least one Slicer
+// double-assignment window and agree across both owners while it is
+// open, and (c) finish with every acknowledged append accounted for
+// exactly once — shed appends are retryable promises, not losses.
+func TestOverloadProgramSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7}
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		seeds = seeds[:3]
+		dur = 1 * time.Second
+	}
+	for _, seed := range seeds {
+		res := sim.Run(sim.Config{Seed: seed, Duration: dur, Clients: 4, Program: "overload"})
+		if res.Failure != nil {
+			t.Errorf("seed %d: %s at epoch %d: %s\nREPRO: %s",
+				seed, res.Failure.Invariant, res.Failure.Epoch, res.Failure.Detail, res.Failure.ReproLine)
+			continue
+		}
+		if res.Sheds == 0 {
+			t.Errorf("seed %d: no sheds observed — the squeeze tested nothing", seed)
+		}
+		if res.Windows == 0 {
+			t.Errorf("seed %d: no double-assignment window opened", seed)
+		}
+		if res.Appends == 0 {
+			t.Errorf("seed %d: no appends succeeded", seed)
+		}
+	}
+}
+
+// TestOverloadProgramDeterministic pins the overload program to the
+// harness's determinism contract: same seed, byte-identical event log.
+func TestOverloadProgramDeterministic(t *testing.T) {
+	run := func() (string, *sim.Result) {
+		var buf bytes.Buffer
+		res := sim.Run(sim.Config{Seed: 11, Duration: time.Second, Clients: 3, Program: "overload", Log: &buf})
+		return buf.String(), res
+	}
+	log1, res1 := run()
+	log2, res2 := run()
+	if res1.Failure != nil {
+		t.Fatalf("seed 11 failed: %+v", res1.Failure)
+	}
+	if log1 != log2 {
+		t.Fatalf("overload event logs differ between identical runs:\n--- run1 tail ---\n%s\n--- run2 tail ---\n%s",
+			tailLines(log1, 20), tailLines(log2, 20))
+	}
+	if res1.Appends != res2.Appends || res1.Sheds != res2.Sheds || res1.Windows != res2.Windows {
+		t.Fatalf("stats differ: %+v vs %+v", res1, res2)
+	}
+}
+
+// TestUnknownProgramRejected pins the config error path.
+func TestUnknownProgramRejected(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1, Program: "nope"})
+	if res.Failure == nil || res.Failure.Invariant != "config" {
+		t.Fatalf("unknown program not rejected: %+v", res.Failure)
+	}
+}

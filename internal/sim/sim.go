@@ -99,6 +99,11 @@ type Config struct {
 	// Bug injects a deliberate defect so the harness can prove it
 	// catches one: "dup-ledger" double-records an acked append.
 	Bug string
+	// Program selects a scripted scenario instead of the random-chaos
+	// workload. "" (or "random") runs the default mixed workload under a
+	// seed-derived chaos schedule; "overload" runs the admission-control
+	// squeeze→rebalance→recover program (see overload.go).
+	Program string
 	// Log receives the deterministic event log (nil discards it).
 	Log io.Writer
 	// Minimize shrinks a failing chaos program by re-running subsets.
@@ -144,8 +149,12 @@ type Result struct {
 	// Uncertain counts appends whose first ack was lost and that the
 	// exactly-once protocol later resolved (retried or content-matched).
 	Uncertain int64
-	ChaosLog  string
-	Failure   *Failure
+	// Sheds counts appends pushed back by admission control, and Windows
+	// the Slicer double-assignment windows opened (overload program).
+	Sheds    int64
+	Windows  int
+	ChaosLog string
+	Failure  *Failure
 }
 
 // runMu serializes Runs: the seedable id-entropy hook (meta.SetEntropy)
@@ -159,6 +168,20 @@ func Run(cfg Config) *Result {
 	runMu.Lock()
 	defer runMu.Unlock()
 	cfg.setDefaults()
+	switch cfg.Program {
+	case "", "random":
+	case "overload":
+		res := runOverload(cfg)
+		if res.Failure != nil {
+			res.Failure.ReproLine = ReproLine(cfg, nil)
+		}
+		return res
+	default:
+		return &Result{Seed: cfg.Seed, Failure: &Failure{
+			Invariant: "config",
+			Detail:    fmt.Sprintf("unknown program %q (known: random, overload)", cfg.Program),
+		}}
+	}
 	specs := cfg.Specs
 	if specs == nil && cfg.Faults > 0 {
 		specs = chaos.RandomSpecs(rand.New(rand.NewSource(cfg.Seed)), Topology(), cfg.Faults)
@@ -184,8 +207,13 @@ func Run(cfg Config) *Result {
 // ReproLine renders the command that replays cfg with the given chaos
 // program.
 func ReproLine(cfg Config, specs []chaos.Spec) string {
-	line := fmt.Sprintf("go run ./cmd/vortex-sim -seed %d -clients %d -duration %s -replay %q",
-		cfg.Seed, cfg.Clients, cfg.Duration, chaos.FormatSpecs(specs))
+	line := fmt.Sprintf("go run ./cmd/vortex-sim -seed %d -clients %d -duration %s",
+		cfg.Seed, cfg.Clients, cfg.Duration)
+	if cfg.Program != "" && cfg.Program != "random" {
+		line += fmt.Sprintf(" -program %s", cfg.Program)
+	} else {
+		line += fmt.Sprintf(" -replay %q", chaos.FormatSpecs(specs))
+	}
 	if cfg.Bug != "" {
 		line += fmt.Sprintf(" -bug %s", cfg.Bug)
 	}

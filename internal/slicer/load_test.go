@@ -1,0 +1,147 @@
+package slicer
+
+import (
+	"testing"
+)
+
+func TestRecordKeyLoadAccumulates(t *testing.T) {
+	s := New(nil)
+	s.RecordKeyLoad("hot", 3)
+	s.RecordKeyLoad("hot", 2)
+	s.RecordKeyLoad("cold", 1)
+	s.RecordKeyLoad("ignored", 0)
+	s.RecordKeyLoad("ignored", -5)
+	loads := s.KeyLoads()
+	if loads["hot"] != 5 || loads["cold"] != 1 {
+		t.Fatalf("loads = %v, want hot=5 cold=1", loads)
+	}
+	if _, ok := loads["ignored"]; ok {
+		t.Fatal("non-positive weights must not create ledger entries")
+	}
+	// KeyLoads is a snapshot: mutating it must not touch the ledger.
+	loads["hot"] = 0
+	if got := s.KeyLoads()["hot"]; got != 5 {
+		t.Fatalf("snapshot aliased the ledger: hot = %v", got)
+	}
+}
+
+// TestRebalanceByLoadMovesHotKeys drives the zipf-skew scenario
+// count-based rebalancing cannot see: one task owns a single hot key
+// outweighing another task's many cold keys. Count-based Rebalance
+// would move keys TOWARD the hot task; load-based rebalancing must
+// instead move cold keys off it until the load gap closes, opening a
+// double-assignment window for each moved key.
+func TestRebalanceByLoadMovesHotKeys(t *testing.T) {
+	s := New(nil)
+	s.AddTask("sms-0")
+	s.AddTask("sms-1")
+	// Pin assignments explicitly: sms-0 owns the hot key plus a few warm
+	// ones, sms-1 owns nothing.
+	if err := s.Reassign("hot", "sms-0"); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordKeyLoad("hot", 1000)
+	for _, k := range []string{"warm-a", "warm-b", "warm-c", "warm-d"} {
+		if err := s.Reassign(k, "sms-0"); err != nil {
+			t.Fatal(err)
+		}
+		s.RecordKeyLoad(k, 100)
+	}
+
+	moved := s.RebalanceByLoad(10)
+	if len(moved) == 0 {
+		t.Fatal("no keys moved off the overloaded task")
+	}
+	for _, k := range moved {
+		if k == "hot" {
+			// The hot key alone (1000) exceeds half the gap — moving it
+			// would just swap which task is overloaded.
+			t.Fatal("rebalance moved the hot key itself (overshoot)")
+		}
+		owner, _ := s.Lookup(k)
+		if owner != "sms-1" {
+			t.Fatalf("moved key %s landed on %s, want sms-1", k, owner)
+		}
+		// Each move leaves the previous owner in the deliberate
+		// double-assignment window until settled.
+		if !s.Owns("sms-0", k) || !s.Owns("sms-1", k) {
+			t.Fatalf("key %s not double-owned during the window", k)
+		}
+	}
+	stale := s.StaleOwners()
+	for _, k := range moved {
+		if stale[k] != "sms-0" {
+			t.Fatalf("StaleOwners[%s] = %q, want sms-0", k, stale[k])
+		}
+	}
+	s.SettleAll()
+	if len(s.StaleOwners()) != 0 {
+		t.Fatal("SettleAll left windows open")
+	}
+	for _, k := range moved {
+		if s.Owns("sms-0", k) {
+			t.Fatalf("stale owner still owns %s after settle", k)
+		}
+	}
+}
+
+func TestRebalanceByLoadRespectsMaxMoves(t *testing.T) {
+	s := New(nil)
+	s.AddTask("sms-0")
+	s.AddTask("sms-1")
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		if err := s.Reassign(k, "sms-0"); err != nil {
+			t.Fatal(err)
+		}
+		s.RecordKeyLoad(k, 10)
+	}
+	if moved := s.RebalanceByLoad(1); len(moved) > 1 {
+		t.Fatalf("moved %d keys, cap was 1", len(moved))
+	}
+}
+
+func TestRebalanceByLoadNoOpWhenBalanced(t *testing.T) {
+	s := New(nil)
+	s.AddTask("sms-0")
+	s.AddTask("sms-1")
+	if err := s.Reassign("a", "sms-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reassign("b", "sms-1"); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordKeyLoad("a", 100)
+	s.RecordKeyLoad("b", 95) // within the 10% band
+	if moved := s.RebalanceByLoad(10); len(moved) != 0 {
+		t.Fatalf("balanced tasks still moved %v", moved)
+	}
+	// A single task can never rebalance.
+	lone := New(nil)
+	lone.AddTask("sms-0")
+	if err := lone.Reassign("a", "sms-0"); err != nil {
+		t.Fatal(err)
+	}
+	lone.RecordKeyLoad("a", 100)
+	if moved := lone.RebalanceByLoad(10); moved != nil {
+		t.Fatalf("single task moved %v", moved)
+	}
+}
+
+// TestRebalanceByLoadDecays: the ledger is halved on every rebalance so
+// the signal tracks shifting skew; a key that stops being hot stops
+// dominating decisions after a few rounds.
+func TestRebalanceByLoadDecays(t *testing.T) {
+	s := New(nil)
+	s.AddTask("sms-0")
+	s.AddTask("sms-1")
+	if err := s.Reassign("once-hot", "sms-0"); err != nil {
+		t.Fatal(err)
+	}
+	s.RecordKeyLoad("once-hot", 64)
+	for i := 0; i < 3; i++ {
+		s.RebalanceByLoad(10)
+	}
+	if got := s.KeyLoads()["once-hot"]; got != 8 {
+		t.Fatalf("load after 3 halvings = %v, want 8", got)
+	}
+}

@@ -29,6 +29,9 @@ type Slicer struct {
 	// stale maps key -> previous owner that has not yet observed the
 	// reassignment (the eventual-consistency window).
 	stale map[string]string
+	// keyLoad accumulates observed per-key load (e.g. routing lookups or
+	// bytes), the signal load-driven rebalancing moves keys by.
+	keyLoad map[string]float64
 	// notify receives assignment changes: (key, newOwner).
 	notify func(key, task string)
 }
@@ -39,10 +42,11 @@ type Slicer struct {
 // notifying it".
 func New(notify func(key, task string)) *Slicer {
 	return &Slicer{
-		tasks:  make(map[string]float64),
-		assign: make(map[string]string),
-		stale:  make(map[string]string),
-		notify: notify,
+		tasks:   make(map[string]float64),
+		assign:  make(map[string]string),
+		stale:   make(map[string]string),
+		keyLoad: make(map[string]float64),
+		notify:  notify,
 	}
 }
 
@@ -203,6 +207,130 @@ func (s *Slicer) ReportLoad(task string, load float64) {
 		s.tasks[task] = load
 	}
 	s.mu.Unlock()
+}
+
+// RecordKeyLoad accumulates observed load against a key. Routing layers
+// call it on every lookup (weight 1) or with a byte count; the
+// accumulated distribution drives RebalanceByLoad.
+func (s *Slicer) RecordKeyLoad(key string, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.keyLoad[key] += weight
+	s.mu.Unlock()
+}
+
+// KeyLoads returns a snapshot of the accumulated per-key load.
+func (s *Slicer) KeyLoads() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.keyLoad))
+	for k, v := range s.keyLoad {
+		out[k] = v
+	}
+	return out
+}
+
+// StaleOwners returns the keys whose reassignment window is still open,
+// mapped to the previous owner that may still believe it owns them.
+func (s *Slicer) StaleOwners() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.stale))
+	for k, v := range s.stale {
+		out[k] = v
+	}
+	return out
+}
+
+// RebalanceByLoad redistributes keys using the accumulated per-key load
+// instead of raw key counts: under zipf-skewed popularity a task owning
+// one hot key can be busier than a task owning fifty cold ones, which
+// count-based Rebalance cannot see. It greedily moves the hottest keys
+// off the most loaded task onto the least loaded while the imbalance
+// exceeds 10%, at most maxMoves keys, leaving each moved key's previous
+// owner in the deliberate double-assignment window (§5.2.1) until
+// Settle. The load ledger is halved afterwards so the signal decays and
+// rebalancing tracks shifting skew instead of all history. Returns the
+// keys moved.
+func (s *Slicer) RebalanceByLoad(maxMoves int) []string {
+	s.mu.Lock()
+	if len(s.tasks) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	// Per-task load = sum of its keys' observed loads.
+	taskLoad := make(map[string]float64, len(s.tasks))
+	owned := make(map[string][]string)
+	for t := range s.tasks {
+		taskLoad[t] = 0
+	}
+	for key, t := range s.assign {
+		if _, ok := s.tasks[t]; !ok {
+			continue
+		}
+		owned[t] = append(owned[t], key)
+		taskLoad[t] += s.keyLoad[key]
+	}
+	var movedKeys []string
+	var moved []struct{ key, owner string }
+	for len(movedKeys) < maxMoves {
+		var maxT, minT string
+		for t := range s.tasks {
+			if maxT == "" || taskLoad[t] > taskLoad[maxT] || (taskLoad[t] == taskLoad[maxT] && t < maxT) {
+				maxT = t
+			}
+			if minT == "" || taskLoad[t] < taskLoad[minT] || (taskLoad[t] == taskLoad[minT] && t < minT) {
+				minT = t
+			}
+		}
+		if maxT == minT || taskLoad[maxT]-taskLoad[minT] <= 0.1*taskLoad[maxT] {
+			break
+		}
+		// Hottest key of the hottest task that actually improves the
+		// imbalance: moving more than half the gap would overshoot and
+		// oscillate. Deterministic order: load desc, then key asc.
+		keys := owned[maxT]
+		sort.Slice(keys, func(i, j int) bool {
+			li, lj := s.keyLoad[keys[i]], s.keyLoad[keys[j]]
+			if li != lj {
+				return li > lj
+			}
+			return keys[i] < keys[j]
+		})
+		gap := taskLoad[maxT] - taskLoad[minT]
+		picked := -1
+		for i, k := range keys {
+			if l := s.keyLoad[k]; l > 0 && l <= gap/2 {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			break
+		}
+		key := keys[picked]
+		owned[maxT] = append(keys[:picked], keys[picked+1:]...)
+		owned[minT] = append(owned[minT], key)
+		taskLoad[maxT] -= s.keyLoad[key]
+		taskLoad[minT] += s.keyLoad[key]
+		s.stale[key] = maxT
+		s.assign[key] = minT
+		movedKeys = append(movedKeys, key)
+		moved = append(moved, struct{ key, owner string }{key, minT})
+	}
+	for k := range s.keyLoad {
+		s.keyLoad[k] /= 2
+	}
+	notify := s.notify
+	s.mu.Unlock()
+	if notify != nil {
+		for _, m := range moved {
+			notify(m.key, m.owner)
+		}
+	}
+	return movedKeys
 }
 
 // Rebalance moves keys from the most loaded task to the least loaded

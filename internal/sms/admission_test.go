@@ -1,0 +1,210 @@
+package sms_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/sms"
+	"vortex/internal/truetime"
+	"vortex/internal/wire"
+)
+
+func manualRegion(t *testing.T, q sms.Quotas, coalesce time.Duration) (*core.Region, *truetime.Manual, context.Context) {
+	t.Helper()
+	clock := truetime.NewManual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC), time.Millisecond)
+	cfg := core.DefaultConfig()
+	cfg.Clock = clock
+	cfg.Quotas = q
+	cfg.HeartbeatCoalesce = coalesce
+	return core.NewRegion(cfg), clock, context.Background()
+}
+
+// taskFor returns the SMS task the router owns the given key on.
+func taskFor(t *testing.T, r *core.Region, table meta.TableID) (*sms.Task, string) {
+	t.Helper()
+	addr, err := r.Router().SMSFor(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range r.SMSTasks {
+		if task.Addr() == addr {
+			return task, addr
+		}
+	}
+	t.Fatalf("no task at %s", addr)
+	return nil, ""
+}
+
+// TestAdmissionStreamletQuota: exhausting the streamlet-creation budget
+// sheds GetWritableStreamlet with a typed push-back carrying a positive
+// backoff hint, and the same request succeeds once the token bucket
+// refills on the TrueTime clock.
+func TestAdmissionStreamletQuota(t *testing.T) {
+	r, clock, ctx := manualRegion(t, sms.Quotas{
+		GlobalStreamletsPerSec: 1,
+		TableStreamletsPerSec:  1,
+		StreamletBurst:         1,
+	}, 0)
+	task, addr := taskFor(t, r, "d.t")
+	if _, err := r.Net.Unary(ctx, addr, wire.MethodCreateTable, &wire.CreateTableRequest{Table: "d.t", Schema: tSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	newStream := func() meta.StreamID {
+		resp, err := r.Net.Unary(ctx, addr, wire.MethodCreateStream, &wire.CreateStreamRequest{Table: "d.t", Type: meta.Unbuffered})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.(*wire.CreateStreamResponse).Stream.ID
+	}
+
+	// Burst of 1: the first creation is admitted...
+	s1 := newStream()
+	if _, err := r.Net.Unary(ctx, addr, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{Stream: s1}); err != nil {
+		t.Fatalf("first streamlet: %v", err)
+	}
+	// ...the second is shed with a typed, hint-carrying push-back.
+	s2 := newStream()
+	_, err := r.Net.Unary(ctx, addr, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{Stream: s2})
+	if !errors.Is(err, sms.ErrResourceExhausted) {
+		t.Fatalf("over-quota creation: got %v, want ErrResourceExhausted", err)
+	}
+	var pb *sms.PushBackError
+	if !errors.As(err, &pb) {
+		t.Fatalf("push-back not typed: %v", err)
+	}
+	if pb.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", pb.RetryAfter)
+	}
+	if pb.Resource != "streamlets" {
+		t.Fatalf("Resource = %q, want streamlets", pb.Resource)
+	}
+
+	// Re-asking for the ALREADY-created streamlet spends no token.
+	if _, err := r.Net.Unary(ctx, addr, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{Stream: s1}); err != nil {
+		t.Fatalf("reuse of existing streamlet shed: %v", err)
+	}
+
+	// The hint is honest: waiting it out admits the retry.
+	clock.Advance(pb.RetryAfter + time.Millisecond)
+	if _, err := r.Net.Unary(ctx, addr, wire.MethodGetWritableStreamlet, &wire.GetWritableStreamletRequest{Stream: s2}); err != nil {
+		t.Fatalf("retry after hint: %v", err)
+	}
+
+	st := task.AdmissionStats()
+	if st.StreamletsAdmitted < 2 || st.StreamletsShed < 1 {
+		t.Fatalf("stats = %+v, want ≥2 admitted and ≥1 shed", st)
+	}
+}
+
+// TestAdmissionByteDebitShedsTables: a heartbeat reporting per-table
+// byte deltas beyond the byte-rate quota earns a shed instruction for
+// that table (bounded by MaxShed), while an in-quota table earns none.
+func TestAdmissionByteDebitShedsTables(t *testing.T) {
+	maxShed := 500 * time.Millisecond
+	r, _, ctx := manualRegion(t, sms.Quotas{
+		TableBytesPerSec: 1 << 10,
+		ByteBurst:        1 << 10,
+		MaxShed:          maxShed,
+	}, 0)
+	task, addr := taskFor(t, r, "d.hot")
+	resp, err := r.Net.Unary(ctx, addr, wire.MethodHeartbeat, &wire.HeartbeatRequest{
+		Server: "ss-alpha-0",
+		TableBytes: map[meta.TableID]int64{
+			"d.hot":  64 << 10, // 64× the per-second budget
+			"d.cold": 16,       // well inside it
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sheds := resp.(*wire.HeartbeatResponse).ShedTables
+	hot, ok := sheds["d.hot"]
+	if !ok || hot <= 0 {
+		t.Fatalf("hot table not shed: %v", sheds)
+	}
+	if hot > int64(maxShed) {
+		t.Fatalf("shed %v exceeds MaxShed %v", time.Duration(hot), maxShed)
+	}
+	if cold, ok := sheds["d.cold"]; ok {
+		t.Fatalf("in-quota table shed for %v", time.Duration(cold))
+	}
+	st := task.AdmissionStats()
+	if st.BytesDebited != (64<<10)+16 {
+		t.Fatalf("BytesDebited = %d", st.BytesDebited)
+	}
+	if st.TableSheds == 0 {
+		t.Fatal("no shed instruction counted")
+	}
+}
+
+// TestHeartbeatCoalescingClockJumpLiveness is the satellite regression
+// test: with coalescing enabled, a heartbeat inside the window is
+// batched away — but a TrueTime clock JUMP (manual clock set far ahead,
+// e.g. a VM pause or NTP step) must always send, so the SMS's liveness
+// record for the server never silently lapses behind the clock.
+func TestHeartbeatCoalescingClockJumpLiveness(t *testing.T) {
+	coalesce := 50 * time.Millisecond
+	r, clock, ctx := manualRegion(t, sms.Quotas{}, coalesce)
+	// An idle server's heartbeats fall through to the task that owns the
+	// empty routing key.
+	task, _ := taskFor(t, r, "")
+	srv := r.StreamServers[r.ServerAddrs()[0]]
+
+	hb := func() {
+		t.Helper()
+		if err := srv.HeartbeatNow(ctx, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hb()
+	first := task.ServerLiveness(srv.Addr())
+	if first == 0 {
+		t.Fatal("liveness not recorded on first heartbeat")
+	}
+
+	// Inside the window: coalesced, liveness unchanged but fresh.
+	clock.Advance(time.Millisecond)
+	hb()
+	if got := srv.Stats().HeartbeatsCoalesced; got != 1 {
+		t.Fatalf("HeartbeatsCoalesced = %d, want 1", got)
+	}
+	if got := task.ServerLiveness(srv.Addr()); got != first {
+		t.Fatalf("coalesced heartbeat changed liveness: %d -> %d", first, got)
+	}
+
+	// Clock jumps far past the window: the next heartbeat must send.
+	clock.Set(clock.At().Add(10 * time.Second))
+	hb()
+	after := task.ServerLiveness(srv.Addr())
+	if lag := clock.Now().Latest.Sub(after); lag > coalesce {
+		t.Fatalf("liveness lapsed across clock jump: lag %v > coalesce window %v", lag, coalesce)
+	}
+
+	// And the very next in-window beat coalesces again without ever
+	// letting the recorded liveness fall behind by more than the window.
+	clock.Advance(time.Millisecond)
+	hb()
+	if got := srv.Stats().HeartbeatsCoalesced; got != 2 {
+		t.Fatalf("HeartbeatsCoalesced = %d, want 2", got)
+	}
+	if lag := clock.Now().Latest.Sub(task.ServerLiveness(srv.Addr())); lag > coalesce {
+		t.Fatalf("liveness lag %v > coalesce window %v", lag, coalesce)
+	}
+
+	// Full heartbeats are never coalesced, even inside the window.
+	clock.Advance(time.Millisecond)
+	if err := srv.HeartbeatNow(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().HeartbeatsCoalesced; got != 2 {
+		t.Fatalf("full heartbeat was coalesced (count %d)", got)
+	}
+	if got := task.ServerLiveness(srv.Addr()); got <= after {
+		t.Fatal("full heartbeat did not refresh liveness")
+	}
+}

@@ -38,6 +38,19 @@ func (t *Task) handleHeartbeat(_ context.Context, req any) (any, error) {
 	r := req.(*wire.HeartbeatRequest)
 	t.placer.ReportLoad(r.Server, r.CPULoad, r.MemLoad, r.Throughput, r.Quarantine)
 
+	// Record liveness before anything can fail: a heartbeat that reaches
+	// us proves the server is up even if its deltas hit a txn abort.
+	now := t.clock.Now().Latest
+	t.mu.Lock()
+	if now > t.lastSeen[r.Server] {
+		t.lastSeen[r.Server] = now
+	}
+	t.mu.Unlock()
+
+	// Debit reported per-table append volume against the byte-rate quotas;
+	// over-quota tables come back as shed instructions on the response.
+	shed := t.adm.debitBytes(r.TableBytes)
+
 	var unknown []meta.StreamletID
 	var toDelete []meta.FragmentID
 	tables := map[meta.TableID]bool{}
@@ -113,7 +126,7 @@ func (t *Task) handleHeartbeat(_ context.Context, req any) (any, error) {
 		return nil, unwrapAbort(err)
 	}
 
-	out := &wire.HeartbeatResponse{DeleteFragments: toDelete, UnknownStreamlets: unknown}
+	out := &wire.HeartbeatResponse{DeleteFragments: toDelete, UnknownStreamlets: unknown, ShedTables: shed}
 	if len(tables) > 0 {
 		// Current schemas for the server's tables (§5.4.1), read outside
 		// the mutating transaction to keep its validation set small.

@@ -76,6 +76,14 @@ type Task struct {
 	gcListener FileGCListener
 	region     *colossus.Region
 
+	// lastSeen records, per Stream Server address, the TrueTime latest
+	// bound of its most recent heartbeat — the liveness signal coalesced
+	// heartbeats must keep fresh.
+	lastSeen map[string]truetime.Timestamp
+
+	// adm is the admission-control state (quotas + token buckets).
+	adm *admission
+
 	// retention is how long deleted fragments stay readable (§5.4.3).
 	retention truetime.Timestamp
 }
@@ -107,6 +115,8 @@ func New(addr string, db *spanner.DB, net *rpc.Network, placer Placer) *Task {
 		clock:     db.Clock(),
 		net:       net,
 		placer:    placer,
+		lastSeen:  make(map[string]truetime.Timestamp),
+		adm:       newAdmission(db.Clock()),
 		retention: truetime.Timestamp(0),
 	}
 	srv := rpc.NewServer()
@@ -320,9 +330,10 @@ func (t *Task) handleGetWritableStreamlet(ctx context.Context, req any) (any, er
 	r := req.(*wire.GetWritableStreamletRequest)
 	for attempt := 0; attempt < 4; attempt++ {
 		var (
-			sl      *meta.StreamletInfo
-			sc      *schema.Schema
-			created bool
+			sl         *meta.StreamletInfo
+			sc         *schema.Schema
+			created    bool
+			tokenTaken bool
 		)
 		_, err := t.db.ReadWriteTxn(func(tx *spanner.Txn) error {
 			sl, sc, created = nil, nil, false
@@ -354,7 +365,15 @@ func (t *Task) handleGetWritableStreamlet(ctx context.Context, req any) (any, er
 				last.State = meta.StreamletFinalized
 				tx.Put(streamletKey(stream.Table, last.ID), meta.MarshalStreamlet(last))
 			}
-			// Create the next streamlet.
+			// Create the next streamlet — first pay the creation budget.
+			// The tokenTaken flag lives outside the closure so a Spanner
+			// txn retry doesn't consume a second token for one creation.
+			if !tokenTaken {
+				if err := t.adm.admitStreamlet(stream.Table); err != nil {
+					return err
+				}
+				tokenTaken = true
+			}
 			var start int64
 			for _, prev := range sls {
 				start += prev.RowCount

@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"vortex/internal/blockenc"
 	"vortex/internal/bloom"
@@ -56,6 +58,16 @@ type Config struct {
 	MaxFragmentBytes int64
 	// MaxBlockBytes caps one buffered write (the paper's 2MB, §5.4.4).
 	MaxBlockBytes int
+	// HeartbeatCoalesce, when positive, suppresses delta heartbeats that
+	// would fire within this window of the previous one, so control-plane
+	// traffic stays O(servers) under thousands of dirty streams instead
+	// of tracking every append. Skipped rounds keep their dirty set; a
+	// full heartbeat is never coalesced. Zero disables coalescing.
+	HeartbeatCoalesce time.Duration
+	// HeartbeatMaxStreamlets caps the streamlet deltas carried by one
+	// heartbeat round; the remainder stays dirty for the next round.
+	// Bounds heartbeat size under massive fanout. Zero means unlimited.
+	HeartbeatMaxStreamlets int
 }
 
 // DefaultConfig returns production-like defaults.
@@ -83,6 +95,15 @@ type Server struct {
 	deletedAcks []meta.FragmentID
 	crashed     bool
 	quarantine  bool
+	// tableBytes accumulates appended bytes per table since the last
+	// acknowledged heartbeat; HeartbeatNow reports them to the SMS for
+	// byte-rate admission control (rolled back if the send fails).
+	tableBytes map[meta.TableID]int64
+	// shedUntil holds SMS shed instructions: appends to a listed table
+	// are rejected with RESOURCE_EXHAUSTED until the deadline passes.
+	shedUntil map[meta.TableID]truetime.Timestamp
+	// lastHB is when the previous (non-coalesced) heartbeat round ran.
+	lastHB truetime.Timestamp
 
 	// fileDeleteObserver is invoked with the Colossus paths of fragment
 	// files this server deletes during GC (§5.4.3); the region uses it
@@ -92,6 +113,9 @@ type Server struct {
 	bytesAppended  metrics.Counter
 	appendOps      metrics.Counter
 	degradedWrites metrics.Counter
+	shedAppends    metrics.Counter
+	hbSent         metrics.Counter
+	hbCoalesced    metrics.Counter
 }
 
 // streamlet is the server's in-memory truth about one streamlet.
@@ -149,6 +173,8 @@ func New(cfg Config, region *colossus.Region, clock truetime.Clock, keyring *blo
 		net:        net,
 		streamlets: make(map[meta.StreamletID]*streamlet),
 		dirty:      make(map[meta.StreamletID]bool),
+		tableBytes: make(map[meta.TableID]int64),
+		shedUntil:  make(map[meta.TableID]truetime.Timestamp),
 	}
 	srv := rpc.NewServer()
 	srv.RegisterUnary(wire.MethodCreateStreamlet, s.handleCreateStreamlet)
@@ -185,6 +211,9 @@ func (s *Server) Crash() {
 	s.crashed = true
 	s.streamlets = make(map[meta.StreamletID]*streamlet)
 	s.dirty = make(map[meta.StreamletID]bool)
+	s.tableBytes = make(map[meta.TableID]int64)
+	s.shedUntil = make(map[meta.TableID]truetime.Timestamp)
+	s.lastHB = 0
 	s.mu.Unlock()
 	s.net.Deregister(s.cfg.Addr)
 }
@@ -231,6 +260,29 @@ func (s *Server) markDirty(id meta.StreamletID) {
 	s.mu.Lock()
 	s.dirty[id] = true
 	s.mu.Unlock()
+}
+
+// shedDeadline reports whether appends to the table are currently shed,
+// and if so how long the client should wait before retrying. Expired
+// instructions are dropped lazily here.
+func (s *Server) shedDeadline(table meta.TableID) (time.Duration, bool) {
+	s.mu.Lock()
+	until, ok := s.shedUntil[table]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	now := s.clock.Now().Latest
+	if now >= until {
+		s.mu.Lock()
+		// Re-check: a fresher instruction may have landed meanwhile.
+		if cur, ok := s.shedUntil[table]; ok && now >= cur {
+			delete(s.shedUntil, table)
+		}
+		s.mu.Unlock()
+		return 0, false
+	}
+	return until.Sub(now), true
 }
 
 // ---- handlers ----
@@ -313,6 +365,23 @@ func (s *Server) append(ctx context.Context, r *wire.AppendRequest) (*wire.Appen
 	if sl.closed {
 		return fail(wire.ErrCodeStreamletClosed, "")
 	}
+	// Load shedding (§5.5): the SMS told us this table is over its
+	// ingestion quota. A flagged retransmission of the last acknowledged
+	// batch still replays its ack — that data is already durable, and
+	// shedding the retry would turn response loss into apparent data
+	// loss. (The memo's offset is always behind the live stream offset,
+	// so this never admits a fresh append.)
+	if retryAfter, shedding := s.shedDeadline(sl.info.Table); shedding {
+		if m := sl.lastAppend; r.Retry && m != nil && r.ExpectedStreamOffset == m.startOffset && r.CRC == m.crc {
+			resp := m.resp
+			return &resp, nil
+		}
+		s.shedAppends.Add(1)
+		return &wire.AppendResponse{
+			Error:           wire.ErrCodeResourceExhausted + ": table " + string(sl.info.Table) + " over ingestion quota",
+			RetryAfterNanos: int64(retryAfter),
+		}, nil
+	}
 	// Schema staleness: the server relays schema changes to clients when
 	// they try to append (§5.4.1).
 	if r.SchemaVersion < sl.schema.Version {
@@ -361,6 +430,9 @@ func (s *Server) append(ctx context.Context, r *wire.AppendRequest) (*wire.Appen
 	s.markDirty(sl.info.ID)
 	s.appendOps.Add(1)
 	s.bytesAppended.Add(int64(len(r.Payload)))
+	s.mu.Lock()
+	s.tableBytes[sl.info.Table] += int64(len(r.Payload))
+	s.mu.Unlock()
 
 	// Rotate on size.
 	if sl.cur != nil && sl.cur.size >= s.cfg.MaxFragmentBytes {
@@ -778,6 +850,22 @@ func (s *Server) HeartbeatNow(ctx context.Context, full bool) error {
 		s.mu.Unlock()
 		return errors.New("streamserver: crashed")
 	}
+	// Coalescing: a delta heartbeat inside the window is skipped whole —
+	// the dirty set, deletion acks and table-byte counters all stay
+	// queued for the next round. The guard only skips when the clock
+	// moved forward but less than the window: a clock jump (now far past
+	// lastHB) or any non-monotonic reading always sends, so liveness at
+	// the SMS can never lapse because of coalescing. Full heartbeats are
+	// never coalesced.
+	now := s.clock.Now().Latest
+	if c := s.cfg.HeartbeatCoalesce; c > 0 && !full {
+		if s.lastHB != 0 && now >= s.lastHB && now.Sub(s.lastHB) < c {
+			s.hbCoalesced.Add(1)
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	s.lastHB = now
 	var ids []meta.StreamletID
 	if full {
 		for id := range s.streamlets {
@@ -789,9 +877,20 @@ func (s *Server) HeartbeatNow(ctx context.Context, full bool) error {
 		}
 	}
 	s.dirty = make(map[meta.StreamletID]bool)
+	// Bound the deltas one round carries; the remainder stays dirty.
+	// Sorted so the cut is deterministic under the simulation.
+	if m := s.cfg.HeartbeatMaxStreamlets; m > 0 && len(ids) > m {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids[m:] {
+			s.dirty[id] = true
+		}
+		ids = ids[:m]
+	}
 	quarantine := s.quarantine
 	acks := s.deletedAcks
 	s.deletedAcks = nil
+	pendingBytes := s.tableBytes
+	s.tableBytes = make(map[meta.TableID]int64)
 	streamlets := make(map[meta.StreamletID]*streamlet, len(ids))
 	for _, id := range ids {
 		streamlets[id] = s.streamlets[id]
@@ -824,6 +923,36 @@ func (s *Server) HeartbeatNow(ctx context.Context, full bool) error {
 		}
 		req.Streamlets = append(req.Streamlets, hb)
 	}
+	// Route accumulated per-table byte counts to each table's owning SMS
+	// task so byte-rate admission control sees aggregate throughput —
+	// O(tables) entries riding O(servers) heartbeats, never per-stream.
+	for table, n := range pendingBytes {
+		if n <= 0 {
+			continue
+		}
+		addr, err := s.router.SMSFor(table)
+		if err != nil {
+			// Re-accumulate for the next round.
+			s.mu.Lock()
+			s.tableBytes[table] += n
+			s.mu.Unlock()
+			continue
+		}
+		req := byTask[addr]
+		if req == nil {
+			req = &wire.HeartbeatRequest{
+				Server:       s.cfg.Addr,
+				Quarantine:   quarantine,
+				Throughput:   float64(s.bytesAppended.Value()),
+				FullSnapshot: full,
+			}
+			byTask[addr] = req
+		}
+		if req.TableBytes == nil {
+			req.TableBytes = make(map[meta.TableID]int64)
+		}
+		req.TableBytes[table] += n
+	}
 	if len(byTask) == 0 {
 		// Still report load (and pending deletion acks) so placement and
 		// GC stay fresh.
@@ -847,30 +976,44 @@ func (s *Server) HeartbeatNow(ctx context.Context, full bool) error {
 			for _, hb := range req.Streamlets {
 				s.markDirty(hb.Info.ID)
 			}
-			if len(req.DeletedFragments) > 0 {
+			if len(req.DeletedFragments) > 0 || len(req.TableBytes) > 0 {
 				s.mu.Lock()
 				s.deletedAcks = append(s.deletedAcks, req.DeletedFragments...)
+				// Unacknowledged byte reports roll back so admission
+				// control eventually hears about every accepted byte.
+				for table, n := range req.TableBytes {
+					s.tableBytes[table] += n
+				}
 				s.mu.Unlock()
 			}
 			continue
 		}
+		s.hbSent.Add(1)
 		s.applyHeartbeatResponse(resp.(*wire.HeartbeatResponse))
 	}
 	return firstErr
 }
 
 func (s *Server) applyHeartbeatResponse(resp *wire.HeartbeatResponse) {
-	// Schema changes propagate to writable streamlets (§5.4.1).
+	// Schema changes propagate to writable streamlets (§5.4.1). The
+	// streamlet set is snapshotted first: sl.mu must never be acquired
+	// under s.mu, because append handlers hold sl.mu while taking s.mu
+	// (markDirty, byte accounting) — the reverse order deadlocks against
+	// a concurrent heartbeat.
 	if len(resp.Schemas) > 0 {
 		s.mu.Lock()
+		sls := make([]*streamlet, 0, len(s.streamlets))
 		for _, sl := range s.streamlets {
+			sls = append(sls, sl)
+		}
+		s.mu.Unlock()
+		for _, sl := range sls {
 			sl.mu.Lock()
 			if sc, ok := resp.Schemas[sl.info.Table]; ok && sc.Version > sl.schema.Version {
 				sl.schema = sc
 			}
 			sl.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 	// Garbage collection of converted fragments (§5.4.3): delete the
 	// files, then acknowledge in the next heartbeat so the SMS can drop
@@ -887,6 +1030,23 @@ func (s *Server) applyHeartbeatResponse(resp *wire.HeartbeatResponse) {
 		s.mu.Lock()
 		for _, id := range resp.UnknownStreamlets {
 			delete(s.streamlets, id)
+		}
+		s.mu.Unlock()
+	}
+	// Shed instructions: reject the listed tables' appends until the
+	// deadline. Instructions extend but never shorten an active shed —
+	// two SMS tasks may both report the global bucket exhausted.
+	if len(resp.ShedTables) > 0 {
+		now := s.clock.Now().Latest
+		s.mu.Lock()
+		for table, d := range resp.ShedTables {
+			if d <= 0 {
+				continue
+			}
+			until := now + truetime.Timestamp(d)
+			if until > s.shedUntil[table] {
+				s.shedUntil[table] = until
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -942,6 +1102,13 @@ type Stats struct {
 	BytesAppended  int64
 	DegradedWrites int64
 	Streamlets     int
+	// ShedAppends counts appends rejected with RESOURCE_EXHAUSTED under
+	// an SMS shed instruction (before any durable write).
+	ShedAppends int64
+	// HeartbeatsSent / HeartbeatsCoalesced count heartbeat rounds that
+	// reached an SMS task vs. rounds skipped whole by coalescing.
+	HeartbeatsSent      int64
+	HeartbeatsCoalesced int64
 }
 
 // Stats returns current counters.
@@ -950,9 +1117,12 @@ func (s *Server) Stats() Stats {
 	n := len(s.streamlets)
 	s.mu.Unlock()
 	return Stats{
-		AppendOps:      s.appendOps.Value(),
-		BytesAppended:  s.bytesAppended.Value(),
-		DegradedWrites: s.degradedWrites.Value(),
-		Streamlets:     n,
+		AppendOps:           s.appendOps.Value(),
+		BytesAppended:       s.bytesAppended.Value(),
+		DegradedWrites:      s.degradedWrites.Value(),
+		Streamlets:          n,
+		ShedAppends:         s.shedAppends.Value(),
+		HeartbeatsSent:      s.hbSent.Value(),
+		HeartbeatsCoalesced: s.hbCoalesced.Value(),
 	}
 }

@@ -108,6 +108,10 @@ type AppendResponse struct {
 	// Error is the failure, if any: one of the Err* codes below,
 	// optionally with detail after a ": ".
 	Error string
+	// RetryAfterNanos, set with ErrCodeResourceExhausted, is the
+	// server-suggested backoff before the client retries: the push-back
+	// half of admission control. Retrying sooner only feeds the storm.
+	RetryAfterNanos int64
 }
 
 // Error codes carried in AppendResponse.Error and unary errors.
@@ -118,6 +122,11 @@ const (
 	ErrCodeUnknown         = "UNKNOWN_STREAMLET" // server does not host it
 	ErrCodeIO              = "IO_ERROR"          // both replicas failed irrecoverably
 	ErrCodeBadPayload      = "BAD_PAYLOAD"       // CRC/decoding failure
+	// ErrCodeResourceExhausted is the load-shedding push-back: the table
+	// (or the region) is over its ingestion quota and the request was
+	// rejected before any durable write. Always retryable; the response's
+	// RetryAfterNanos carries the suggested wait.
+	ErrCodeResourceExhausted = "RESOURCE_EXHAUSTED"
 )
 
 // FlushRequest writes a flush metadata record advancing a BUFFERED
@@ -289,6 +298,11 @@ type HeartbeatRequest struct {
 	// response to a previous DeleteFragments instruction; the SMS then
 	// removes their Spanner records (§5.4.3).
 	DeletedFragments []meta.FragmentID
+	// TableBytes carries the bytes appended per table since the last
+	// acknowledged heartbeat. The SMS debits these against its byte-rate
+	// quotas, so admission control sees aggregate table throughput at
+	// O(servers) control-plane cost — no per-stream reporting.
+	TableBytes map[meta.TableID]int64
 }
 
 // HeartbeatResponse instructs the Stream Server: current schemas for its
@@ -299,6 +313,11 @@ type HeartbeatResponse struct {
 	Schemas           map[meta.TableID]*schema.Schema
 	DeleteFragments   []meta.FragmentID
 	UnknownStreamlets []meta.StreamletID
+	// ShedTables instructs the server to reject appends to each listed
+	// table with ErrCodeResourceExhausted for the given duration (nanos):
+	// the SMS found the table (or the region) over its byte-rate quota.
+	// Shedding rides the heartbeat, keeping enforcement O(servers).
+	ShedTables map[meta.TableID]int64
 }
 
 // StreamVisibility tells a reader how to filter a stream's rows.

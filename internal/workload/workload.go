@@ -158,6 +158,20 @@ func ZipfStreamSizes(seed int64, n int, totalRows int) []int {
 	return counts
 }
 
+// ZipfAssignments assigns each of n items (streams, writers) to one of
+// buckets targets (tables) under the same zipf skew: a handful of hot
+// tables receive most of the streams — the popularity distribution the
+// massive-fanout overload scenarios assume.
+func ZipfAssignments(seed int64, n, buckets int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1.0, uint64(buckets-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out
+}
+
 var userAgents = []string{
 	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/118.0 Safari/537.36",
 	"Mozilla/5.0 (Macintosh; Intel Mac OS X 13_5) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/16.5 Safari/605.1.15",

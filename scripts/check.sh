@@ -23,10 +23,21 @@ go test -race -shuffle=on ./...
 # with a higher shuffle-independent count so interleavings vary.
 go test -race -count=2 ./internal/readsession/ ./internal/dataflow/
 
+# The overload-protection layer races admission bookkeeping, heartbeat
+# coalescing and Slicer reassignment windows against thousands of
+# writers: run the slicer and sms suites twice more under -race so the
+# token-bucket and double-assignment paths see varied interleavings.
+go test -race -count=2 ./internal/slicer/ ./internal/sms/
+
 # Bench smoke in -short mode: proves the experiment harness still builds
 # and runs end-to-end without paying for full latency-model experiments
 # (those are skipped under -short and run in the main suite above).
 go test -short ./internal/bench/
+
+# Fanout overload smoke: the -short variant of the massive-fanout
+# experiment (128 zipf-skewed streams against squeezed quotas) asserts
+# the no-loss and always-retryable invariants end to end.
+go test -short -count=1 -run 'TestFanoutSmoke' ./internal/bench/
 
 # Fuzz smoke: a short budget per decoder target catches regressions in
 # the hostile-input guards without turning the check into a soak. The

@@ -42,6 +42,7 @@ import (
 	"vortex/internal/query"
 	"vortex/internal/readsession"
 	"vortex/internal/schema"
+	"vortex/internal/sms"
 	"vortex/internal/truetime"
 	"vortex/internal/verify"
 )
@@ -108,6 +109,14 @@ type (
 	ReadSessionOptions = readsession.Options
 	// ReadSessionStats are per-session consumption deltas.
 	ReadSessionStats = readsession.Stats
+	// IngestQuotas configures admission control for the write path:
+	// token-bucket streamlet-creation and bytes/sec budgets, per table
+	// and global (see WithIngestQuotas, DB.SetIngestQuotas).
+	IngestQuotas = sms.Quotas
+	// IngestStats snapshots the region's overload-protection counters
+	// (admission decisions, shed appends, heartbeat coalescing, Slicer
+	// rebalancing) — see DB.IngestStats.
+	IngestStats = core.IngestStats
 )
 
 // Chaos cut-points and crash kinds, re-exported so schedules built with
@@ -137,11 +146,12 @@ const (
 
 // Error codes.
 const (
-	CodeWrongOffset     = client.CodeWrongOffset
-	CodeStreamFinalized = client.CodeStreamFinalized
-	CodeExhausted       = client.CodeExhausted
-	CodeUnavailable     = client.CodeUnavailable
-	CodeInvalid         = client.CodeInvalid
+	CodeWrongOffset       = client.CodeWrongOffset
+	CodeStreamFinalized   = client.CodeStreamFinalized
+	CodeExhausted         = client.CodeExhausted
+	CodeUnavailable       = client.CodeUnavailable
+	CodeInvalid           = client.CodeInvalid
+	CodeResourceExhausted = client.CodeResourceExhausted
 )
 
 // Sentinel errors (errors.Is targets; structured *Error values match).
@@ -150,6 +160,10 @@ var (
 	ErrStreamFinalized = client.ErrStreamFinalized
 	ErrExhausted       = client.ErrExhausted
 	ErrUnavailable     = client.ErrUnavailable
+	// ErrResourceExhausted matches admission-control push-back: the
+	// request was shed before any durable effect and is always safe to
+	// retry after the error's RetryAfter hint.
+	ErrResourceExhausted = client.ErrResourceExhausted
 )
 
 // Append options and resilience constructors re-exported from the
@@ -161,6 +175,11 @@ var (
 	WithDeadline = client.WithDeadline
 	// DefaultRetryPolicy returns the production-like retry policy.
 	DefaultRetryPolicy = client.DefaultRetryPolicy
+	// RetryAfter extracts the server-suggested minimum wait from a
+	// RESOURCE_EXHAUSTED push-back anywhere in err's chain (zero if
+	// none). Callers driving their own retry loops should never retry
+	// a shed request sooner than this.
+	RetryAfter = client.RetryAfter
 	// NewChaosSchedule returns an empty deterministic fault schedule.
 	NewChaosSchedule = chaos.NewSchedule
 )
@@ -204,6 +223,9 @@ type openConfig struct {
 	chaos               *chaos.Schedule
 	retry               *client.RetryPolicy
 	readCacheBytes      int64
+	quotas              *sms.Quotas
+	hbCoalesce          time.Duration
+	hbMaxStreamlets     int
 }
 
 type openOptionFunc func(*openConfig)
@@ -257,6 +279,28 @@ func WithRetryPolicy(p RetryPolicy) OpenOption {
 // default) disables caching.
 func WithReadCache(bytes int64) OpenOption {
 	return openOptionFunc(func(c *openConfig) { c.readCacheBytes = bytes })
+}
+
+// WithIngestQuotas installs admission control on the write path: every
+// SMS task enforces the token-bucket streamlet-creation and bytes/sec
+// budgets, shedding over-quota work with a retryable RESOURCE_EXHAUSTED
+// push-back that carries a server-suggested backoff. The zero value
+// disables admission (the default). Quotas can be changed at runtime
+// with DB.SetIngestQuotas.
+func WithIngestQuotas(q IngestQuotas) OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.quotas = &q })
+}
+
+// WithHeartbeatCoalescing batches Stream Server heartbeats: delta
+// rounds within window of the previous round are skipped whole (their
+// dirty state carries over), and one round reports at most
+// maxStreamlets streamlet deltas (0 = unlimited). Keeps control-plane
+// traffic O(servers) under thousands of concurrent streams.
+func WithHeartbeatCoalescing(window time.Duration, maxStreamlets int) OpenOption {
+	return openOptionFunc(func(c *openConfig) {
+		c.hbCoalesce = window
+		c.hbMaxStreamlets = maxStreamlets
+	})
 }
 
 // Config tunes an embedded region. It implements OpenOption, so
@@ -331,6 +375,11 @@ func Open(opts ...OpenOption) *DB {
 		rc.Latency = latencymodel.ProductionLike()
 	}
 	rc.Chaos = oc.chaos
+	if oc.quotas != nil {
+		rc.Quotas = *oc.quotas
+	}
+	rc.HeartbeatCoalesce = oc.hbCoalesce
+	rc.HeartbeatMaxStreamlets = oc.hbMaxStreamlets
 	region := core.NewRegion(rc)
 	copts := client.DefaultOptions()
 	copts.Seed = oc.seed
@@ -371,6 +420,16 @@ func (db *DB) Chaos() *ChaosSchedule { return db.Region.Chaos() }
 // ClientMetrics snapshots the client's resilience counters (retries,
 // rotations, hedges, append latency).
 func (db *DB) ClientMetrics() ClientMetrics { return db.c.Metrics() }
+
+// IngestStats snapshots the region's overload-protection counters:
+// admission decisions, shed appends, heartbeat coalescing and Slicer
+// rebalancing activity.
+func (db *DB) IngestStats() IngestStats { return db.Region.IngestStats() }
+
+// SetIngestQuotas replaces the admission-control quotas on every SMS
+// task at runtime — raising them is how an operator recovers from an
+// overload once the backlog drains. The zero value disables admission.
+func (db *DB) SetIngestQuotas(q IngestQuotas) { db.Region.SetQuotas(q) }
 
 // ReadCacheStats snapshots the read cache's counters. All zero when the
 // DB was opened without WithReadCache.
