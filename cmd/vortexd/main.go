@@ -184,8 +184,8 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func renderRows(res *vortex.Result) [][]string {
-	out := make([][]string, len(res.Rows))
-	for i, r := range res.Rows {
+	out := make([][]string, len(res.Rows()))
+	for i, r := range res.Rows() {
 		row := make([]string, len(r))
 		for j, v := range r {
 			row[j] = v.String()

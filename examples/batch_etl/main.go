@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("before BatchCommit: COUNT(*) = %s (PENDING rows are invisible)\n", res.Rows[0][0])
+	fmt.Printf("before BatchCommit: COUNT(*) = %s (PENDING rows are invisible)\n", res.Rows()[0][0])
 
 	commitTS, err := db.BatchCommit(ctx, table, ids)
 	if err != nil {
@@ -72,14 +72,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after  BatchCommit: COUNT(*) = %s (all %d workers' rows atomically visible)\n",
-		res.Rows[0][0], workers)
+		res.Rows()[0][0], workers)
 
 	// Time travel to just before the commit still sees nothing.
 	old, err := db.QueryAt(ctx, "SELECT COUNT(*) FROM etl.sales", commitTS-1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("snapshot(commit-1ns): COUNT(*) = %s (atomicity in time)\n\n", old.Rows[0][0])
+	fmt.Printf("snapshot(commit-1ns): COUNT(*) = %s (atomicity in time)\n\n", old.Rows()[0][0])
 
 	// ---- Part 2: exactly-once streaming sink (§7.4) ----
 	gen := workload.NewGen(99, 300)
@@ -102,7 +102,7 @@ func main() {
 		log.Fatal(err)
 	}
 	want := int64(workers*rowsPerWorker + len(streamRows))
-	got := res.Rows[0][0].AsInt64()
+	got := res.Rows()[0][0].AsInt64()
 	fmt.Printf("final COUNT(*) = %d (expected %d) — exactly-once end to end: %v\n\n", got, want, got == want)
 	if got != want {
 		log.Fatal("exactly-once violated")
@@ -147,7 +147,7 @@ func main() {
 					continue
 				}
 				mu.Lock()
-				total += int64(len(b.Rows))
+				total += int64(b.NumRows())
 				mu.Unlock()
 				sh.Commit()
 			}

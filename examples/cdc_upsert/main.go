@@ -67,11 +67,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("order book after replaying the change stream:")
-	for _, r := range res.Rows {
+	for _, r := range res.Rows() {
 		fmt.Printf("  %-6s %-9s %s\n", r[0].AsString(), r[1].AsString(), r[2])
 	}
-	if len(res.Rows) != 2 {
-		log.Fatalf("expected 2 live orders, got %d (PK uniqueness by construction broken)", len(res.Rows))
+	if len(res.Rows()) != 2 {
+		log.Fatalf("expected 2 live orders, got %d (PK uniqueness by construction broken)", len(res.Rows()))
 	}
 
 	// The optimizer compacts superseded versions physically (§6.1) while
@@ -90,5 +90,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("COUNT(*) after compaction: %s (unchanged)\n", res.Rows[0][0])
+	fmt.Printf("COUNT(*) after compaction: %s (unchanged)\n", res.Rows()[0][0])
 }

@@ -72,7 +72,7 @@ func main() {
 		}
 		var total int64
 		line := ""
-		for _, r := range res.Rows {
+		for _, r := range res.Rows() {
 			line += fmt.Sprintf("  %s=%d", r[0].AsString(), r[1].AsInt64())
 			total += r[1].AsInt64()
 		}
@@ -84,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nfinal count: %s (expected %d)\n", res.Rows[0][0], producers*eventsPerProducer)
+	fmt.Printf("\nfinal count: %s (expected %d)\n", res.Rows()[0][0], producers*eventsPerProducer)
 
 	res, err = db.Query(ctx, `
 		SELECT deviceId, COUNT(*) AS n
@@ -95,7 +95,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("top purchasing devices:")
-	for _, r := range res.Rows {
+	for _, r := range res.Rows() {
 		fmt.Printf("  %-14s %d purchases\n", r[0].AsString(), r[1].AsInt64())
 	}
 	st, err := db.ClusteringRatio(ctx, table)

@@ -60,9 +60,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("query returned %d groups in %s (freshness: read-after-write)\n\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("query returned %d groups in %s (freshness: read-after-write)\n\n", len(res.Rows()), time.Since(start).Round(time.Microsecond))
 	fmt.Printf("%-12s %4s %12s\n", "device", "n", "avg_reading")
-	for _, r := range res.Rows {
+	for _, r := range res.Rows() {
 		fmt.Printf("%-12s %4d %12.2f\n", r[0].AsString(), r[1].AsInt64(), r[2].AsFloat64())
 	}
 
@@ -84,5 +84,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("post-conversion COUNT(*) = %s (exactly-once across the handoff)\n", res2.Rows[0][0])
+	fmt.Printf("post-conversion COUNT(*) = %s (exactly-once across the handoff)\n", res2.Rows()[0][0])
 }

@@ -88,7 +88,7 @@ func TestWOSvsROSSmoke(t *testing.T) {
 	if len(scans) != 2 || scans[0].Rows != scans[1].Rows {
 		t.Fatalf("scan rows diverge across layouts: %+v", scans)
 	}
-	if len(res.Rows) == 0 {
+	if len(res.Rows()) == 0 {
 		t.Fatal("query returned nothing")
 	}
 }

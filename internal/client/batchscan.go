@@ -1,0 +1,162 @@
+package client
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"vortex/internal/meta"
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+	"vortex/internal/wire"
+)
+
+// ColBatch is one assignment's scan result in batch form — the native
+// currency of the vectorized read path. ROS fragments with flat
+// projected columns come back columnar: encoded vectors handed
+// zero-copy from the read cache, with the deletion mask folded into a
+// selection vector. Everything else (WOS files, nested schemas) comes
+// back in row form; the two forms flow through the same pipeline and
+// the consumer picks per batch. Columnar contents are shared with the
+// cache and are read-only.
+type ColBatch struct {
+	// FragID identifies the source fragment.
+	FragID meta.FragmentID
+	// NumRows is the physical row count of the fragment (columnar form).
+	NumRows int
+	// Cols are the projected columns as encoded vectors; ColIdx maps
+	// each to its top-level field index in the scan schema.
+	Cols   []wire.Vector
+	ColIdx []int
+	// Seqs and Changes are the per-physical-row storage sequences and
+	// change types (columnar form; shared with the cached reader).
+	Seqs    []int64
+	Changes []byte
+	// Sel selects the visible physical rows after the deletion mask;
+	// nil selects all.
+	Sel wire.Selection
+	// Arity is the full schema arity rows materialize to.
+	Arity int
+
+	// Rows is the row-form fallback; when set the columnar fields are
+	// empty and the rows are already visibility-filtered.
+	Rows []PosRow
+
+	columnar bool
+}
+
+// Columnar reports whether the batch carries encoded vectors (true)
+// or pre-assembled rows (false).
+func (b *ColBatch) Columnar() bool { return b.columnar }
+
+// NumVisible returns the number of mask-visible rows.
+func (b *ColBatch) NumVisible() int {
+	if !b.columnar {
+		return len(b.Rows)
+	}
+	if b.Sel == nil {
+		return b.NumRows
+	}
+	return len(b.Sel)
+}
+
+// PosRows materializes the batch's visible rows with provenance,
+// matching ScanDetailed's output for the same assignment. Row form
+// returns the existing slice; columnar form decodes every visible row
+// (callers wanting late materialization should consume the vectors
+// directly).
+func (b *ColBatch) PosRows() []PosRow {
+	if !b.columnar {
+		return b.Rows
+	}
+	out := make([]PosRow, 0, b.NumVisible())
+	emit := func(i int32) {
+		vals := make([]schema.Value, b.Arity)
+		for k := range vals {
+			vals[k] = schema.Null()
+		}
+		for k, v := range b.Cols {
+			vals[b.ColIdx[k]] = v.ValueAt(int(i))
+		}
+		out = append(out, PosRow{
+			Stamped: rowenc.Stamped{
+				Row: schema.Row{Values: vals, Change: schema.ChangeType(b.Changes[i])},
+				Seq: b.Seqs[i],
+			},
+			FragID:       b.FragID,
+			FragLocal:    int64(i),
+			StreamOffset: -1,
+		})
+	}
+	if b.Sel == nil {
+		for i := 0; i < b.NumRows; i++ {
+			emit(int32(i))
+		}
+	} else {
+		for _, i := range b.Sel {
+			emit(i)
+		}
+	}
+	return out
+}
+
+// ScanBatch reads one assignment in batch form. Immutable ROS
+// fragments whose projected columns are all flat return the cached
+// reader's encoded vectors without materializing a single row; WOS
+// files and nested schemas fall back to ScanDetailed rows inside the
+// same ColBatch envelope.
+func (c *Client) ScanBatch(ctx context.Context, plan *ScanPlan, a Assignment) (*ColBatch, error) {
+	if a.Frag.Format == meta.ROS && !a.Live {
+		start := time.Now()
+		rd, err := c.rosReader(a)
+		if err != nil {
+			return nil, err
+		}
+		vecs, idxs, ok, err := rd.Vectors(plan.Schema, plan.Projection)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			b := &ColBatch{
+				FragID:   a.Frag.ID,
+				NumRows:  int(rd.RowCount()),
+				Cols:     vecs,
+				ColIdx:   idxs,
+				Seqs:     rd.Seqs(),
+				Changes:  rd.Changes(),
+				Arity:    len(plan.Schema.Fields),
+				columnar: true,
+			}
+			if !a.Mask.Empty() {
+				sel := make(wire.Selection, 0, b.NumRows)
+				for i := 0; i < b.NumRows; i++ {
+					if !a.Mask.Deleted(int64(i)) {
+						sel = append(sel, int32(i))
+					}
+				}
+				b.Sel = sel
+			}
+			c.scanLatency.Record(time.Since(start))
+			return b, nil
+		}
+	}
+	rows, err := c.ScanDetailed(ctx, plan, a)
+	if err != nil {
+		return nil, err
+	}
+	return &ColBatch{FragID: a.Frag.ID, Rows: rows}, nil
+}
+
+// projectionKey renders a canonical memo key for a projection set.
+func projectionKey(projection map[string]bool) string {
+	if projection == nil {
+		return "*"
+	}
+	cols := make([]string, 0, len(projection))
+	for c := range projection {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return strings.Join(cols, ",")
+}

@@ -1,0 +1,113 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"vortex/internal/meta"
+	"vortex/internal/optimizer"
+)
+
+// TestScanMemoReturnsSharedSlice: with no deletion mask, repeated scans
+// of the same sealed fragment must return the memoized slice itself —
+// the fix for re-materializing rows on every scan.
+func TestScanMemoReturnsSharedSlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache e2e")
+	}
+	r, c, ctx := cacheEnv(t)
+	ingestRound(t, ctx, c, 0, 40)
+	r.HeartbeatAll(ctx, false)
+
+	check := func(format meta.Format) {
+		plan, err := c.Plan(ctx, "d.cache", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range plan.Assignments {
+			if a.Frag.Format != format || a.Live {
+				continue
+			}
+			first, err := c.ScanDetailed(ctx, plan, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := c.ScanDetailed(ctx, plan, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(first) == 0 || len(first) != len(second) {
+				t.Fatalf("%v scan returned %d then %d rows", format, len(first), len(second))
+			}
+			if &first[0] != &second[0] {
+				t.Fatalf("%v repeat scan re-materialized rows instead of returning the memo", format)
+			}
+		}
+	}
+	check(meta.WOS)
+
+	time.Sleep(12 * time.Millisecond)
+	opt := optimizer.New(optimizer.DefaultConfig(), c, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, "d.cache"); err != nil {
+		t.Fatal(err)
+	}
+	check(meta.ROS)
+}
+
+// TestScanBatchParity: the columnar scan must agree row-for-row with
+// ScanDetailed on the same assignment.
+func TestScanBatchParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache e2e")
+	}
+	r, c, ctx := cacheEnv(t)
+	ingestRound(t, ctx, c, 0, 50)
+	r.HeartbeatAll(ctx, false)
+	time.Sleep(12 * time.Millisecond)
+	opt := optimizer.New(optimizer.DefaultConfig(), c, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, "d.cache"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Plan(ctx, "d.cache", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawColumnar := false
+	for _, a := range plan.Assignments {
+		b, err := c.ScanBatch(ctx, plan, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.ScanDetailed(ctx, plan, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Frag.Format == meta.ROS && !a.Live {
+			if !b.Columnar() {
+				t.Fatal("flat ROS assignment did not scan columnar")
+			}
+			sawColumnar = true
+		}
+		got := b.PosRows()
+		if len(got) != len(want) || b.NumVisible() != len(want) {
+			t.Fatalf("batch has %d rows (visible %d), ScanDetailed %d", len(got), b.NumVisible(), len(want))
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if g.Stamped.Seq != w.Stamped.Seq || g.FragLocal != w.FragLocal || g.FragID != w.FragID {
+				t.Fatalf("row %d provenance: got %+v want %+v", i, g, w)
+			}
+			if len(g.Stamped.Row.Values) != len(w.Stamped.Row.Values) {
+				t.Fatalf("row %d arity: %d vs %d", i, len(g.Stamped.Row.Values), len(w.Stamped.Row.Values))
+			}
+			for k := range w.Stamped.Row.Values {
+				if g.Stamped.Row.Values[k].String() != w.Stamped.Row.Values[k].String() {
+					t.Fatalf("row %d col %d: %v vs %v", i, k, g.Stamped.Row.Values[k], w.Stamped.Row.Values[k])
+				}
+			}
+		}
+	}
+	if !sawColumnar {
+		t.Fatal("conversion produced no columnar assignments")
+	}
+}

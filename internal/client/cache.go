@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"vortex/internal/meta"
 	"vortex/internal/ros"
 	"vortex/internal/schema"
 	"vortex/internal/truetime"
@@ -58,6 +59,29 @@ type wosBlock struct {
 	Rows      []schema.Row
 }
 
+// rosRowMemo is a fully assembled, unmasked PosRow view of a ROS
+// fragment under one (schema arity, projection) key. Scans with an
+// empty deletion mask return the slice unmodified, so consumers must
+// treat it as read-only like every other cached object.
+type rosRowMemo struct {
+	fragID meta.FragmentID
+	rows   []PosRow
+}
+
+// wosRowMemo is the fully visible PosRow view of a sealed WOS fragment:
+// valid only for scans whose snapshot covers maxSeq and whose
+// assignment applies no mask or visibility restriction.
+type wosRowMemo struct {
+	fragID         meta.FragmentID
+	streamletStart int64
+	maxSeq         int64
+	rows           []PosRow
+}
+
+// maxRowMemos bounds how many projection variants one ROS entry
+// memoizes before recycling.
+const maxRowMemos = 4
+
 // cacheEntry is one fragment's decoded contents. Exactly one of ros/wos
 // is set. Cached data is shared across scans and must be treated as
 // read-only by every consumer.
@@ -65,10 +89,12 @@ type cacheEntry struct {
 	path string
 	size int64 // raw file bytes this entry saves per hit
 
-	ros *ros.Reader
+	ros     *ros.Reader
+	rosRows map[string]rosRowMemo // projection key → assembled rows
 
 	wos            []wosBlock
 	committedBytes int64 // sealed boundary the wos blocks were decoded under
+	wosRows        *wosRowMemo
 }
 
 // NewReadCache returns a cache bounded to maxBytes of raw fragment
@@ -181,6 +207,108 @@ func (c *ReadCache) putWOS(path string, committedBytes int64, blocks []wosBlock,
 		return
 	}
 	c.put(&cacheEntry{path: path, size: size, wos: blocks, committedBytes: committedBytes})
+}
+
+// getROSRows returns the memoized row assembly for a projection of a
+// cached ROS fragment. A memo hit counts as a cache hit (it saves the
+// same raw bytes a reader hit would, plus the assembly); a memo miss
+// counts nothing — the follow-up getROS/getWOS lookup does the
+// accounting, so one scan never double-counts.
+func (c *ReadCache) getROSRows(path, projKey string, fragID meta.FragmentID) ([]PosRow, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	m, ok := e.rosRows[projKey]
+	if !ok || m.fragID != fragID {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.bytesSaved += e.size
+	return m.rows, true
+}
+
+// putROSRows memoizes an assembled projection of a cached ROS fragment.
+// The memo only attaches to an existing entry: if the reader itself was
+// never cached (or was evicted), there is nothing to hang it on.
+func (c *ReadCache) putROSRows(path, projKey string, fragID meta.FragmentID, rows []PosRow) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ros == nil {
+		return
+	}
+	if e.rosRows == nil {
+		e.rosRows = make(map[string]rosRowMemo, maxRowMemos)
+	}
+	if len(e.rosRows) >= maxRowMemos {
+		for k := range e.rosRows {
+			delete(e.rosRows, k)
+			break
+		}
+	}
+	e.rosRows[projKey] = rosRowMemo{fragID: fragID, rows: rows}
+}
+
+// getWOSRows returns the memoized full-visibility rows of a sealed WOS
+// fragment, provided the memo matches the assignment's identity and the
+// snapshot covers its newest row. Hit accounting mirrors getROSRows: a
+// memo hit counts, a miss defers to the getWOS lookup that follows.
+func (c *ReadCache) getWOSRows(path string, committedBytes int64, fragID meta.FragmentID, streamletStart int64, snapshotTS truetime.Timestamp) ([]PosRow, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ros != nil || e.committedBytes != committedBytes || e.wosRows == nil {
+		return nil, false
+	}
+	m := e.wosRows
+	if m.fragID != fragID || m.streamletStart != streamletStart || truetime.Timestamp(m.maxSeq) > snapshotTS {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.bytesSaved += e.size
+	return m.rows, true
+}
+
+// putWOSRows memoizes the full-visibility row assembly of a sealed WOS
+// fragment onto its existing cache entry.
+func (c *ReadCache) putWOSRows(path string, committedBytes int64, m *wosRowMemo) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ros != nil || e.committedBytes != committedBytes {
+		return
+	}
+	e.wosRows = m
 }
 
 func (c *ReadCache) put(e *cacheEntry) {

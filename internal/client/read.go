@@ -310,32 +310,56 @@ func (c *Client) ScanDetailed(ctx context.Context, plan *ScanPlan, a Assignment)
 	return rows, err
 }
 
-// scanROS scans a ROS fragment. ROS files are immutable once written, so
-// the decoded reader is cached by path; projection and snapshot filters
-// are re-applied per scan, which keeps one entry correct for every query.
-func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
-	rd := c.cache.getROS(a.Frag.Path)
-	if rd == nil {
-		data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
-		if err != nil {
-			return nil, err
-		}
-		rd, err = ros.Open(data)
-		if err != nil {
-			return nil, err
-		}
-		c.cache.putROS(a.Frag.Path, rd, int64(len(data)))
+// rosReader returns the (cached) decoded reader for a ROS fragment,
+// fetching and opening the file on a miss.
+func (c *Client) rosReader(a Assignment) (*ros.Reader, error) {
+	if rd := c.cache.getROS(a.Frag.Path); rd != nil {
+		return rd, nil
 	}
-	rows, err := rd.RowsProjected(plan.Schema, plan.Projection)
+	data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
 	if err != nil {
 		return nil, err
 	}
+	rd, err := ros.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.putROS(a.Frag.Path, rd, int64(len(data)))
+	return rd, nil
+}
+
+// scanROS scans a ROS fragment. ROS files are immutable once written, so
+// the decoded reader is cached by path and the assembled rows of each
+// projection are memoized on the entry. A scan with an empty deletion
+// mask returns the memoized slice unmodified — no per-scan
+// re-materialization; masked scans filter-copy it.
+func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	projKey := fmt.Sprintf("%d|%s", len(plan.Schema.Fields), projectionKey(plan.Projection))
+	rows, ok := c.cache.getROSRows(a.Frag.Path, projKey, a.Frag.ID)
+	if !ok {
+		rd, err := c.rosReader(a)
+		if err != nil {
+			return nil, err
+		}
+		stamped, err := rd.RowsProjected(plan.Schema, plan.Projection)
+		if err != nil {
+			return nil, err
+		}
+		rows = make([]PosRow, len(stamped))
+		for i, r := range stamped {
+			rows[i] = PosRow{Stamped: r, FragID: a.Frag.ID, FragLocal: int64(i), StreamOffset: -1}
+		}
+		c.cache.putROSRows(a.Frag.Path, projKey, a.Frag.ID, rows)
+	}
+	if a.Mask.Empty() {
+		return rows, nil
+	}
 	out := make([]PosRow, 0, len(rows))
-	for i, r := range rows {
-		if !a.Mask.Empty() && a.Mask.Deleted(int64(i)) {
+	for i := range rows {
+		if a.Mask.Deleted(rows[i].FragLocal) {
 			continue
 		}
-		out = append(out, PosRow{Stamped: r, FragID: a.Frag.ID, FragLocal: int64(i), StreamOffset: -1})
+		out = append(out, rows[i])
 	}
 	return out, nil
 }
@@ -348,8 +372,18 @@ func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
 // live tail files always bypass the cache.
 func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
 	if !a.Live {
+		if wosFastEligible(a) {
+			// Fast path: when the snapshot covers every row and the
+			// assignment restricts nothing, the memoized assembly is exact.
+			if rows, ok := c.cache.getWOSRows(a.Frag.Path, a.Frag.CommittedBytes,
+				a.Frag.ID, a.streamletStart(), plan.SnapshotTS); ok {
+				return rows, nil
+			}
+		}
 		if cached, ok := c.cache.getWOS(a.Frag.Path, a.Frag.CommittedBytes); ok {
-			return c.assembleWOS(plan, a, a.Frag.StartRow, a.Frag.ID, cached), nil
+			rows := c.assembleWOS(plan, a, a.Frag.StartRow, a.Frag.ID, cached)
+			c.maybeMemoWOS(plan, a, rows, cached)
+			return rows, nil
 		}
 	}
 	order := c.replicaOrder(a.Frag.Clusters)
@@ -425,10 +459,57 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 		}
 		decoded = append(decoded, wosBlock{Timestamp: b.Timestamp, StartRow: b.StartRow, Rows: rows})
 	}
+	rows := c.assembleWOS(plan, a, fragStartRow, fragID, decoded)
 	if !a.Live {
 		c.cache.putWOS(a.Frag.Path, a.Frag.CommittedBytes, decoded, int64(len(data)))
+		c.maybeMemoWOS(plan, a, rows, decoded)
 	}
-	return c.assembleWOS(plan, a, fragStartRow, fragID, decoded), nil
+	return rows, nil
+}
+
+// wosFastEligible reports whether an assignment applies no row filter
+// beyond the snapshot bound: only then can the memoized full-visibility
+// assembly be reused verbatim. Buffered streams are excluded because
+// their flush frontier moves between snapshots.
+func wosFastEligible(a Assignment) bool {
+	if a.Live || !a.Mask.Empty() || a.TailMask != nil {
+		return false
+	}
+	switch a.Vis.Type {
+	case meta.Buffered:
+		return false
+	case meta.Pending:
+		return a.Vis.Committed
+	}
+	return true
+}
+
+// maybeMemoWOS memoizes a sealed fragment's assembled rows when the
+// scan that produced them was unrestricted AND its snapshot covered
+// every decoded row — i.e. the slice is the fragment's complete view.
+func (c *Client) maybeMemoWOS(plan *ScanPlan, a Assignment, rows []PosRow, blocks []wosBlock) {
+	if !wosFastEligible(a) || len(rows) == 0 {
+		return
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b.Rows)
+	}
+	if len(rows) != total {
+		return // the snapshot truncated the view
+	}
+	maxSeq := rows[0].Stamped.Seq
+	for i := range rows {
+		if rows[i].Stamped.Seq > maxSeq {
+			maxSeq = rows[i].Stamped.Seq
+		}
+	}
+	c.cache.putWOSRows(a.Frag.Path, a.Frag.CommittedBytes, &wosRowMemo{
+		fragID:         a.Frag.ID,
+		streamletStart: a.streamletStart(),
+		maxSeq:         maxSeq,
+		rows:           rows,
+	})
 }
 
 // assembleWOS applies the §7.1 snapshot bound, visibility rules and

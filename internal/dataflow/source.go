@@ -178,7 +178,7 @@ func ReadTableRows(ctx context.Context, c *client.Client, table meta.TableID, op
 					deliveries := 1 + opts.DuplicateDeliveries
 					var accepted error
 					for d := 0; d < deliveries; d++ {
-						err := state.commit(sh.ID(), b.Offset, b.Rows)
+						err := state.commit(sh.ID(), b.Offset, b.Rows())
 						if d == 0 {
 							accepted = err
 						}

@@ -133,23 +133,59 @@ type groupState struct {
 	aggs []*aggState
 }
 
-// aggregate runs two-stage grouped aggregation over the filtered rows.
-func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.Row, res *Result) (*Result, error) {
-	for _, it := range st.Items {
-		res.Columns = append(res.Columns, itemName(it))
-	}
-	// Identify aggregate items and their argument expressions.
-	type aggItem struct {
-		idx int
-		fn  sql.AggFunc
-		arg sql.Expr // nil for COUNT(*)
-	}
-	var aggItems []aggItem
+// aggItem is one aggregate select item with its argument expression.
+type aggItem struct {
+	idx int
+	fn  sql.AggFunc
+	arg sql.Expr // nil for COUNT(*)
+}
+
+func collectAggItems(st *sql.SelectStmt) []aggItem {
+	var items []aggItem
 	for i, it := range st.Items {
 		if ag, ok := it.Expr.(*sql.Aggregate); ok {
-			aggItems = append(aggItems, aggItem{idx: i, fn: ag.Func, arg: ag.Arg})
+			items = append(items, aggItem{idx: i, fn: ag.Func, arg: ag.Arg})
 		}
 	}
+	return items
+}
+
+// accumRow folds one row into a partial group map — the leaf half of
+// the two-stage DAG, shared by the row-sharded and batch-sharded
+// partial builders. The row may be a reused scratch buffer: every
+// value read out of it is copied by value.
+func accumRow(st *sql.SelectStmt, items []aggItem, groups map[string]*groupState, row schema.Row) error {
+	key, keyVals, err := groupKeyOf(st, row)
+	if err != nil {
+		return err
+	}
+	g := groups[key]
+	if g == nil {
+		g = &groupState{keys: keyVals}
+		for _, ai := range items {
+			g.aggs = append(g.aggs, newAggState(ai.fn))
+		}
+		groups[key] = g
+	}
+	for j, ai := range items {
+		var v schema.Value
+		if ai.arg != nil {
+			var err error
+			v, err = sql.Eval(ai.arg, row)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.aggs[j].add(v, ai.arg == nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggregate runs two-stage grouped aggregation over the filtered rows.
+func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.Row, res *Result) (*Result, error) {
+	aggItems := collectAggItems(st)
 
 	// Partial stage: shard the rows, build per-shard group maps.
 	shards := e.cfg.Shards
@@ -177,33 +213,9 @@ func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.
 			defer wg.Done()
 			groups := make(map[string]*groupState)
 			for _, row := range rows[lo:hi] {
-				key, keyVals, err := groupKeyOf(st, row)
-				if err != nil {
+				if err := accumRow(st, aggItems, groups, row); err != nil {
 					errs[sh] = err
 					return
-				}
-				g := groups[key]
-				if g == nil {
-					g = &groupState{keys: keyVals}
-					for _, ai := range aggItems {
-						g.aggs = append(g.aggs, newAggState(ai.fn))
-					}
-					groups[key] = g
-				}
-				for j, ai := range aggItems {
-					var v schema.Value
-					if ai.arg != nil {
-						var err error
-						v, err = sql.Eval(ai.arg, row)
-						if err != nil {
-							errs[sh] = err
-							return
-						}
-					}
-					if err := g.aggs[j].add(v, ai.arg == nil); err != nil {
-						errs[sh] = err
-						return
-					}
 				}
 			}
 			partials[sh] = groups
@@ -216,7 +228,15 @@ func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.
 			return nil, err
 		}
 	}
+	return finalizeAgg(st, aggItems, partials, res)
+}
 
+// finalizeAgg merges partial group maps and renders the output rows —
+// the final stage of the DAG, shared by both leaf shapes.
+func finalizeAgg(st *sql.SelectStmt, aggItems []aggItem, partials []map[string]*groupState, res *Result) (*Result, error) {
+	for _, it := range st.Items {
+		res.Columns = append(res.Columns, itemName(it))
+	}
 	// Final stage: merge partials.
 	final := make(map[string]*groupState)
 	var order []string
@@ -261,7 +281,7 @@ func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.
 			ref := it.Expr.(*sql.ColumnRef)
 			out[i] = g.keys[groupIdx[ref.Name()]]
 		}
-		res.Rows = append(res.Rows, out)
+		res.rows = append(res.rows, out)
 	}
 	// ORDER BY over output columns: group keys by name, any item by alias.
 	if len(st.OrderBy) > 0 {
@@ -274,13 +294,13 @@ func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.
 				colPos[it.Alias] = i
 			}
 		}
-		sort.SliceStable(res.Rows, func(i, j int) bool {
+		sort.SliceStable(res.rows, func(i, j int) bool {
 			for _, o := range st.OrderBy {
 				pos, ok := colPos[o.Column.Name()]
 				if !ok {
 					continue
 				}
-				c := compareForOrder(res.Rows[i][pos], res.Rows[j][pos])
+				c := compareForOrder(res.rows[i][pos], res.rows[j][pos])
 				if c != 0 {
 					if o.Desc {
 						return c > 0
@@ -291,8 +311,8 @@ func (e *Engine) aggregate(st *sql.SelectStmt, sc *schema.Schema, rows []schema.
 			return false
 		})
 	}
-	if st.Limit >= 0 && int64(len(res.Rows)) > st.Limit {
-		res.Rows = res.Rows[:st.Limit]
+	if st.Limit >= 0 && int64(len(res.rows)) > st.Limit {
+		res.rows = res.rows[:st.Limit]
 	}
 	return res, nil
 }

@@ -185,6 +185,6 @@ func (e *Engine) execMutation(ctx context.Context, table meta.TableID, where sql
 		return nil, err
 	}
 	res.Stats.RowsAffected = affected
-	res.Rows = [][]schema.Value{{schema.Int64(affected)}}
+	res.rows = [][]schema.Value{{schema.Int64(affected)}}
 	return res, nil
 }

@@ -25,6 +25,7 @@ import (
 	"vortex/internal/schema"
 	"vortex/internal/sql"
 	"vortex/internal/truetime"
+	"vortex/internal/wire"
 )
 
 // Config tunes the engine.
@@ -34,6 +35,10 @@ type Config struct {
 	// MaxMaskRanges triggers mask coalescing with reinserted rows when a
 	// fragment's deletion mask would exceed this many ranges (§7.3).
 	MaxMaskRanges int
+	// DisableVectorized forces the row-at-a-time leaf path. The parity
+	// tests use it to prove the two paths agree; it is also the escape
+	// hatch if a vectorized plan misbehaves.
+	DisableVectorized bool
 }
 
 // Engine executes queries against one region.
@@ -69,13 +74,92 @@ type ExecStats struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheBytesSaved int64
+	// RowsCodeSkipped counts rows the vectorized leaf eliminated in
+	// encoded space — a predicate decided once per dictionary entry or
+	// RLE run killed them without ever materializing a value.
+	// RowsDecoded counts rows that were actually materialized (per-row
+	// evaluated or gathered into output). On the row-at-a-time path
+	// every scanned row is decoded, so RowsDecoded == RowsScanned.
+	RowsCodeSkipped int64
+	RowsDecoded     int64
 }
 
-// Result is a query result set.
+// Result is a query result set. Batches is the native columnar form;
+// Rows and Next are row adapters over the same data, materialized
+// lazily. Results are not safe for concurrent use, and returned
+// values/batches are read-only views (they may share memory with the
+// read cache).
 type Result struct {
 	Columns []string
-	Rows    [][]schema.Value
 	Stats   ExecStats
+
+	batches []*wire.RecordBatch
+	rows    [][]schema.Value
+	cursor  int
+}
+
+// Batches returns the result as columnar record batches. A result
+// produced row-wise (aggregates, ORDER BY, DML) is wrapped into a
+// single batch on first call.
+func (r *Result) Batches() []*wire.RecordBatch {
+	if r.batches == nil && len(r.rows) > 0 {
+		cols := make([]wire.BatchColumn, len(r.Columns))
+		for j, name := range r.Columns {
+			vals := make([]schema.Value, len(r.rows))
+			for i, row := range r.rows {
+				if j < len(row) {
+					vals[i] = row[j]
+				} else {
+					vals[i] = schema.Null()
+				}
+			}
+			cols[j] = wire.BatchColumn{Name: name, Values: vals}
+		}
+		r.batches = []*wire.RecordBatch{{NumRows: len(r.rows), Cols: cols}}
+	}
+	return r.batches
+}
+
+// Rows returns the result as rows, flattening the columnar form on
+// first call.
+func (r *Result) Rows() [][]schema.Value {
+	if r.rows == nil && len(r.batches) > 0 {
+		r.rows = make([][]schema.Value, 0, r.NumRows())
+		for _, b := range r.batches {
+			for i := 0; i < b.NumRows; i++ {
+				row := make([]schema.Value, len(b.Cols))
+				for j := range b.Cols {
+					row[j] = b.Cols[j].Values[i]
+				}
+				r.rows = append(r.rows, row)
+			}
+		}
+	}
+	return r.rows
+}
+
+// NumRows returns the result's row count without materializing rows.
+func (r *Result) NumRows() int {
+	if r.rows != nil {
+		return len(r.rows)
+	}
+	n := 0
+	for _, b := range r.batches {
+		n += b.NumRows
+	}
+	return n
+}
+
+// Next returns the next row of the result, advancing an internal
+// cursor; ok is false once the result is exhausted.
+func (r *Result) Next() ([]schema.Value, bool) {
+	rows := r.Rows()
+	if r.cursor >= len(rows) {
+		return nil, false
+	}
+	row := rows[r.cursor]
+	r.cursor++
+	return row, true
 }
 
 // Query parses and executes one SQL statement at the current snapshot.
@@ -148,7 +232,56 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 		rows = append(rows, results[i]...)
 	}
 	stats.RowsScanned = int64(len(rows))
+	stats.RowsDecoded += int64(len(rows))
 	return plan, rows, nil
+}
+
+// scanTableBatches is scanTable's vectorized twin: the leaf stage
+// returns per-assignment ColBatches instead of concatenated rows, so
+// flat ROS fragments stay in their encoded columnar form all the way
+// to the predicate. Batch order follows assignment order — the same
+// order scanTable concatenates in.
+func (e *Engine) scanTableBatches(ctx context.Context, table meta.TableID, ts truetime.Timestamp, where sql.Expr, projection map[string]bool, stats *ExecStats) (*client.ScanPlan, []*client.ColBatch, error) {
+	plan, err := e.c.Plan(ctx, table, ts)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.Projection = projection
+	stats.SnapshotTS = plan.SnapshotTS
+	assignments := plan.Assignments
+	stats.AssignmentsTotal = len(assignments)
+	if where != nil && len(plan.Schema.PrimaryKey) == 0 {
+		var pruned int
+		assignments, pruned = PruneAssignments(e.index, table, plan.Schema, sql.ExtractPredicates(where), assignments)
+		stats.AssignmentsPruned += pruned
+	}
+
+	cacheBefore := e.c.ReadCache().Stats()
+	batches := make([]*client.ColBatch, len(assignments))
+	errs := make([]error, len(assignments))
+	sem := make(chan struct{}, e.cfg.Shards)
+	var wg sync.WaitGroup
+	for i, a := range assignments {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, a client.Assignment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			batches[i], errs[i] = e.c.ScanBatch(ctx, plan, a)
+		}(i, a)
+	}
+	wg.Wait()
+	cacheAfter := e.c.ReadCache().Stats()
+	stats.CacheHits = cacheAfter.Hits - cacheBefore.Hits
+	stats.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
+	stats.CacheBytesSaved = cacheAfter.BytesSaved - cacheBefore.BytesSaved
+	for i := range batches {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		stats.RowsScanned += int64(batches[i].NumVisible())
+	}
+	return plan, batches, nil
 }
 
 // PruneAssignments applies Big Metadata partition elimination (§7.2) to
@@ -263,6 +396,11 @@ func (e *Engine) execSelect(ctx context.Context, st *sql.SelectStmt, ts truetime
 	}
 	res := &Result{}
 	proj := projectionOf(st, sc)
+	// Primary-keyed tables need per-row change resolution with full
+	// provenance, which only the row path provides.
+	if !e.cfg.DisableVectorized && len(sc.PrimaryKey) == 0 {
+		return e.execSelectVectorized(ctx, st, sc, ts, proj, res)
+	}
 	_, posRows, err := e.scanTable(ctx, meta.TableID(st.Table), ts, st.Where, proj, &res.Stats)
 	if err != nil {
 		return nil, err
@@ -346,8 +484,8 @@ func (e *Engine) project(st *sql.SelectStmt, sc *schema.Schema, rows []schema.Ro
 				out[i] = v
 			}
 		}
-		res.Rows = append(res.Rows, out)
-		if st.Limit >= 0 && int64(len(res.Rows)) >= st.Limit {
+		res.rows = append(res.rows, out)
+		if st.Limit >= 0 && int64(len(res.rows)) >= st.Limit {
 			break
 		}
 	}

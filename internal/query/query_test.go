@@ -3,6 +3,7 @@ package query_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -43,11 +44,12 @@ func saleRow(day, i int, customer string, total int64) schema.Row {
 }
 
 type qenv struct {
-	r   *core.Region
-	c   *client.Client
-	eng *query.Engine
-	opt *optimizer.Optimizer
-	ctx context.Context
+	r      *core.Region
+	c      *client.Client
+	eng    *query.Engine
+	rowEng *query.Engine // row-at-a-time twin for parity checking
+	opt    *optimizer.Optimizer
+	ctx    context.Context
 }
 
 func newQEnv(t testing.TB, s *schema.Schema, table meta.TableID) *qenv {
@@ -59,9 +61,10 @@ func newQEnv(t testing.TB, s *schema.Schema, table meta.TableID) *qenv {
 		t.Fatal(err)
 	}
 	eng := query.New(c, r.BigMeta, r.Net, r.Router(), query.Config{MaxMaskRanges: 4})
+	rowEng := query.New(c, r.BigMeta, r.Net, r.Router(), query.Config{MaxMaskRanges: 4, DisableVectorized: true})
 	ocfg := optimizer.DefaultConfig()
 	opt := optimizer.New(ocfg, c, r.Net, r.Router(), r.Colossus, r.Clock)
-	return &qenv{r: r, c: c, eng: eng, opt: opt, ctx: ctx}
+	return &qenv{r: r, c: c, eng: eng, rowEng: rowEng, opt: opt, ctx: ctx}
 }
 
 func (e *qenv) ingest(t testing.TB, table meta.TableID, rows []schema.Row) {
@@ -103,13 +106,62 @@ func (e *qenv) seal(t testing.TB, table meta.TableID, rows []schema.Row) {
 	e.r.HeartbeatAll(e.ctx, false)
 }
 
+// mustQuery executes sqlText on the vectorized engine and, for
+// SELECTs, re-executes it at the same snapshot on a row-at-a-time
+// engine, failing unless the two paths and the batch/row views of the
+// result all agree. Every query in this file is thereby a parity case.
 func (e *qenv) mustQuery(t testing.TB, sqlText string) *query.Result {
 	t.Helper()
 	res, err := e.eng.Query(e.ctx, sqlText)
 	if err != nil {
 		t.Fatalf("query %q: %v", sqlText, err)
 	}
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sqlText)), "SELECT") {
+		want, err := e.rowEng.QueryAt(e.ctx, sqlText, res.Stats.SnapshotTS)
+		if err != nil {
+			t.Fatalf("row-path query %q: %v", sqlText, err)
+		}
+		assertParity(t, sqlText, res, want)
+	}
 	return res
+}
+
+// assertParity checks vectorized-vs-row results match and that the
+// columnar and row views of the vectorized result describe the same
+// data.
+func assertParity(t testing.TB, sqlText string, got, want *query.Result) {
+	t.Helper()
+	if fmt.Sprint(got.Columns) != fmt.Sprint(want.Columns) {
+		t.Fatalf("parity %q: columns %v vs %v", sqlText, got.Columns, want.Columns)
+	}
+	gr, wr := got.Rows(), want.Rows()
+	if len(gr) != len(wr) {
+		t.Fatalf("parity %q: %d rows vectorized, %d row-path", sqlText, len(gr), len(wr))
+	}
+	for i := range wr {
+		if fmt.Sprint(gr[i]) != fmt.Sprint(wr[i]) {
+			t.Fatalf("parity %q row %d: %v vs %v", sqlText, i, gr[i], wr[i])
+		}
+	}
+	// Batch view must reconstruct to the same rows.
+	var rebuilt [][]schema.Value
+	for _, b := range got.Batches() {
+		for i := 0; i < b.NumRows; i++ {
+			row := make([]schema.Value, len(b.Cols))
+			for j := range b.Cols {
+				row[j] = b.Cols[j].Values[i]
+			}
+			rebuilt = append(rebuilt, row)
+		}
+	}
+	if len(rebuilt) != len(gr) {
+		t.Fatalf("parity %q: batches hold %d rows, Rows() %d", sqlText, len(rebuilt), len(gr))
+	}
+	for i := range gr {
+		if fmt.Sprint(rebuilt[i]) != fmt.Sprint(gr[i]) {
+			t.Fatalf("parity %q batch row %d: %v vs %v", sqlText, i, rebuilt[i], gr[i])
+		}
+	}
 }
 
 func TestSelectFilterProjectOrder(t *testing.T) {
@@ -131,10 +183,10 @@ func TestSelectFilterProjectOrder(t *testing.T) {
 	}
 	// totals >= 50 with customer != C-0: i in {5,7,8} (i%3!=0) → 80,70,50.
 	want := []int64{80, 70, 50}
-	if len(res.Rows) != 3 {
-		t.Fatalf("rows = %v", res.Rows)
+	if len(res.Rows()) != 3 {
+		t.Fatalf("rows = %v", res.Rows())
 	}
-	for i, r := range res.Rows {
+	for i, r := range res.Rows() {
 		if got := r[1].AsNumericScaled() / schema.NumericScale; got != want[i] {
 			t.Fatalf("row %d total = %d, want %d", i, got, want[i])
 		}
@@ -146,8 +198,8 @@ func TestSelectStarAndFreshness(t *testing.T) {
 	e.ingest(t, "d.fresh", []schema.Row{saleRow(0, 1, "A", 5)})
 	// Sub-second freshness: the row is immediately queryable.
 	res := e.mustQuery(t, "SELECT * FROM d.fresh")
-	if len(res.Rows) != 1 || len(res.Columns) != 5 {
-		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	if len(res.Rows()) != 1 || len(res.Columns) != 5 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows()), res.Columns)
 	}
 }
 
@@ -162,11 +214,11 @@ func TestAggregation(t *testing.T) {
 	res := e.mustQuery(t, `
 		SELECT customerKey, COUNT(*) AS n, SUM(qty) AS total, MIN(qty) AS lo, MAX(qty) AS hi, AVG(qty) AS mean
 		FROM d.agg GROUP BY customerKey ORDER BY customerKey`)
-	if len(res.Rows) != 3 {
-		t.Fatalf("groups = %v", res.Rows)
+	if len(res.Rows()) != 3 {
+		t.Fatalf("groups = %v", res.Rows())
 	}
 	// Group C-0: i in {0,3,6,9}: count 4, sum 18, min 0, max 9, avg 4.5.
-	g0 := res.Rows[0]
+	g0 := res.Rows()[0]
 	if g0[0].AsString() != "C-0" || g0[1].AsInt64() != 4 || g0[2].AsInt64() != 18 ||
 		g0[3].AsInt64() != 0 || g0[4].AsInt64() != 9 || g0[5].AsFloat64() != 4.5 {
 		t.Fatalf("group C-0 = %v", g0)
@@ -174,14 +226,14 @@ func TestAggregation(t *testing.T) {
 
 	// Global aggregate without GROUP BY.
 	res = e.mustQuery(t, "SELECT COUNT(*), SUM(totalSale) FROM d.agg")
-	if len(res.Rows) != 1 || res.Rows[0][0].AsInt64() != 12 {
-		t.Fatalf("global agg = %v", res.Rows)
+	if len(res.Rows()) != 1 || res.Rows()[0][0].AsInt64() != 12 {
+		t.Fatalf("global agg = %v", res.Rows())
 	}
 	// Aggregate over empty table yields one row with COUNT 0.
 	e2 := newQEnv(t, salesSchema(false), "d.empty")
 	res = e2.mustQuery(t, "SELECT COUNT(*) FROM d.empty")
-	if len(res.Rows) != 1 || res.Rows[0][0].AsInt64() != 0 {
-		t.Fatalf("empty agg = %v", res.Rows)
+	if len(res.Rows()) != 1 || res.Rows()[0][0].AsInt64() != 0 {
+		t.Fatalf("empty agg = %v", res.Rows())
 	}
 }
 
@@ -198,12 +250,12 @@ func TestQueryUnionWOSAndROS(t *testing.T) {
 	// Fresh streaming rows land in WOS after conversion.
 	e.ingest(t, "d.union", []schema.Row{saleRow(0, 100, "C-B", 999)})
 	res := e.mustQuery(t, "SELECT COUNT(*) FROM d.union")
-	if res.Rows[0][0].AsInt64() != 21 {
-		t.Fatalf("union count = %v, want 21", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 21 {
+		t.Fatalf("union count = %v, want 21", res.Rows()[0][0])
 	}
 	res = e.mustQuery(t, "SELECT customerKey FROM d.union WHERE totalSale = 999")
-	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "C-B" {
-		t.Fatalf("fresh row = %v", res.Rows)
+	if len(res.Rows()) != 1 || res.Rows()[0][0].AsString() != "C-B" {
+		t.Fatalf("fresh row = %v", res.Rows())
 	}
 }
 
@@ -223,16 +275,16 @@ func TestPartitionEliminationPrunesFragments(t *testing.T) {
 	res := e.mustQuery(t, `
 		SELECT COUNT(*) FROM d.prune
 		WHERE orderTimestamp >= TIMESTAMP '2023-10-03 00:00:00'`)
-	if res.Rows[0][0].AsInt64() != 30 {
-		t.Fatalf("count = %v, want 30", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 30 {
+		t.Fatalf("count = %v, want 30", res.Rows()[0][0])
 	}
 	if res.Stats.AssignmentsPruned == 0 {
 		t.Fatalf("no fragments pruned: %+v", res.Stats)
 	}
 	// Clustering-key pruning: an absent customer prunes via bloom/range.
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.prune WHERE customerKey = 'ZZZ-NOT-THERE'")
-	if res.Rows[0][0].AsInt64() != 0 {
-		t.Fatalf("count = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 0 {
+		t.Fatalf("count = %v", res.Rows()[0][0])
 	}
 	if res.Stats.AssignmentsPruned == 0 {
 		t.Fatal("clustering predicate pruned nothing")
@@ -241,8 +293,8 @@ func TestPartitionEliminationPrunesFragments(t *testing.T) {
 	res = e.mustQuery(t, `
 		SELECT COUNT(*) FROM d.prune
 		WHERE orderTimestamp >= TIMESTAMP '2023-10-01 00:00:00'`)
-	if res.Rows[0][0].AsInt64() != 90 {
-		t.Fatalf("full count = %v, want 90", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 90 {
+		t.Fatalf("full count = %v, want 90", res.Rows()[0][0])
 	}
 }
 
@@ -258,11 +310,11 @@ func TestDeleteStatement(t *testing.T) {
 		t.Fatalf("affected = %d, want 10", res.Stats.RowsAffected)
 	}
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.del")
-	if res.Rows[0][0].AsInt64() != 10 {
-		t.Fatalf("count after delete = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 10 {
+		t.Fatalf("count after delete = %v", res.Rows()[0][0])
 	}
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.del WHERE customerKey = 'C-1'")
-	if res.Rows[0][0].AsInt64() != 0 {
+	if res.Rows()[0][0].AsInt64() != 0 {
 		t.Fatal("deleted rows still visible")
 	}
 	// Deleting again affects nothing (idempotent semantics).
@@ -286,15 +338,15 @@ func TestDeleteOnStreamletTail(t *testing.T) {
 		t.Fatalf("affected = %d", res.Stats.RowsAffected)
 	}
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.tail")
-	if res.Rows[0][0].AsInt64() != 5 {
-		t.Fatalf("count = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 5 {
+		t.Fatalf("count = %v", res.Rows()[0][0])
 	}
 	// Heartbeat maps the tail mask onto the now-reported fragments; the
 	// result must not change (§7.3).
 	e.r.HeartbeatAll(e.ctx, false)
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.tail")
-	if res.Rows[0][0].AsInt64() != 5 {
-		t.Fatalf("count after heartbeat = %v (tail mask not mapped)", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 5 {
+		t.Fatalf("count after heartbeat = %v (tail mask not mapped)", res.Rows()[0][0])
 	}
 }
 
@@ -310,18 +362,18 @@ func TestUpdateStatement(t *testing.T) {
 		t.Fatalf("affected = %d", res.Stats.RowsAffected)
 	}
 	res = e.mustQuery(t, "SELECT customerKey, totalSale FROM d.upd WHERE qty >= 8 ORDER BY qty")
-	if len(res.Rows) != 2 {
-		t.Fatalf("rows = %v", res.Rows)
+	if len(res.Rows()) != 2 {
+		t.Fatalf("rows = %v", res.Rows())
 	}
-	for _, r := range res.Rows {
+	for _, r := range res.Rows() {
 		if r[0].AsString() != "VIP" || r[1].AsNumericScaled() != 20*schema.NumericScale {
 			t.Fatalf("updated row = %v", r)
 		}
 	}
 	// Total row count unchanged.
 	res = e.mustQuery(t, "SELECT COUNT(*) FROM d.upd")
-	if res.Rows[0][0].AsInt64() != 10 {
-		t.Fatalf("count = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 10 {
+		t.Fatalf("count = %v", res.Rows()[0][0])
 	}
 }
 
@@ -340,13 +392,13 @@ func TestMaskCoalescingReinsertsRows(t *testing.T) {
 		t.Fatalf("affected = %d, want 5", res.Stats.RowsAffected)
 	}
 	count := e.mustQuery(t, "SELECT COUNT(*), SUM(qty) FROM d.coal")
-	if count.Rows[0][0].AsInt64() != 15 {
-		t.Fatalf("count = %v, want 15", count.Rows[0][0])
+	if count.Rows()[0][0].AsInt64() != 15 {
+		t.Fatalf("count = %v, want 15", count.Rows()[0][0])
 	}
 	// Sum 0..19 = 190, minus deleted 0+2+4+6+8 = 20 → 170. Reinserted
 	// rows must preserve contents exactly.
-	if count.Rows[0][1].AsInt64() != 170 {
-		t.Fatalf("sum = %v, want 170", count.Rows[0][1])
+	if count.Rows()[0][1].AsInt64() != 170 {
+		t.Fatalf("sum = %v, want 170", count.Rows()[0][1])
 	}
 }
 
@@ -360,11 +412,11 @@ func TestQueryOnPKTableResolvesUpserts(t *testing.T) {
 	r4 := saleRow(0, 2, "B", 0).WithChange(schema.ChangeDelete)
 	e.ingest(t, "d.cdc", []schema.Row{r1, r2, r3, r4})
 	res := e.mustQuery(t, "SELECT salesOrderKey, totalSale FROM d.cdc ORDER BY salesOrderKey")
-	if len(res.Rows) != 1 {
-		t.Fatalf("rows = %v, want only the latest SO-0-1", res.Rows)
+	if len(res.Rows()) != 1 {
+		t.Fatalf("rows = %v, want only the latest SO-0-1", res.Rows())
 	}
-	if res.Rows[0][0].AsString() != "SO-0-1" || res.Rows[0][1].AsNumericScaled() != 99*schema.NumericScale {
-		t.Fatalf("row = %v", res.Rows[0])
+	if res.Rows()[0][0].AsString() != "SO-0-1" || res.Rows()[0][1].AsNumericScaled() != 99*schema.NumericScale {
+		t.Fatalf("row = %v", res.Rows()[0])
 	}
 	// DML on change-captured tables is rejected.
 	if _, err := e.eng.Query(e.ctx, "DELETE FROM d.cdc WHERE totalSale > 0"); err == nil {
@@ -382,8 +434,8 @@ func TestSnapshotQueryTimeTravel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Rows[0][0].AsInt64() != 1 {
-		t.Fatalf("snapshot count = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 1 {
+		t.Fatalf("snapshot count = %v", res.Rows()[0][0])
 	}
 }
 
@@ -398,5 +450,44 @@ func TestQueryErrors(t *testing.T) {
 		if _, err := e.eng.Query(e.ctx, q); err == nil {
 			t.Errorf("query %q succeeded", q)
 		}
+	}
+}
+
+// TestVectorizedCodeSkipStats: after conversion to ROS, a selective
+// predicate over a dictionary-encoded column must prune rows in code
+// space — without decoding them — and the stats must say so.
+func TestVectorizedCodeSkipStats(t *testing.T) {
+	e := newQEnv(t, salesSchema(false), "d.skip")
+	var rows []schema.Row
+	for i := 0; i < 90; i++ {
+		rows = append(rows, saleRow(0, i, fmt.Sprintf("C-%d", i%3), int64(i)))
+	}
+	e.seal(t, "d.skip", rows)
+	if _, err := e.opt.ConvertTable(e.ctx, "d.skip"); err != nil {
+		t.Fatal(err)
+	}
+
+	res := e.mustQuery(t, "SELECT salesOrderKey FROM d.skip WHERE customerKey = 'C-1'")
+	if got := len(res.Rows()); got != 30 {
+		t.Fatalf("rows = %d, want 30", got)
+	}
+	st := res.Stats
+	if st.RowsCodeSkipped == 0 {
+		t.Fatalf("no code-space skips over a dictionary column: %+v", st)
+	}
+	if st.RowsCodeSkipped+st.RowsDecoded != st.RowsScanned {
+		t.Fatalf("skipped(%d) + decoded(%d) != scanned(%d)", st.RowsCodeSkipped, st.RowsDecoded, st.RowsScanned)
+	}
+	if st.RowsDecoded >= st.RowsScanned {
+		t.Fatalf("selective scan decoded every row: %+v", st)
+	}
+
+	// The row path decodes everything and skips nothing in code space.
+	rres, err := e.rowEng.Query(e.ctx, "SELECT salesOrderKey FROM d.skip WHERE customerKey = 'C-1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Stats.RowsCodeSkipped != 0 || rres.Stats.RowsDecoded != rres.Stats.RowsScanned {
+		t.Fatalf("row-path stats wrong: %+v", rres.Stats)
 	}
 }

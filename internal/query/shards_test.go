@@ -65,11 +65,11 @@ func TestAggregationShardParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Shards=NumCPU: %v", err)
 			}
-			if len(a.Rows) != len(b.Rows) {
-				t.Fatalf("row counts diverge: sequential %d, parallel %d", len(a.Rows), len(b.Rows))
+			if len(a.Rows()) != len(b.Rows()) {
+				t.Fatalf("row counts diverge: sequential %d, parallel %d", len(a.Rows()), len(b.Rows()))
 			}
-			for i := range a.Rows {
-				if got, want := fmt.Sprint(b.Rows[i]), fmt.Sprint(a.Rows[i]); got != want {
+			for i := range a.Rows() {
+				if got, want := fmt.Sprint(b.Rows()[i]), fmt.Sprint(a.Rows()[i]); got != want {
 					t.Fatalf("row %d diverges:\nsequential: %s\nparallel:   %s", i, want, got)
 				}
 			}

@@ -65,10 +65,12 @@ func encodeBatchRows(sc *schema.Schema, projection map[string]bool, rows []clien
 	return wire.EncodeRecordBatch(b)
 }
 
-// decodeBatchRows reassembles stamped rows from a record-batch frame.
-// Columns are matched to schema fields by name; fields absent from the
-// frame (projected away) read as NULL up to each row's recorded arity.
-func decodeBatchRows(data []byte, sc *schema.Schema) ([]rowenc.Stamped, error) {
+// decodeBatchFrame decodes one record-batch frame and validates its
+// identity columns, so the row adapter can reassemble stamped rows
+// later without re-checking. The data columns stay in the decoded
+// batch untouched — a consumer working batch-natively never pays for
+// per-row reassembly at all.
+func decodeBatchFrame(data []byte, sc *schema.Schema) (*wire.RecordBatch, error) {
 	b, n, err := wire.DecodeRecordBatch(data)
 	if err != nil {
 		return nil, err
@@ -76,25 +78,41 @@ func decodeBatchRows(data []byte, sc *schema.Schema) ([]rowenc.Stamped, error) {
 	if n != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", wire.ErrBatchCorrupt, len(data)-n)
 	}
+	cols := batchColumns(b)
+	if cols[colSeq] == nil {
+		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colSeq)
+	}
+	arity := cols[colArity]
+	if arity == nil {
+		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colArity)
+	}
+	for i := 0; i < b.NumRows; i++ {
+		if na := int(arity[i].AsInt64()); na < 0 || na > len(sc.Fields) {
+			return nil, fmt.Errorf("%w: row arity %d", wire.ErrBatchCorrupt, na)
+		}
+	}
+	return b, nil
+}
+
+func batchColumns(b *wire.RecordBatch) map[string][]schema.Value {
 	cols := make(map[string][]schema.Value, len(b.Cols))
 	for _, c := range b.Cols {
 		cols[c.Name] = c.Values
 	}
-	seqs, ok := cols[colSeq]
-	if !ok {
-		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colSeq)
-	}
-	arity, ok := cols[colArity]
-	if !ok {
-		return nil, fmt.Errorf("%w: missing %s column", wire.ErrBatchCorrupt, colArity)
-	}
+	return cols
+}
+
+// stampedFromBatch reassembles stamped rows from a validated frame.
+// Columns are matched to schema fields by name; fields absent from the
+// frame (projected away) read as NULL up to each row's recorded arity.
+func stampedFromBatch(b *wire.RecordBatch, sc *schema.Schema) []rowenc.Stamped {
+	cols := batchColumns(b)
+	seqs := cols[colSeq]
+	arity := cols[colArity]
 	change := cols[colChange]
 	out := make([]rowenc.Stamped, b.NumRows)
 	for i := range out {
 		na := int(arity[i].AsInt64())
-		if na < 0 || na > len(sc.Fields) {
-			return nil, fmt.Errorf("%w: row arity %d", wire.ErrBatchCorrupt, na)
-		}
 		vals := make([]schema.Value, na)
 		for fi := 0; fi < na; fi++ {
 			if cv, ok := cols[sc.Fields[fi].Name]; ok {
@@ -109,5 +127,5 @@ func decodeBatchRows(data []byte, sc *schema.Schema) ([]rowenc.Stamped, error) {
 		}
 		out[i] = rowenc.Stamped{Row: row, Seq: seqs[i].AsInt64()}
 	}
-	return out, nil
+	return out
 }

@@ -51,7 +51,7 @@ func drainResilient(t testing.TB, e *rsEnv, sh *readsession.Shard, maxFaults int
 			continue
 		}
 		sh.Commit()
-		out = append(out, b.Rows...)
+		out = append(out, b.Rows()...)
 	}
 }
 
@@ -115,7 +115,7 @@ func TestSMSFailoverDuringSplit(t *testing.T) {
 		t.Fatalf("read during SMS outage: %v", err)
 	}
 	shards[0].Commit()
-	all = append(all, b.Rows...)
+	all = append(all, b.Rows()...)
 	newShard, err := sess.Split(e.ctx, shards[0])
 	if err != nil {
 		t.Fatalf("split during SMS outage: %v", err)

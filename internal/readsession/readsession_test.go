@@ -136,7 +136,7 @@ func drainCommitted(t testing.TB, ctx context.Context, sh *readsession.Shard) []
 			t.Fatalf("shard %s: %v", sh.ID(), err)
 		}
 		sh.Commit()
-		out = append(out, b.Rows...)
+		out = append(out, b.Rows()...)
 	}
 }
 
@@ -174,7 +174,7 @@ func TestSessionParitySplitAndResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	sh0.Commit()
-	all = append(all, b.Rows...)
+	all = append(all, b.Rows()...)
 	newShard, err := sess.Split(e.ctx, sh0)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestSessionParitySplitAndResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	sh1.Commit()
-	all = append(all, b.Rows...)
+	all = append(all, b.Rows()...)
 	if _, err := sh1.Next(e.ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestPredicateProjectionPushdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := res.Rows[0][0].AsInt64()
+	want := res.Rows()[0][0].AsInt64()
 	if int64(len(rows)) != want {
 		t.Fatalf("session delivered %d rows, query counts %d", len(rows), want)
 	}
@@ -305,6 +305,71 @@ func TestBigMetadataPruning(t *testing.T) {
 	}
 	if len(rows) != 80 {
 		t.Fatalf("pruned session delivered %d rows, want 80", len(rows))
+	}
+}
+
+// TestVectorizedServingParity: with the table converted to ROS, the
+// columnar serving path (cache vectors -> code-space filter ->
+// EncodeVectors) must deliver byte-identical rows to the row-at-a-time
+// baseline, while reporting code-space skips in the session stats.
+func TestVectorizedServingParity(t *testing.T) {
+	e := newRSEnv(t, "d.vecparity")
+	for day := 0; day < 3; day++ {
+		e.seal(t, day, 80)
+	}
+	opt := optimizer.New(optimizer.DefaultConfig(), e.c, e.r.Net, e.r.Router(), e.r.Colossus, e.r.Clock)
+	if _, err := opt.ConvertTable(e.ctx, e.table); err != nil {
+		t.Fatal(err)
+	}
+	e.r.HeartbeatAll(e.ctx, false)
+	e.r.ReadSessions.SetBatchRows(48)
+
+	// bucket has 4 distinct values over 240 rows: dictionary-encoded in
+	// ROS, so the predicate decides per code and skips rows wholesale.
+	open := func(at truetime.Timestamp) *readsession.Session {
+		sess, err := readsession.Dial(e.c, "").Open(e.ctx, e.table, readsession.Options{
+			Shards:     2,
+			SnapshotTS: at,
+			Where:      "bucket = 'b-1'",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	vec := open(0)
+	defer vec.Close(e.ctx)
+	vecRows, err := vec.ReadAll(e.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vst := vec.Stats()
+	if vst.RowsCodeSkipped == 0 {
+		t.Fatalf("columnar serving skipped nothing in code space: %+v", vst)
+	}
+	if vst.RowsCodeSkipped+vst.RowsDecoded != vst.RowsScanned {
+		t.Fatalf("skip accounting: skipped %d + decoded %d != scanned %d",
+			vst.RowsCodeSkipped, vst.RowsDecoded, vst.RowsScanned)
+	}
+
+	e.r.ReadSessions.SetVectorized(false)
+	defer e.r.ReadSessions.SetVectorized(true)
+	row := open(vec.SnapshotTS())
+	defer row.Close(e.ctx)
+	rowRows, err := row.ReadAll(e.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst := row.Stats(); rst.RowsCodeSkipped != 0 {
+		t.Fatalf("row-at-a-time serving claims code skips: %+v", rst)
+	}
+
+	if len(vecRows) == 0 || len(vecRows) != len(rowRows) {
+		t.Fatalf("vectorized served %d rows, row path %d", len(vecRows), len(rowRows))
+	}
+	if verify.DigestStamped(vecRows) != verify.DigestStamped(rowRows) {
+		t.Fatal("vectorized and row-at-a-time serving disagree")
 	}
 }
 

@@ -58,7 +58,8 @@ type Server struct {
 	index *bigmeta.Index // may be nil: planning falls back to inline fragment stats
 	clock truetime.Clock
 
-	batchRows int
+	batchRows  int
+	vectorized bool
 
 	sessions metrics.Counter
 	batches  metrics.Counter
@@ -76,6 +77,9 @@ type session struct {
 	table meta.TableID
 	plan  *client.ScanPlan
 	where sql.Expr // resolved row filter, nil for full scans
+	// pred is the filter compiled for columnar evaluation; nil-safe
+	// (a nil predicate applies as the identity selection).
+	pred *query.VecPredicate
 
 	leaseID string
 
@@ -111,13 +115,14 @@ func NewServer(addr string, c *client.Client, index *bigmeta.Index, clock trueti
 		addr = DefaultAddr
 	}
 	s := &Server{
-		addr:      addr,
-		net:       c.Network(),
-		c:         c,
-		index:     index,
-		clock:     clock,
-		batchRows: defaultBatchRows,
-		open:      make(map[string]*session),
+		addr:       addr,
+		net:        c.Network(),
+		c:          c,
+		index:      index,
+		clock:      clock,
+		batchRows:  defaultBatchRows,
+		vectorized: true,
+		open:       make(map[string]*session),
 	}
 	srv := rpc.NewServer()
 	srv.RegisterUnary(wire.MethodOpenReadSession, s.handleOpen)
@@ -164,6 +169,11 @@ func (s *Server) SetBatchRows(n int) {
 		s.batchRows = n
 	}
 }
+
+// SetVectorized toggles the columnar serving path (on by default).
+// Off, every assignment is scanned row-at-a-time and re-encoded —
+// the baseline the vectorized-vs-row benchmark mode compares against.
+func (s *Server) SetVectorized(on bool) { s.vectorized = on }
 
 // parseWhere parses and resolves a predicate string against the table
 // schema by wrapping it in a synthetic SELECT.
@@ -255,11 +265,16 @@ func (s *Server) handleOpen(ctx context.Context, req any) (any, error) {
 		assignments, resp.AssignmentsPrune = query.PruneAssignments(s.index, r.Table, plan.Schema, sql.ExtractPredicates(where), assignments)
 	}
 
+	var pred *query.VecPredicate
+	if where != nil {
+		pred = query.CompileVecPredicate(where)
+	}
 	sess := &session{
 		id:           meta.RandomHex(8),
 		table:        r.Table,
 		plan:         plan,
 		where:        where,
+		pred:         pred,
 		leaseID:      leaseID,
 		leaseExpires: leaseExp,
 		shards:       make(map[string]*shard),
@@ -406,19 +421,16 @@ func (s *Server) handleSplit(_ context.Context, req any) (any, error) {
 	return &wire.SplitShardResponse{OK: true, NewShard: wire.ShardInfo{ID: newShard.id, PlannedRows: plannedRows(tailAssignments)}}, nil
 }
 
-// scanFiltered runs the leaf scan for one assignment and applies the
-// session's pushed-down predicate.
-func (s *Server) scanFiltered(ctx context.Context, sess *session, a client.Assignment) ([]client.PosRow, error) {
-	rows, err := s.c.ScanDetailed(ctx, sess.plan, a)
-	if err != nil {
-		return nil, err
-	}
-	if sess.where == nil {
+// filterRows applies the session's pushed-down predicate row-at-a-time
+// — the non-vectorized filter, shared by WOS scans and the baseline
+// serving mode.
+func filterRows(where sql.Expr, rows []client.PosRow) ([]client.PosRow, error) {
+	if where == nil {
 		return rows, nil
 	}
 	kept := rows[:0:0]
 	for _, r := range rows {
-		v, err := sql.Eval(sess.where, r.Stamped.Row)
+		v, err := sql.Eval(where, r.Stamped.Row)
 		if err != nil {
 			return nil, err
 		}
@@ -427,6 +439,116 @@ func (s *Server) scanFiltered(ctx context.Context, sess *session, a client.Assig
 		}
 	}
 	return kept, nil
+}
+
+// served is one assignment's filtered scan result staged for a stream:
+// either columnar — the cache's encoded vectors plus identity columns,
+// with the predicate survivors in a selection vector — or row form.
+// Chunks of a columnar served re-encode straight into wire frames via
+// EncodeVectors, so serving never takes a row round-trip.
+type served struct {
+	cb   *client.ColBatch
+	cols []wire.Vector  // identity + projected data columns, physical row order
+	sel  wire.Selection // surviving visible rows, explicit (never nil)
+
+	rows []client.PosRow // row-form fallback
+
+	pruned  int64 // rows eliminated in code space
+	decoded int64 // rows materialized (row-form: rows scanned)
+}
+
+func (sv *served) count() int {
+	if sv.cb != nil {
+		return len(sv.sel)
+	}
+	return len(sv.rows)
+}
+
+// encode renders the frame for served rows [lo, hi).
+func (sv *served) encode(plan *client.ScanPlan, lo, hi int) []byte {
+	if sv.cb == nil {
+		return encodeBatchRows(plan.Schema, plan.Projection, sv.rows[lo:hi])
+	}
+	return wire.EncodeVectors(sv.cols, sv.sel[lo:hi])
+}
+
+// scanServed runs the leaf scan for one assignment and stages it for
+// serving. On the vectorized path immutable ROS fragments stay in the
+// cache's encoded vectors end to end: the predicate narrows the
+// selection in code space (once per dictionary entry, once per run),
+// so rows a DICT code or RLE run kills never materialize a value —
+// not at filter time and not at encode time.
+func (s *Server) scanServed(ctx context.Context, sess *session, a client.Assignment) (*served, error) {
+	if !s.vectorized {
+		rows, err := s.c.ScanDetailed(ctx, sess.plan, a)
+		if err != nil {
+			return nil, err
+		}
+		scanned := len(rows)
+		if rows, err = filterRows(sess.where, rows); err != nil {
+			return nil, err
+		}
+		return &served{rows: rows, decoded: int64(scanned)}, nil
+	}
+	cb, err := s.c.ScanBatch(ctx, sess.plan, a)
+	if err != nil {
+		return nil, err
+	}
+	if !cb.Columnar() {
+		rows, err := filterRows(sess.where, cb.Rows)
+		if err != nil {
+			return nil, err
+		}
+		return &served{rows: rows, decoded: int64(len(cb.Rows))}, nil
+	}
+	visible := int64(cb.NumVisible())
+	sel, fs, err := sess.pred.Apply(cb)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		sel = wire.SelectAll(cb.NumRows)
+	}
+	return &served{
+		cb:      cb,
+		cols:    servedColumns(sess.plan, cb),
+		sel:     sel,
+		pruned:  fs.PrunedByCode,
+		decoded: visible - fs.PrunedByCode,
+	}, nil
+}
+
+// servedColumns builds the frame columns once per assignment, in
+// physical row order: the identity columns (__seq plain, __arity
+// constant, __change run-length) followed by each projected data
+// column as the reader's encoded vector, shared zero-copy with the
+// read cache.
+func servedColumns(plan *client.ScanPlan, cb *client.ColBatch) []wire.Vector {
+	seqVals := make([]schema.Value, cb.NumRows)
+	for i, q := range cb.Seqs {
+		seqVals[i] = schema.Int64(q)
+	}
+	var changeRuns []wire.Run
+	for i := 0; i < cb.NumRows; i++ {
+		v := int64(cb.Changes[i])
+		if n := len(changeRuns); n > 0 && changeRuns[n-1].Value.AsInt64() == v {
+			changeRuns[n-1].Len++
+			continue
+		}
+		changeRuns = append(changeRuns, wire.Run{Len: 1, Value: schema.Int64(v)})
+	}
+	cols := make([]wire.Vector, 0, 3+len(cb.Cols))
+	cols = append(cols,
+		wire.PlainVector(colSeq, seqVals),
+		wire.ConstVector(colArity, schema.Int64(int64(cb.Arity)), cb.NumRows),
+		wire.RLEVector(colChange, changeRuns),
+	)
+	for k := range cb.Cols {
+		v := cb.Cols[k]
+		v.Name = plan.Schema.Fields[cb.ColIdx[k]].Name
+		cols = append(cols, v)
+	}
+	return cols
 }
 
 // renewLease extends the session lease when past its half-life, so GC
@@ -508,32 +630,38 @@ func (s *Server) handleReadRows(ctx context.Context, ss *rpc.ServerStream) error
 			offset += known
 			continue
 		}
-		rows, err := s.scanFiltered(ctx, sess, a)
+		sv, err := s.scanServed(ctx, sess, a)
 		if err != nil {
 			return sendErr(ss, offset, scanErrCode(err))
 		}
+		n := sv.count()
 		sh.mu.Lock()
-		sh.counts[idx] = int64(len(rows))
+		sh.counts[idx] = int64(n)
 		sh.mu.Unlock()
 
 		start := 0
 		if from > offset {
 			start = int(from - offset)
 		}
-		for lo := start; lo < len(rows); lo += s.batchRows {
+		for lo := start; lo < n; lo += s.batchRows {
 			hi := lo + s.batchRows
-			if hi > len(rows) {
-				hi = len(rows)
+			if hi > n {
+				hi = n
 			}
-			payload := encodeBatchRows(sess.plan.Schema, sess.plan.Projection, rows[lo:hi])
+			payload := sv.encode(sess.plan, lo, hi)
 			resp := &wire.ReadRowsResponse{Offset: offset + int64(lo), RowCount: int64(hi - lo), Batch: payload}
+			if lo == start {
+				// The assignment's scan accounting rides its first batch.
+				resp.RowsPruned = sv.pruned
+				resp.RowsDecoded = sv.decoded
+			}
 			if err := ss.Send(resp); err != nil {
 				return err
 			}
 			s.batches.Add(1)
 			s.bytes.Add(int64(len(payload)))
 		}
-		offset += int64(len(rows))
+		offset += int64(n)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"vortex/internal/client"
 	"vortex/internal/meta"
+	"vortex/internal/query"
 	"vortex/internal/rowenc"
 	"vortex/internal/rpc"
 	"vortex/internal/schema"
@@ -53,17 +54,19 @@ type Options struct {
 	Window int
 }
 
-// Stats are per-session consumption deltas, in the style of
-// query.ExecStats.
+// Stats are per-session consumption deltas. The embedded
+// query.ExecStats is the same leaf-scan accounting the query engine
+// reports: readsession serving populates SnapshotTS, the assignment
+// pruning counters, and the vectorized disposition counters
+// (RowsCodeSkipped / RowsDecoded / RowsScanned).
 type Stats struct {
-	Shards            int
-	Splits            int64
-	Resumes           int64
-	Batches           int64
-	Rows              int64
-	Bytes             int64
-	AssignmentsTotal  int
-	AssignmentsPruned int
+	Shards  int
+	Splits  int64
+	Resumes int64
+	Batches int64
+	Rows    int64
+	Bytes   int64
+	query.ExecStats
 }
 
 // Session is an open read session: a pinned snapshot fanned out into
@@ -82,12 +85,31 @@ type Session struct {
 	closed bool
 }
 
-// Batch is one decoded record batch delivered to a shard reader.
+// Batch is one decoded record batch delivered to a shard reader. The
+// columnar frame is the native form; Rows is a row adapter over the
+// same data, materialized lazily on first call.
 type Batch struct {
 	// Offset is the shard-local position of the batch's first row.
 	Offset int64
-	// Rows are the decoded rows, stamped with storage sequence numbers.
-	Rows []rowenc.Stamped
+	// Rec is the decoded columnar frame: the reserved identity columns
+	// (__seq, __arity, __change) plus the projected data columns.
+	Rec *wire.RecordBatch
+
+	sc   *schema.Schema
+	rows []rowenc.Stamped
+}
+
+// NumRows returns the batch's row count without materializing rows.
+func (b *Batch) NumRows() int { return b.Rec.NumRows }
+
+// Rows reassembles the stamped rows from the columnar frame. The
+// result is cached; batch-native consumers that stick to Rec never pay
+// for it.
+func (b *Batch) Rows() []rowenc.Stamped {
+	if b.rows == nil && b.Rec.NumRows > 0 {
+		b.rows = stampedFromBatch(b.Rec, b.sc)
+	}
+	return b.rows
 }
 
 // Shard is one resumable stream of a session. It is not safe for
@@ -131,6 +153,7 @@ func (cn *Conn) Open(ctx context.Context, table meta.TableID, opts Options) (*Se
 	}
 	s.stats.AssignmentsTotal = r.AssignmentsTotal
 	s.stats.AssignmentsPruned = r.AssignmentsPrune
+	s.stats.SnapshotTS = r.SnapshotTS
 	for _, si := range r.Shards {
 		s.shards = append(s.shards, &Shard{sess: s, id: si.ID, PlannedRows: si.PlannedRows})
 	}
@@ -289,23 +312,26 @@ func (sh *Shard) Next(ctx context.Context) (*Batch, error) {
 			sh.closeStream()
 			return nil, fmt.Errorf("readsession: shard %s: offset %d, want %d", sh.id, resp.Offset, sh.pos)
 		}
-		rows, err := decodeBatchRows(resp.Batch, sh.sess.schema)
+		rec, err := decodeBatchFrame(resp.Batch, sh.sess.schema)
 		if err != nil {
 			sh.closeStream()
 			return nil, err
 		}
-		if int64(len(rows)) != resp.RowCount {
+		if int64(rec.NumRows) != resp.RowCount {
 			sh.closeStream()
-			return nil, fmt.Errorf("readsession: shard %s: batch rows %d, want %d", sh.id, len(rows), resp.RowCount)
+			return nil, fmt.Errorf("readsession: shard %s: batch rows %d, want %d", sh.id, rec.NumRows, resp.RowCount)
 		}
-		sh.pos += int64(len(rows))
+		sh.pos += int64(rec.NumRows)
 		sh.sess.mu.Lock()
 		sh.sess.stats.Batches++
-		sh.sess.stats.Rows += int64(len(rows))
+		sh.sess.stats.Rows += int64(rec.NumRows)
 		sh.sess.stats.Bytes += int64(len(resp.Batch))
+		sh.sess.stats.RowsCodeSkipped += resp.RowsPruned
+		sh.sess.stats.RowsDecoded += resp.RowsDecoded
+		sh.sess.stats.RowsScanned += resp.RowsPruned + resp.RowsDecoded
 		sh.sess.mu.Unlock()
 		sh.sess.conn.c.ObserveReadSession(1, int64(len(resp.Batch)), 0, 0)
-		return &Batch{Offset: resp.Offset, Rows: rows}, nil
+		return &Batch{Offset: resp.Offset, Rec: rec, sc: sh.sess.schema}, nil
 	}
 }
 
@@ -365,7 +391,7 @@ func (s *Session) ReadAll(ctx context.Context) ([]rowenc.Stamped, error) {
 					}
 					sh.Commit()
 					mu.Lock()
-					all = append(all, b.Rows...)
+					all = append(all, b.Rows()...)
 					mu.Unlock()
 				}
 			}(sh)

@@ -10,6 +10,7 @@ import (
 	"vortex/internal/bloom"
 	"vortex/internal/rowenc"
 	"vortex/internal/schema"
+	"vortex/internal/wire"
 )
 
 // Errors returned by the ROS codec.
@@ -449,6 +450,12 @@ type Column struct {
 	// so materialize must be safe to race.
 	mu      sync.Mutex
 	decoded bool
+
+	// Memoized encoded-form view (vector.go); built at most once, then
+	// shared zero-copy with every vectorized scan.
+	vecDone bool
+	vec     *wire.Vector
+	vecErr  error
 }
 
 // materialize decodes the column's level and value pages.

@@ -1,0 +1,167 @@
+package ros
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+	"vortex/internal/wire"
+)
+
+// Vectors returns the projected top-level columns of the file as
+// encoded wire vectors — the zero-copy handoff from the read cache to
+// the vectorized scanner. It is only defined for flat columns:
+// when any projected field is a struct or repeated, it returns
+// ok=false and the caller falls back to row assembly (RowsProjected).
+//
+// Vectors preserve the file's physical encoding: a dictionary column
+// comes back as dict+codes without expansion, so predicates evaluate
+// once per distinct value, and unprojected columns are never decoded
+// at all. idxs holds each vector's top-level field index in s. The
+// returned vectors are cached on the reader's columns and shared
+// across scans — read-only, like everything else a cached Reader hands
+// out.
+func (r *Reader) Vectors(s *schema.Schema, projection map[string]bool) (vecs []wire.Vector, idxs []int, ok bool, err error) {
+	for fi, f := range s.Fields {
+		if projection != nil && !projection[f.Name] {
+			continue
+		}
+		if f.Kind == schema.KindStruct || f.Mode == schema.Repeated {
+			return nil, nil, false, nil
+		}
+		col := r.columns[f.Name]
+		var v *wire.Vector
+		if col == nil {
+			// Field added by schema evolution after this file was written:
+			// every row reads as NULL.
+			cv := wire.ConstVector(f.Name, schema.Null(), int(r.rowCount))
+			v = &cv
+		} else {
+			v, err = col.vector(r.rowCount)
+			if err != nil {
+				return nil, nil, false, err
+			}
+		}
+		vecs = append(vecs, *v)
+		idxs = append(idxs, fi)
+	}
+	return vecs, idxs, true, nil
+}
+
+// Seqs returns the per-row storage sequence numbers. The slice is the
+// reader's own and must not be mutated.
+func (r *Reader) Seqs() []int64 { return r.seqs }
+
+// Changes returns the per-row change types. Read-only, like Seqs.
+func (r *Reader) Changes() []byte { return r.changes }
+
+// vector lazily builds (and memoizes) the column's encoded vector.
+// Unlike materialize, a null-free column skips level decoding entirely
+// and a dictionary column keeps its codes — nothing is expanded.
+func (c *Column) vector(rowCount int64) (*wire.Vector, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.vecDone {
+		return c.vec, c.vecErr
+	}
+	c.vec, c.vecErr = c.buildVector(rowCount)
+	c.vecDone = true
+	return c.vec, c.vecErr
+}
+
+func (c *Column) buildVector(rowCount int64) (*wire.Vector, error) {
+	if c.Leaf.MaxRep != 0 || c.Stats.Entries != rowCount {
+		return nil, fmt.Errorf("%w: column %q is not flat", ErrCorrupt, c.Leaf.Path)
+	}
+	name := c.Leaf.Path
+	nulls := c.Stats.NullCount > 0
+	var defs []uint8
+	if nulls {
+		var err error
+		defs, err = rleDecode(c.rawDefs, int(c.Stats.Entries))
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch c.Stats.Encoding {
+	case EncodingDict:
+		dict, codes, err := decodeDictPage(c.rawValues, int(c.Stats.Values))
+		if err != nil {
+			return nil, err
+		}
+		if !nulls {
+			v := wire.DictVector(name, dict, codes)
+			return &v, nil
+		}
+		// Nulls become one extra dictionary entry, so code-space
+		// predicates see NULL like any other distinct value.
+		nullCode := uint32(len(dict))
+		dict = append(dict, schema.Null())
+		full := make([]uint32, rowCount)
+		vi := 0
+		for i := range full {
+			if int(defs[i]) == c.Leaf.MaxDef {
+				full[i] = codes[vi]
+				vi++
+			} else {
+				full[i] = nullCode
+			}
+		}
+		v := wire.DictVector(name, dict, full)
+		return &v, nil
+	default:
+		vals, err := decodeValues(c.Stats.Encoding, c.rawValues, int(c.Stats.Values))
+		if err != nil {
+			return nil, err
+		}
+		if !nulls {
+			v := wire.PlainVector(name, vals)
+			return &v, nil
+		}
+		full := make([]schema.Value, rowCount)
+		vi := 0
+		for i := range full {
+			if int(defs[i]) == c.Leaf.MaxDef {
+				full[i] = vals[vi]
+				vi++
+			} else {
+				full[i] = schema.Null()
+			}
+		}
+		v := wire.PlainVector(name, full)
+		return &v, nil
+	}
+}
+
+// decodeDictPage decodes a dictionary value page without expanding
+// codes to values — the decode path of the code-space filter.
+func decodeDictPage(data []byte, n int) ([]schema.Value, []uint32, error) {
+	dn, used := binary.Uvarint(data)
+	if used <= 0 || dn > maxDictSize {
+		return nil, nil, ErrCorrupt
+	}
+	pos := used
+	dict := make([]schema.Value, dn)
+	for i := range dict {
+		v, u, err := rowenc.DecodeValue(data[pos:])
+		if err != nil {
+			return nil, nil, err
+		}
+		dict[i] = v
+		pos += u
+	}
+	codes := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		id, u := binary.Uvarint(data[pos:])
+		if u <= 0 || id >= dn {
+			return nil, nil, ErrCorrupt
+		}
+		codes[i] = uint32(id)
+		pos += u
+	}
+	if pos != len(data) {
+		return nil, nil, ErrCorrupt
+	}
+	return dict, codes, nil
+}

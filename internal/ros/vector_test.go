@@ -1,0 +1,151 @@
+package ros
+
+import (
+	"testing"
+
+	"vortex/internal/schema"
+	"vortex/internal/wire"
+)
+
+func flatSchema() *schema.Schema {
+	return &schema.Schema{Fields: []*schema.Field{
+		{Name: "region", Kind: schema.KindString, Mode: schema.Required},
+		{Name: "qty", Kind: schema.KindInt64, Mode: schema.Nullable},
+		{Name: "id", Kind: schema.KindInt64, Mode: schema.Required},
+	}}
+}
+
+func writeFlatFile(t *testing.T, s *schema.Schema, n int) *Reader {
+	t.Helper()
+	w := NewWriter(s)
+	regions := []string{"us-west", "us-east", "eu-west"}
+	for i := 0; i < n; i++ {
+		qty := schema.Null()
+		if i%5 != 0 {
+			qty = schema.Int64(int64(i % 7))
+		}
+		if err := w.Add(schema.NewRow(schema.String(regions[i%3]), qty, schema.Int64(int64(i))), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+// TestVectorsMatchRows checks the encoded-vector view agrees with full
+// row assembly, including a dictionary column with interleaved NULLs.
+func TestVectorsMatchRows(t *testing.T) {
+	s := flatSchema()
+	rd := writeFlatFile(t, s, 200)
+	vecs, idxs, ok, err := rd.Vectors(s, nil)
+	if err != nil || !ok {
+		t.Fatalf("Vectors: ok=%v err=%v", ok, err)
+	}
+	if len(vecs) != 3 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	if vecs[0].Enc != wire.BatchEncDict {
+		t.Fatalf("region should come back dictionary-encoded, got %d", vecs[0].Enc)
+	}
+	if len(vecs[0].Dict) != 3 {
+		t.Fatalf("region dict has %d entries, want 3", len(vecs[0].Dict))
+	}
+	rows, err := rd.Rows(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		for k, v := range vecs {
+			got := v.ValueAt(i)
+			want := r.Row.Values[idxs[k]]
+			if got.String() != want.String() {
+				t.Fatalf("row %d col %s: vector %v, rows %v", i, v.Name, got, want)
+			}
+		}
+	}
+	if rd.Seqs()[5] != 5 || len(rd.Changes()) != 200 {
+		t.Fatal("Seqs/Changes accessors broken")
+	}
+}
+
+// TestVectorsProjectionSkipsDecode: unprojected columns must stay
+// undecoded — the projection-pushdown contract for cached fragments.
+func TestVectorsProjectionSkipsDecode(t *testing.T) {
+	s := flatSchema()
+	rd := writeFlatFile(t, s, 100)
+	vecs, idxs, ok, err := rd.Vectors(s, map[string]bool{"id": true})
+	if err != nil || !ok {
+		t.Fatalf("Vectors: ok=%v err=%v", ok, err)
+	}
+	if len(vecs) != 1 || idxs[0] != 2 || vecs[0].Name != "id" {
+		t.Fatalf("projection leaked: %v %v", vecs, idxs)
+	}
+	for _, path := range []string{"region", "qty"} {
+		c := rd.columns[path]
+		c.mu.Lock()
+		touched := c.decoded || c.vecDone
+		c.mu.Unlock()
+		if touched {
+			t.Fatalf("unprojected column %q was decoded", path)
+		}
+	}
+}
+
+// TestVectorsNestedFallsBack: a struct field forces the row path.
+func TestVectorsNestedFallsBack(t *testing.T) {
+	s := dremelSchema()
+	w := NewWriter(s)
+	for i, r := range dremelRows() {
+		if err := w.Add(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok, err := rd.Vectors(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("nested schema must fall back to row assembly")
+	}
+	// Projecting only the flat field still vectorizes.
+	vecs, idxs, ok, err := rd.Vectors(s, map[string]bool{"DocId": true})
+	if err != nil || !ok {
+		t.Fatalf("flat projection: ok=%v err=%v", ok, err)
+	}
+	if len(vecs) != 1 || idxs[0] != 0 || vecs[0].ValueAt(1).AsInt64() != 20 {
+		t.Fatalf("DocId vector wrong: %v", vecs)
+	}
+}
+
+// TestVectorsEvolvedFieldReadsNull: a field added after the file was
+// written comes back as an all-NULL constant vector.
+func TestVectorsEvolvedFieldReadsNull(t *testing.T) {
+	s := flatSchema()
+	rd := writeFlatFile(t, s, 10)
+	evolved, err := s.AddField(&schema.Field{Name: "extra", Kind: schema.KindString, Mode: schema.Nullable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, idxs, ok, err := rd.Vectors(evolved, map[string]bool{"extra": true})
+	if err != nil || !ok {
+		t.Fatalf("Vectors: ok=%v err=%v", ok, err)
+	}
+	if len(vecs) != 1 || idxs[0] != 3 || vecs[0].Len() != 10 || !vecs[0].ValueAt(7).IsNull() {
+		t.Fatalf("evolved column vector wrong: %v", vecs)
+	}
+}

@@ -360,5 +360,5 @@ func (d *dmlActor) storedCount(ctx context.Context) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.Rows[0][0].AsInt64(), nil
+	return res.Rows()[0][0].AsInt64(), nil
 }

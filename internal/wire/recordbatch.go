@@ -128,29 +128,61 @@ func appendColumnPayload(dst []byte, enc byte, vals []schema.Value) []byte {
 	return dst
 }
 
+func appendBatchHeader(dst []byte, rows, cols int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, batchMagic)
+	dst = append(dst, batchVersion)
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	return binary.AppendUvarint(dst, uint64(cols))
+}
+
+func appendBatchColumn(dst []byte, name string, enc byte, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = append(dst, enc)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+func appendBatchCRC(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, blockenc.Checksum(dst))
+}
+
+// appendDictPayload emits an already-built dictionary page: the dict
+// entries followed by one code per row.
+func appendDictPayload(dst []byte, dict []schema.Value, codes []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(dict)))
+	for _, v := range dict {
+		dst = rowenc.AppendValue(dst, v)
+	}
+	for _, c := range codes {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// appendRunsPayload emits already-built RLE runs.
+func appendRunsPayload(dst []byte, runs []Run) []byte {
+	for _, r := range runs {
+		dst = binary.AppendUvarint(dst, uint64(r.Len))
+		dst = rowenc.AppendValue(dst, r.Value)
+	}
+	return dst
+}
+
 // EncodeRecordBatch serializes b into a CRC-framed columnar frame,
 // choosing each column's encoding from its content. It panics if a
 // column's length disagrees with NumRows (a programming error, not a
 // wire condition).
 func EncodeRecordBatch(b *RecordBatch) []byte {
-	var dst []byte
-	dst = binary.LittleEndian.AppendUint32(dst, batchMagic)
-	dst = append(dst, batchVersion)
-	dst = binary.AppendUvarint(dst, uint64(b.NumRows))
-	dst = binary.AppendUvarint(dst, uint64(len(b.Cols)))
+	dst := appendBatchHeader(nil, b.NumRows, len(b.Cols))
 	for _, col := range b.Cols {
 		if len(col.Values) != b.NumRows {
 			panic(fmt.Sprintf("wire: column %q has %d values, batch has %d rows", col.Name, len(col.Values), b.NumRows))
 		}
-		dst = binary.AppendUvarint(dst, uint64(len(col.Name)))
-		dst = append(dst, col.Name...)
 		enc := chooseEncoding(col.Values)
-		dst = append(dst, enc)
-		payload := appendColumnPayload(nil, enc, col.Values)
-		dst = binary.AppendUvarint(dst, uint64(len(payload)))
-		dst = append(dst, payload...)
+		dst = appendBatchColumn(dst, col.Name, enc, appendColumnPayload(nil, enc, col.Values))
 	}
-	return binary.LittleEndian.AppendUint32(dst, blockenc.Checksum(dst))
+	return appendBatchCRC(dst)
 }
 
 type batchDecoder struct {

@@ -617,7 +617,14 @@ type ReadRowsResponse struct {
 	Offset   int64
 	RowCount int64
 	Batch    []byte // recordbatch-encoded frame
-	Done     bool
+	// RowsPruned and RowsDecoded report the leaf-scan disposition of
+	// the assignment this batch begins: rows eliminated in encoded
+	// space (dictionary-code or whole-run skips) versus rows actually
+	// materialized. Carried on the first batch of each assignment the
+	// stream scans; zero elsewhere.
+	RowsPruned  int64
+	RowsDecoded int64
+	Done        bool
 	// Error carries a failure code (e.g. ErrCodeLeaseExpired) so the
 	// stream survives for diagnosis, mirroring AppendResponse.
 	Error string

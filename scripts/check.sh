@@ -23,6 +23,11 @@ go test -race -shuffle=on ./...
 # with a higher shuffle-independent count so interleavings vary.
 go test -race -count=2 ./internal/readsession/ ./internal/dataflow/
 
+# The vectorized query engine shards leaf scans across workers and
+# shares cached column vectors between them: run it again under -race
+# so batch/selection handoffs see varied interleavings.
+go test -race -count=2 ./internal/query/
+
 # The overload-protection layer races admission bookkeeping, heartbeat
 # coalescing and Slicer reassignment windows against thousands of
 # writers: run the slicer and sms suites twice more under -race so the
@@ -33,6 +38,12 @@ go test -race -count=2 ./internal/slicer/ ./internal/sms/
 # and runs end-to-end without paying for full latency-model experiments
 # (those are skipped under -short and run in the main suite above).
 go test -short ./internal/bench/
+
+# Vectorized execution smoke: code-skip accounting in the query engine
+# and columnar-vs-row serving parity in the read-session server — the
+# fast end-to-end proof that encoded-domain filtering still matches the
+# row path bit for bit.
+go test -short -count=1 -run 'TestVectorized' ./internal/query/ ./internal/readsession/
 
 # Fanout overload smoke: the -short variant of the massive-fanout
 # experiment (128 zipf-skewed streams against squeezed quotas) asserts
@@ -48,3 +59,4 @@ for target in FuzzDecodeRow FuzzDecodeRows; do
 done
 go test -run '^$' -fuzz 'FuzzOpen$' -fuzztime 10s ./internal/blockenc/
 go test -run '^$' -fuzz 'FuzzDecodeRecordBatch$' -fuzztime 10s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzSelectionGather$' -fuzztime 10s ./internal/wire/

@@ -24,7 +24,13 @@
 //	s, _ := db.Table("d.events").NewStream(ctx, vortex.Unbuffered)
 //	s.Append(ctx, rows)                       // at-least-once, append at end
 //	s.Append(ctx, rows, vortex.AtOffset(10))  // exactly-once, offset-pinned
-//	res, _ := db.Query(ctx, "SELECT COUNT(*) FROM d.events")
+//	res, _ := db.Query(ctx, "SELECT user, n FROM d.events WHERE n > 3")
+//	for _, rb := range res.Batches() {        // batch-native consumption
+//	    _ = rb.NumRows                        // wire.RecordBatch columns
+//	}
+//	for _, row := range res.Rows() {          // or the row adapter
+//	    _ = row
+//	}
 package vortex
 
 import (
@@ -45,6 +51,7 @@ import (
 	"vortex/internal/sms"
 	"vortex/internal/truetime"
 	"vortex/internal/verify"
+	"vortex/internal/wire"
 )
 
 // Re-exported core types: the public API surface is these plus the
@@ -84,8 +91,20 @@ type (
 	ChaosSchedule = chaos.Schedule
 	// ChaosEvent is one triggered injection.
 	ChaosEvent = chaos.Event
-	// Result is a query result set.
+	// Result is a query result set: columnar record batches natively
+	// (Result.Batches), with lazy row adapters (Result.Rows,
+	// Result.Next).
 	Result = query.Result
+	// ExecStats is per-query execution accounting, including the
+	// vectorized leaf counters: RowsCodeSkipped rows were eliminated in
+	// encoded space (per dictionary code / per RLE run) and RowsDecoded
+	// rows actually materialized.
+	ExecStats = query.ExecStats
+	// RecordBatch is one decoded columnar batch — the shared currency
+	// of query results and read-session shards.
+	RecordBatch = wire.RecordBatch
+	// BatchColumn is one named column of a RecordBatch.
+	BatchColumn = wire.BatchColumn
 	// TableID names a table ("dataset.table").
 	TableID = meta.TableID
 	// StreamType selects visibility semantics.

@@ -45,8 +45,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "user-4" {
-		t.Fatalf("rows = %v", res.Rows)
+	if len(res.Rows()) != 2 || res.Rows()[0][0].AsString() != "user-4" {
+		t.Fatalf("rows = %v", res.Rows())
 	}
 
 	// Time travel.
@@ -61,8 +61,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.Rows[0][0].AsInt64() != 50 {
-		t.Fatalf("snapshot count = %v", old.Rows[0][0])
+	if old.Rows()[0][0].AsInt64() != 50 {
+		t.Fatalf("snapshot count = %v", old.Rows()[0][0])
 	}
 
 	// Schema evolution through the facade.
@@ -98,7 +98,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Rows[0][0].AsInt64() != 50 {
-		t.Fatalf("final count = %v", res.Rows[0][0])
+	if res.Rows()[0][0].AsInt64() != 50 {
+		t.Fatalf("final count = %v", res.Rows()[0][0])
 	}
 }
