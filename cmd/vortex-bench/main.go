@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | readsession | fanout | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | cachepressure | readsession | fanout | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
 		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
@@ -37,6 +37,8 @@ func main() {
 		tables       = flag.Int("tables", 8, "zipf-skewed target tables for fanout")
 		seed         = flag.Int64("seed", 42, "workload seed for fanout")
 		fanoutOut    = flag.String("fanout-out", "BENCH_fanout.json", "output path for the fanout JSON report")
+		passes       = flag.Int("passes", 6, "full-table read passes per side for cachepressure")
+		pressureOut  = flag.String("pressure-out", "BENCH_cachepressure.json", "output path for the cachepressure JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -132,6 +134,28 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *readOut)
+			return nil
+		})
+	}
+	if want("cachepressure") {
+		run("cachepressure", func() error {
+			res, err := bench.CachePressureBench(ctx, *rows, *passes, "")
+			if err != nil {
+				return err
+			}
+			bench.PrintCachePressure(out, res)
+			f, err := os.Create(*pressureOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteCachePressureJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *pressureOut)
+			if res.StaleReads != 0 {
+				return fmt.Errorf("cachepressure: %d stale reads after GC, want 0", res.StaleReads)
+			}
 			return nil
 		})
 	}

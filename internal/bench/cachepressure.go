@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/meta"
+	"vortex/internal/metrics"
+	"vortex/internal/optimizer"
+	"vortex/internal/wire"
+	"vortex/internal/workload"
+)
+
+// CachePressureSide is one configuration of the cache-pressure sweep:
+// the same full-table scan repeated with no cache, with a RAM LRU a
+// tenth of the working set (thrash), and with the disk tier warmed by
+// the prefetcher.
+type CachePressureSide struct {
+	Mode          string  `json:"mode"`
+	Passes        int     `json:"passes"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ScanP50MS     float64 `json:"scan_p50_ms"`
+	ScanP99MS     float64 `json:"scan_p99_ms"`
+	ColossusReads int64   `json:"colossus_reads"`
+	BytesRead     int64   `json:"colossus_bytes_read"`
+	RAMHits       int64   `json:"ram_hits"`
+	DiskHits      int64   `json:"disk_hits"`
+	DiskBytes     int64   `json:"disk_bytes_saved"`
+	Prefetched    int64   `json:"prefetch_fetched"`
+	Oversize      int64   `json:"oversize_rejects"`
+}
+
+// CachePressureResult is the cache-pressure experiment output;
+// cmd/vortex-bench serializes it as BENCH_cachepressure.json.
+type CachePressureResult struct {
+	Experiment      string  `json:"experiment"`
+	Rows            int     `json:"rows"`
+	Fragments       int     `json:"fragments"`
+	WorkingSetBytes int64   `json:"working_set_bytes"`
+	RAMCacheBytes   int64   `json:"ram_cache_bytes"`
+	DiskCacheBytes  int64   `json:"disk_cache_bytes"`
+	PressureRatio   float64 `json:"pressure_ratio"` // working set / RAM cache
+
+	Cold     CachePressureSide `json:"cold"`
+	RAMOnly  CachePressureSide `json:"ram_only"`
+	DiskWarm CachePressureSide `json:"disk_warm"`
+
+	// Speedup is cold-scan p50 / disk-warm-scan p50: what serving a
+	// fragment from the local disk tier saves over the simulated
+	// Colossus read (target ≥ 3x under a 10x-over-RAM working set).
+	Speedup float64 `json:"speedup"`
+	// RAMOnlySpeedup is cold p50 / thrashing-RAM p50 — near 1x by
+	// construction, the failure mode the disk tier exists to fix.
+	RAMOnlySpeedup float64 `json:"ram_only_speedup"`
+
+	// StaleReads counts disk-tier violations observed by the GC probe:
+	// deleted fragments still resident on disk plus old-snapshot reads
+	// that were served instead of failing. Must be zero.
+	StaleReads int `json:"stale_reads"`
+}
+
+// CachePressureBench measures the tiered cache under a working set ten
+// times the RAM budget. One region is ingested and groomed into many
+// small ROS fragments; the same full-snapshot read then runs `passes`
+// times per side:
+//
+//	cold      — no cache: every scan pays the simulated Colossus read.
+//	ram_only  — RAM LRU sized to workingSet/10: constant thrash.
+//	disk_warm — same RAM budget plus a disk tier ≥ the working set,
+//	            warmed by the async prefetcher before the first pass.
+//
+// It ends with a GC probe: a second ingest round, forced recluster and
+// SMS grooming retire the first ROS generation, after which no deleted
+// fragment may remain in the disk tier and an old-snapshot read must
+// fail rather than be served from disk.
+func CachePressureBench(ctx context.Context, nRows, passes int, diskDir string) (*CachePressureResult, error) {
+	if nRows <= 0 {
+		nRows = 20000
+	}
+	if passes <= 0 {
+		passes = 6
+	}
+	if diskDir == "" {
+		d, err := os.MkdirTemp("", "vortex-cachepressure-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		diskDir = d
+	}
+	r := newRegion(37)
+	ingest := r.NewClient(client.DefaultOptions())
+	table := meta.TableID("bench.pressure")
+	if err := ingest.CreateTable(ctx, table, workload.SalesSchema()); err != nil {
+		return nil, err
+	}
+	gen := workload.NewGen(5, 300)
+	s, err := ingest.CreateStream(ctx, table, meta.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 200
+	for lo := 0; lo < nRows; lo += batch {
+		n := batch
+		if lo+n > nRows {
+			n = nRows - lo
+		}
+		if _, err := s.Append(ctx, gen.SalesRows(lo%3, n), client.AppendOptions{Offset: -1}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		return nil, err
+	}
+	r.HeartbeatAll(ctx, false)
+	// Groom into deliberately small ROS fragments: many files keep the
+	// per-fragment decode cheap relative to the simulated Colossus read,
+	// which is the cost the disk tier removes — and give the LRU
+	// something to actually thrash over.
+	ocfg := optimizer.DefaultConfig()
+	ocfg.TargetROSRows = 256
+	opt := optimizer.New(ocfg, ingest, r.Net, r.Router(), r.Colossus, r.Clock)
+	if _, err := opt.ConvertTable(ctx, table); err != nil {
+		return nil, err
+	}
+
+	// The working set is the groomed table's raw file bytes.
+	rosPaths, err := r.Colossus.Cluster("alpha").List("ros/" + string(table) + "/")
+	if err != nil {
+		return nil, err
+	}
+	var workingSet int64
+	for _, p := range rosPaths {
+		data, err := r.Colossus.Cluster("alpha").Read(p, 0, -1)
+		if err != nil {
+			return nil, err
+		}
+		workingSet += int64(len(data))
+	}
+	ramBytes := workingSet / 10
+	if ramBytes < 1 {
+		ramBytes = 1
+	}
+	diskBytes := workingSet * 4
+
+	side := func(mode string, opts client.Options, prewarm bool) (CachePressureSide, *client.Client, error) {
+		c := r.NewClient(opts)
+		plan, err := c.Plan(ctx, table, 0)
+		if err != nil {
+			return CachePressureSide{}, nil, err
+		}
+		if prewarm {
+			<-c.Prefetch(plan.Assignments)
+		}
+		before := r.Colossus.Stats()
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			if _, _, err := c.ReadAll(ctx, table, 0); err != nil {
+				return CachePressureSide{}, nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		after := r.Colossus.Stats()
+		scan := c.Metrics().ScanLatency.Quantiles(0.50, 0.99)
+		st := c.ReadCache().Stats()
+		return CachePressureSide{
+			Mode:          mode,
+			Passes:        passes,
+			ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+			ScanP50MS:     float64(scan[0]) / float64(time.Millisecond),
+			ScanP99MS:     float64(scan[1]) / float64(time.Millisecond),
+			ColossusReads: after.ReadOps - before.ReadOps,
+			BytesRead:     after.BytesRead - before.BytesRead,
+			RAMHits:       st.Hits,
+			DiskHits:      st.DiskHits,
+			DiskBytes:     st.DiskBytesSaved,
+			Prefetched:    st.PrefetchFetched,
+			Oversize:      st.OversizeRejects,
+		}, c, nil
+	}
+
+	cold, _, err := side("cold", client.DefaultOptions(), false)
+	if err != nil {
+		return nil, err
+	}
+	ramOpts := client.DefaultOptions()
+	ramOpts.ReadCacheBytes = ramBytes
+	ramOnly, _, err := side("ram_only", ramOpts, false)
+	if err != nil {
+		return nil, err
+	}
+	diskOpts := client.DefaultOptions()
+	diskOpts.ReadCacheBytes = ramBytes
+	diskOpts.DiskCacheDir = diskDir
+	diskOpts.DiskCacheBytes = diskBytes
+	diskOpts.PrefetchInFlight = 8
+	diskWarm, diskClient, err := side("disk_warm", diskOpts, true)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CachePressureResult{
+		Experiment:      "cache-pressure",
+		Rows:            nRows,
+		Fragments:       len(rosPaths),
+		WorkingSetBytes: workingSet,
+		RAMCacheBytes:   ramBytes,
+		DiskCacheBytes:  diskBytes,
+		Cold:            cold,
+		RAMOnly:         ramOnly,
+		DiskWarm:        diskWarm,
+	}
+	if ramBytes > 0 {
+		res.PressureRatio = float64(workingSet) / float64(ramBytes)
+	}
+	if diskWarm.ScanP50MS > 0 {
+		res.Speedup = cold.ScanP50MS / diskWarm.ScanP50MS
+	}
+	if ramOnly.ScanP50MS > 0 {
+		res.RAMOnlySpeedup = cold.ScanP50MS / ramOnly.ScanP50MS
+	}
+
+	stale, err := cachePressureGCProbe(ctx, r, ingest, diskClient, opt, table, rosPaths, gen, nRows)
+	if err != nil {
+		return nil, err
+	}
+	res.StaleReads = stale
+	return res, nil
+}
+
+// cachePressureGCProbe retires the measured ROS generation (second
+// ingest round, forced recluster, SMS grooming) and counts disk-tier
+// staleness violations: deleted fragments still resident, or an
+// old-snapshot read served instead of failing.
+func cachePressureGCProbe(ctx context.Context, r *core.Region, ingest, diskClient *client.Client, opt *optimizer.Optimizer, table meta.TableID, gen1 []string, gen *workload.Gen, base int) (int, error) {
+	// Pin the pre-groom snapshot, then let it fall strictly behind the
+	// coming conversion commit (+epsilon clock uncertainty).
+	plan, err := diskClient.Plan(ctx, table, 0)
+	if err != nil {
+		return 0, err
+	}
+	oldTS := plan.SnapshotTS
+	time.Sleep(12 * time.Millisecond)
+
+	s, err := ingest.CreateStream(ctx, table, meta.Unbuffered)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.Append(ctx, gen.SalesRows(base%3, 100), client.AppendOptions{Offset: -1}); err != nil {
+		return 0, err
+	}
+	if _, err := s.Finalize(ctx); err != nil {
+		return 0, err
+	}
+	r.HeartbeatAll(ctx, true)
+	if _, err := opt.ConvertTable(ctx, table); err != nil {
+		return 0, err
+	}
+	if _, err := opt.Recluster(ctx, table, true); err != nil {
+		return 0, err
+	}
+	time.Sleep(12 * time.Millisecond)
+	addr, err := r.Router().SMSFor(table)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := r.Net.Unary(ctx, addr, wire.MethodGC, &wire.GCRequest{}); err != nil {
+		return 0, err
+	}
+
+	stale := 0
+	tier := diskClient.ReadCache().Disk()
+	for _, p := range gen1 {
+		if !r.Colossus.Cluster("alpha").Exists(p) && tier.Contains(p) {
+			stale++
+		}
+	}
+	// The old snapshot's MVCC view lists the retired generation, whose
+	// files and disk entries are gone: the read must fail.
+	if _, _, err := diskClient.ReadAll(ctx, table, oldTS); err == nil {
+		stale++
+	} else {
+		var rre *client.ReplicatedReadError
+		if !errors.As(err, &rre) {
+			return 0, fmt.Errorf("old-snapshot probe failed with %T (%v), want *client.ReplicatedReadError", err, err)
+		}
+	}
+	return stale, nil
+}
+
+// PrintCachePressure renders the cache-pressure experiment.
+func PrintCachePressure(w io.Writer, res *CachePressureResult) {
+	fmt.Fprintln(w, "Cache pressure — working set 10x the RAM cache, disk tier warmed by prefetch")
+	fmt.Fprintf(w, "(%d fragments, working set %dKB; RAM %dKB, disk %dKB, pressure %.1fx)\n",
+		res.Fragments, res.WorkingSetBytes/1024, res.RAMCacheBytes/1024,
+		res.DiskCacheBytes/1024, res.PressureRatio)
+	table := make([][]string, 0, 3)
+	for _, s := range []CachePressureSide{res.Cold, res.RAMOnly, res.DiskWarm} {
+		table = append(table, []string{
+			s.Mode,
+			fmt.Sprintf("%d", s.Passes),
+			fmt.Sprintf("%.1fms", s.ElapsedMS),
+			fmt.Sprintf("%.2fms", s.ScanP50MS),
+			fmt.Sprintf("%.2fms", s.ScanP99MS),
+			fmt.Sprintf("%d", s.ColossusReads),
+			fmt.Sprintf("%d", s.RAMHits),
+			fmt.Sprintf("%d", s.DiskHits),
+			fmt.Sprintf("%d", s.Prefetched),
+		})
+	}
+	fmt.Fprint(w, metrics.FormatTable(
+		[]string{"mode", "passes", "total", "scan p50", "scan p99", "colossus reads", "ram hits", "disk hits", "prefetched"}, table))
+	fmt.Fprintf(w, "disk-warm speedup over cold: %.2fx (ram-only: %.2fx); stale reads after GC: %d\n\n",
+		res.Speedup, res.RAMOnlySpeedup, res.StaleReads)
+}
+
+// WriteCachePressureJSON serializes the result (BENCH_cachepressure.json).
+func WriteCachePressureJSON(w io.Writer, res *CachePressureResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCachePressureSmoke runs the cache-pressure experiment at reduced
+// scale (further reduced under -short, where it is the CI smoke): the
+// disk-warm side must serve its scans without Colossus reads, the
+// prefetcher must have warmed the tier, and the GC probe must observe
+// zero stale reads.
+func TestCachePressureSmoke(t *testing.T) {
+	rows, passes := 4000, 3
+	if testing.Short() {
+		rows, passes = 2000, 2
+	}
+	res, err := CachePressureBench(context.Background(), rows, passes, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleReads != 0 {
+		t.Fatalf("%d stale reads after GC, want 0\n%+v", res.StaleReads, res)
+	}
+	if res.PressureRatio < 9.5 {
+		t.Fatalf("pressure ratio %.2f, want ~10x", res.PressureRatio)
+	}
+	if res.DiskWarm.Prefetched == 0 {
+		t.Fatalf("prefetcher warmed nothing: %+v", res.DiskWarm)
+	}
+	if res.DiskWarm.ColossusReads != 0 {
+		t.Fatalf("disk-warm side paid %d Colossus reads, want 0", res.DiskWarm.ColossusReads)
+	}
+	if res.DiskWarm.DiskHits == 0 {
+		t.Fatalf("disk-warm side never hit the disk tier: %+v", res.DiskWarm)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("disk-warm speedup %.2fx, want > 1x\n%+v", res.Speedup, res)
+	}
+	var buf bytes.Buffer
+	PrintCachePressure(&buf, res)
+	if !strings.Contains(buf.String(), "stale reads after GC: 0") {
+		t.Fatalf("report missing stale-read line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteCachePressureJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back CachePressureResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if back.Experiment != "cache-pressure" {
+		t.Fatalf("experiment = %q", back.Experiment)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"vortex/internal/disktier"
 	"vortex/internal/meta"
 	"vortex/internal/ros"
 	"vortex/internal/schema"
@@ -35,6 +36,11 @@ import (
 //     forever.
 //
 // A nil *ReadCache is valid and disabled: every method no-ops.
+//
+// The cache may carry an optional on-disk middle tier (disktier.Tier)
+// holding raw fragment file bytes: a RAM miss falls through to disk and
+// a disk miss fetches from Colossus, back-filling both tiers. The disk
+// tier has its own lock — file IO never runs under this cache's mutex.
 type ReadCache struct {
 	mu       sync.Mutex
 	maxBytes int64
@@ -42,11 +48,14 @@ type ReadCache struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used
 
-	hits          int64
-	misses        int64
-	bytesSaved    int64
-	evictions     int64
-	invalidations int64
+	disk *disktier.Tier // optional middle tier; nil = RAM-only
+
+	hits            int64
+	misses          int64
+	bytesSaved      int64
+	evictions       int64
+	invalidations   int64
+	oversizeRejects int64
 }
 
 // wosBlock is one decoded data block of a sealed WOS fragment. Blocks —
@@ -69,12 +78,16 @@ type rosRowMemo struct {
 }
 
 // wosRowMemo is the fully visible PosRow view of a sealed WOS fragment:
-// valid only for scans whose snapshot covers maxSeq and whose
-// assignment applies no mask or visibility restriction.
+// valid only for scans whose snapshot covers maxRowTS and whose
+// assignment applies no mask or visibility restriction. maxRowTS is the
+// commit timestamp of the fragment's newest row — WOS storage sequence
+// numbers are timestamp-assigned (seq = block TrueTime timestamp + row
+// index within the block, see assembleWOS), so the newest row's seq IS
+// its commit timestamp and the snapshot guard compares like with like.
 type wosRowMemo struct {
 	fragID         meta.FragmentID
 	streamletStart int64
-	maxSeq         int64
+	maxRowTS       truetime.Timestamp
 	rows           []PosRow
 }
 
@@ -100,26 +113,51 @@ type cacheEntry struct {
 // NewReadCache returns a cache bounded to maxBytes of raw fragment
 // bytes, or nil (disabled) when maxBytes <= 0.
 func NewReadCache(maxBytes int64) *ReadCache {
-	if maxBytes <= 0 {
+	return NewTiered(maxBytes, nil)
+}
+
+// NewTiered returns a cache with an optional on-disk middle tier. The
+// result is nil (fully disabled) only when both tiers are disabled;
+// with maxBytes <= 0 and a live disk tier the RAM LRU stores nothing
+// but the cache object still exists, so GC invalidation fanout and the
+// disk fall-through keep working.
+func NewTiered(maxBytes int64, disk *disktier.Tier) *ReadCache {
+	if maxBytes <= 0 && disk == nil {
 		return nil
 	}
 	return &ReadCache{
 		maxBytes: maxBytes,
+		disk:     disk,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 	}
 }
 
-// CacheStats is a point-in-time snapshot of the cache counters.
+// CacheStats is a point-in-time snapshot of the cache counters, RAM
+// tier first, then the optional on-disk middle tier (all Disk* fields
+// are zero without one).
 type CacheStats struct {
-	Hits          int64
-	Misses        int64
-	BytesSaved    int64 // raw Colossus bytes not re-read thanks to hits
-	Evictions     int64
-	Invalidations int64
-	Entries       int
-	SizeBytes     int64
-	MaxBytes      int64
+	Hits            int64
+	Misses          int64
+	BytesSaved      int64 // raw Colossus bytes not re-read thanks to hits
+	Evictions       int64
+	Invalidations   int64
+	OversizeRejects int64 // puts dropped because one entry exceeds MaxBytes
+	Entries         int
+	SizeBytes       int64
+	MaxBytes        int64
+
+	DiskHits          int64
+	DiskMisses        int64
+	DiskBytesSaved    int64 // raw Colossus bytes served from disk instead
+	DiskEvictions     int64
+	DiskInvalidations int64
+	DiskCorruptions   int64 // disk entries dropped for failing CRC/format checks
+	PrefetchFetched   int64 // fragments warmed into the disk tier ahead of scans
+	PrefetchSkipped   int64 // prefetch candidates already cached or in flight
+	DiskEntries       int
+	DiskSizeBytes     int64
+	DiskMaxBytes      int64
 }
 
 // HitRatio returns Hits/(Hits+Misses), or 0 with no lookups.
@@ -130,23 +168,97 @@ func (s CacheStats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Stats returns the current counters. Safe on a nil cache.
+// Stats returns the current counters across both tiers. Safe on a nil
+// cache.
 func (c *ReadCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
+	ds := c.disk.Stats() // own lock; take it before c.mu to keep ordering trivial
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		BytesSaved:    c.bytesSaved,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
-		Entries:       len(c.entries),
-		SizeBytes:     c.size,
-		MaxBytes:      c.maxBytes,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		BytesSaved:      c.bytesSaved,
+		Evictions:       c.evictions,
+		Invalidations:   c.invalidations,
+		OversizeRejects: c.oversizeRejects,
+		Entries:         len(c.entries),
+		SizeBytes:       c.size,
+		MaxBytes:        c.maxBytes,
+
+		DiskHits:          ds.Hits,
+		DiskMisses:        ds.Misses,
+		DiskBytesSaved:    ds.BytesSaved,
+		DiskEvictions:     ds.Evictions,
+		DiskInvalidations: ds.Invalidations,
+		DiskCorruptions:   ds.Corruptions,
+		PrefetchFetched:   ds.PrefetchFetched,
+		PrefetchSkipped:   ds.PrefetchSkipped,
+		DiskEntries:       ds.Entries,
+		DiskSizeBytes:     ds.SizeBytes,
+		DiskMaxBytes:      ds.MaxBytes,
 	}
+}
+
+// Disk returns the on-disk middle tier, or nil. Safe on a nil cache.
+func (c *ReadCache) Disk() *disktier.Tier {
+	if c == nil {
+		return nil
+	}
+	return c.disk
+}
+
+// diskGet returns raw fragment file bytes from the disk tier, or
+// ok=false on a miss (or with no disk tier).
+func (c *ReadCache) diskGet(path string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.disk.Get(path)
+}
+
+// diskPut back-fills raw fragment file bytes into the disk tier.
+func (c *ReadCache) diskPut(path string, data []byte) {
+	if c == nil {
+		return
+	}
+	c.disk.Put(path, data)
+}
+
+// peekROS returns the cached reader without touching counters or LRU
+// order. The singleflight fill uses it to re-check after winning the
+// flight: the losing scan already counted its miss, so a silent peek
+// keeps hit/miss accounting one-per-scan.
+func (c *ReadCache) peekROS(path string) *ros.Reader {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[path]; ok {
+		return el.Value.(*cacheEntry).ros
+	}
+	return nil
+}
+
+// peekWOS is peekROS for sealed-WOS block entries.
+func (c *ReadCache) peekWOS(path string, committedBytes int64) ([]wosBlock, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[path]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ros != nil || e.committedBytes != committedBytes {
+		return nil, false
+	}
+	return e.wos, true
 }
 
 // getROS returns the cached reader for path, or nil on a miss.
@@ -283,7 +395,7 @@ func (c *ReadCache) getWOSRows(path string, committedBytes int64, fragID meta.Fr
 		return nil, false
 	}
 	m := e.wosRows
-	if m.fragID != fragID || m.streamletStart != streamletStart || truetime.Timestamp(m.maxSeq) > snapshotTS {
+	if m.fragID != fragID || m.streamletStart != streamletStart || m.maxRowTS > snapshotTS {
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
@@ -312,11 +424,18 @@ func (c *ReadCache) putWOSRows(path string, committedBytes int64, m *wosRowMemo)
 }
 
 func (c *ReadCache) put(e *cacheEntry) {
-	if e.size > c.maxBytes {
-		return // would evict the whole cache for one entry
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxBytes <= 0 {
+		return // RAM tier disabled (disk-only configuration)
+	}
+	if e.size > c.maxBytes {
+		// Admitting it would evict the whole cache for one entry. A
+		// misconfigured tiny cache used to report only misses here with no
+		// explanation; the counter makes the drop observable.
+		c.oversizeRejects++
+		return
+	}
 	if old, ok := c.entries[e.path]; ok {
 		c.size -= old.Value.(*cacheEntry).size
 		c.lru.Remove(old)
@@ -338,12 +457,17 @@ func (c *ReadCache) put(e *cacheEntry) {
 }
 
 // Invalidate drops the entries for the given fragment paths and returns
-// how many were present. GC hooks (SMS groomer, stream-server heartbeat
-// deletion) call this with the paths they physically deleted.
+// how many RAM entries were present. GC hooks (SMS groomer,
+// stream-server heartbeat deletion) call this with the paths they
+// physically deleted. The disk tier is unlinked FIRST, before the RAM
+// entries are dropped and before Invalidate returns: a scan racing the
+// GC can then at worst hit the still-valid RAM entry, never re-fill RAM
+// from a disk entry that outlived its fragment.
 func (c *ReadCache) Invalidate(paths ...string) int {
 	if c == nil {
 		return 0
 	}
+	c.disk.Invalidate(paths...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0

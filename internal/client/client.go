@@ -17,6 +17,7 @@ import (
 
 	"vortex/internal/blockenc"
 	"vortex/internal/colossus"
+	"vortex/internal/disktier"
 	"vortex/internal/meta"
 	"vortex/internal/metrics"
 	"vortex/internal/rowenc"
@@ -68,6 +69,19 @@ type Options struct {
 	// ReadCacheBytes bounds the snapshot-safe fragment read cache; 0
 	// (the default) disables caching and every scan reads Colossus.
 	ReadCacheBytes int64
+	// DiskCacheDir/DiskCacheBytes configure an on-disk middle tier under
+	// the RAM cache: raw fragment bytes spill to DiskCacheDir (bounded to
+	// DiskCacheBytes, LRU) and a RAM miss falls through to disk before
+	// paying a Colossus fetch. Both must be set to enable the tier.
+	DiskCacheDir   string
+	DiskCacheBytes int64
+	// DiskCache, when non-nil, is a pre-opened disk tier that takes
+	// precedence over DiskCacheDir/DiskCacheBytes — for callers that want
+	// to handle disktier.Open errors themselves.
+	DiskCache *disktier.Tier
+	// PrefetchInFlight bounds concurrent disk-tier prefetch fetches;
+	// <= 0 means the default (4).
+	PrefetchInFlight int
 }
 
 // DefaultOptions returns production-like client options.
@@ -118,6 +132,10 @@ type Client struct {
 	// (a nil *ReadCache no-ops every method).
 	cache *ReadCache
 
+	// flight coalesces concurrent miss fills per fragment path so cold
+	// scans never stampede Colossus.
+	flight flightGroup
+
 	mu      sync.Mutex
 	schemas map[meta.TableID]*schema.Schema
 }
@@ -131,6 +149,12 @@ func New(net *rpc.Network, router Router, region *colossus.Region, keyring *bloc
 		opts.FlowControlWindow = 16 << 20
 	}
 	opts.Retry = opts.Retry.withDefaults()
+	disk := opts.DiskCache
+	if disk == nil && opts.DiskCacheDir != "" && opts.DiskCacheBytes > 0 {
+		// New cannot return an error; an unusable cache directory simply
+		// disables the tier.
+		disk, _ = disktier.Open(opts.DiskCacheDir, opts.DiskCacheBytes)
+	}
 	return &Client{
 		budgetTokens:  float64(opts.Retry.RetryBudget),
 		net:           net,
@@ -143,7 +167,7 @@ func New(net *rpc.Network, router Router, region *colossus.Region, keyring *bloc
 		rng:           newRNG(opts.Seed),
 		appendLatency: metrics.NewLatencyHistogram(),
 		scanLatency:   metrics.NewLatencyHistogram(),
-		cache:         NewReadCache(opts.ReadCacheBytes),
+		cache:         NewTiered(opts.ReadCacheBytes, disk),
 		schemas:       make(map[meta.TableID]*schema.Schema),
 	}
 }

@@ -310,22 +310,55 @@ func (c *Client) ScanDetailed(ctx context.Context, plan *ScanPlan, a Assignment)
 	return rows, err
 }
 
+// fragmentBytes returns the raw file bytes of an immutable (ROS or
+// sealed-WOS) fragment: disk tier first, then Colossus with a disk-tier
+// back-fill. Concurrent callers for the same path — demand scans and
+// the prefetcher alike — coalesce into one fetch.
+func (c *Client) fragmentBytes(clusters [2]string, path string) ([]byte, error) {
+	v, err := c.flight.Do("bytes:"+path, func() (any, error) {
+		if data, ok := c.cache.diskGet(path); ok {
+			return data, nil
+		}
+		data, _, err := c.readReplicated(clusters, path)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.diskPut(path, data)
+		return data, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]byte), nil
+}
+
 // rosReader returns the (cached) decoded reader for a ROS fragment,
-// fetching and opening the file on a miss.
+// fetching and opening the file on a miss. The miss fill is
+// singleflighted per path: N concurrent cold scans of one fragment pay
+// one fetch and one decode, not N.
 func (c *Client) rosReader(a Assignment) (*ros.Reader, error) {
 	if rd := c.cache.getROS(a.Frag.Path); rd != nil {
 		return rd, nil
 	}
-	data, _, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
+	v, err := c.flight.Do("ros:"+a.Frag.Path, func() (any, error) {
+		if rd := c.cache.peekROS(a.Frag.Path); rd != nil {
+			return rd, nil // a previous flight filled it after our miss
+		}
+		data, err := c.fragmentBytes(a.Frag.Clusters, a.Frag.Path)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := ros.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.putROS(a.Frag.Path, rd, int64(len(data)))
+		return rd, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rd, err := ros.Open(data)
-	if err != nil {
-		return nil, err
-	}
-	c.cache.putROS(a.Frag.Path, rd, int64(len(data)))
-	return rd, nil
+	return v.(*ros.Reader), nil
 }
 
 // scanROS scans a ROS fragment. ROS files are immutable once written, so
@@ -372,19 +405,7 @@ func (c *Client) scanROS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
 // live tail files always bypass the cache.
 func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]PosRow, error) {
 	if !a.Live {
-		if wosFastEligible(a) {
-			// Fast path: when the snapshot covers every row and the
-			// assignment restricts nothing, the memoized assembly is exact.
-			if rows, ok := c.cache.getWOSRows(a.Frag.Path, a.Frag.CommittedBytes,
-				a.Frag.ID, a.streamletStart(), plan.SnapshotTS); ok {
-				return rows, nil
-			}
-		}
-		if cached, ok := c.cache.getWOS(a.Frag.Path, a.Frag.CommittedBytes); ok {
-			rows := c.assembleWOS(plan, a, a.Frag.StartRow, a.Frag.ID, cached)
-			c.maybeMemoWOS(plan, a, rows, cached)
-			return rows, nil
-		}
+		return c.scanSealedWOS(plan, a)
 	}
 	order := c.replicaOrder(a.Frag.Clusters)
 	data, usedCluster, err := c.readReplicated(a.Frag.Clusters, a.Frag.Path)
@@ -397,28 +418,94 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 	}
 	blocks := scan.CommittedBlocks
 
-	if a.Live {
-		if bound, ok := c.fileMapBound(a); ok {
-			// A successor file exists: its File Map records this file's
-			// committed final size — the authoritative bound (§7.1).
-			blocks = nil
-			for _, b := range scan.Blocks {
-				if b.Offset+b.Size <= bound {
-					blocks = append(blocks, b)
-				}
+	if bound, ok := c.fileMapBound(a); ok {
+		// A successor file exists: its File Map records this file's
+		// committed final size — the authoritative bound (§7.1).
+		blocks = nil
+		for _, b := range scan.Blocks {
+			if b.Offset+b.Size <= bound {
+				blocks = append(blocks, b)
 			}
-		} else if scan.TailBlock != nil {
-			include, err := c.decideTail(ctx, plan, a, scan, usedCluster, order)
+		}
+	} else if scan.TailBlock != nil {
+		include, err := c.decideTail(ctx, plan, a, scan, usedCluster, order)
+		if err != nil {
+			return nil, err
+		}
+		if include {
+			blocks = append(append([]fragment.Block(nil), blocks...), *scan.TailBlock)
+		}
+	}
+
+	// Live files carry their own streamlet-local offsets; the header is
+	// authoritative.
+	fragStartRow := a.Frag.StartRow
+	if len(blocks) > 0 {
+		if first := firstDataBlock(blocks); first != nil {
+			fragStartRow = first.StartRow
+		}
+	}
+	fragID := meta.FragmentIDFor(a.Frag.Streamlet, a.FragIndex)
+	decoded, err := c.decodeBlocks(blocks)
+	if err != nil {
+		return nil, err
+	}
+	return c.assembleWOS(plan, a, fragStartRow, fragID, decoded), nil
+}
+
+// scanSealedWOS scans a finalized-streamlet fragment. Sealed files are
+// immutable up to their committed boundary, so the decoded blocks are
+// cached keyed by (path, CommittedBytes), the raw bytes flow through
+// the tiered fragmentBytes path, and the miss fill is singleflighted —
+// only snapshot filtering (assembleWOS) runs per scan.
+func (c *Client) scanSealedWOS(plan *ScanPlan, a Assignment) ([]PosRow, error) {
+	if wosFastEligible(a) {
+		// Fast path: when the snapshot covers every row and the
+		// assignment restricts nothing, the memoized assembly is exact.
+		if rows, ok := c.cache.getWOSRows(a.Frag.Path, a.Frag.CommittedBytes,
+			a.Frag.ID, a.streamletStart(), plan.SnapshotTS); ok {
+			return rows, nil
+		}
+	}
+	blocks, ok := c.cache.getWOS(a.Frag.Path, a.Frag.CommittedBytes)
+	if !ok {
+		key := fmt.Sprintf("wos:%s:%d", a.Frag.Path, a.Frag.CommittedBytes)
+		v, err := c.flight.Do(key, func() (any, error) {
+			if cached, ok := c.cache.peekWOS(a.Frag.Path, a.Frag.CommittedBytes); ok {
+				return cached, nil // a previous flight filled it after our miss
+			}
+			data, err := c.fragmentBytes(a.Frag.Clusters, a.Frag.Path)
 			if err != nil {
 				return nil, err
 			}
-			if include {
-				blocks = append(append([]fragment.Block(nil), blocks...), *scan.TailBlock)
+			decoded, err := c.decodeSealedWOS(a, data)
+			if err != nil {
+				return nil, err
 			}
+			c.cache.putWOS(a.Frag.Path, a.Frag.CommittedBytes, decoded, int64(len(data)))
+			return decoded, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-	} else if a.Frag.CommittedBytes > 0 {
-		// Finalized fragment: metadata bounds what is committed. "Clients
-		// will not read past the logical finalized size" (§7.1).
+		blocks = v.([]wosBlock)
+	}
+	rows := c.assembleWOS(plan, a, a.Frag.StartRow, a.Frag.ID, blocks)
+	c.maybeMemoWOS(plan, a, rows, blocks)
+	return rows, nil
+}
+
+// decodeSealedWOS parses a sealed fragment file and decodes its
+// committed data blocks. CommittedBytes, when recorded, bounds the
+// result: "clients will not read past the logical finalized size"
+// (§7.1).
+func (c *Client) decodeSealedWOS(a Assignment, data []byte) ([]wosBlock, error) {
+	scan, err := fragment.Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	blocks := scan.CommittedBlocks
+	if a.Frag.CommittedBytes > 0 {
 		var bounded []fragment.Block
 		for _, b := range scan.Blocks {
 			if b.Offset+b.Size <= a.Frag.CommittedBytes {
@@ -427,23 +514,11 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 		}
 		blocks = bounded
 	}
+	return c.decodeBlocks(blocks)
+}
 
-	fragStartRow := a.Frag.StartRow
-	if a.Live {
-		// Live files carry their own streamlet-local offsets; the header
-		// is authoritative.
-		if len(blocks) > 0 {
-			first := firstDataBlock(blocks)
-			if first != nil {
-				fragStartRow = first.StartRow
-			}
-		}
-	}
-
-	fragID := a.Frag.ID
-	if a.Live {
-		fragID = meta.FragmentIDFor(a.Frag.Streamlet, a.FragIndex)
-	}
+// decodeBlocks unseals and row-decodes WOS data blocks.
+func (c *Client) decodeBlocks(blocks []fragment.Block) ([]wosBlock, error) {
 	decoded := make([]wosBlock, 0, len(blocks))
 	for _, b := range blocks {
 		if b.Kind != fragment.BlockData {
@@ -459,12 +534,7 @@ func (c *Client) scanWOS(ctx context.Context, plan *ScanPlan, a Assignment) ([]P
 		}
 		decoded = append(decoded, wosBlock{Timestamp: b.Timestamp, StartRow: b.StartRow, Rows: rows})
 	}
-	rows := c.assembleWOS(plan, a, fragStartRow, fragID, decoded)
-	if !a.Live {
-		c.cache.putWOS(a.Frag.Path, a.Frag.CommittedBytes, decoded, int64(len(data)))
-		c.maybeMemoWOS(plan, a, rows, decoded)
-	}
-	return rows, nil
+	return decoded, nil
 }
 
 // wosFastEligible reports whether an assignment applies no row filter
@@ -507,8 +577,11 @@ func (c *Client) maybeMemoWOS(plan *ScanPlan, a Assignment, rows []PosRow, block
 	c.cache.putWOSRows(a.Frag.Path, a.Frag.CommittedBytes, &wosRowMemo{
 		fragID:         a.Frag.ID,
 		streamletStart: a.streamletStart(),
-		maxSeq:         maxSeq,
-		rows:           rows,
+		// Seqs are timestamp-assigned (assembleWOS: seq = block TrueTime
+		// timestamp + row index), so the max seq IS the newest row's
+		// commit timestamp — the value the snapshot guard compares.
+		maxRowTS: truetime.Timestamp(maxSeq),
+		rows:     rows,
 	})
 }
 

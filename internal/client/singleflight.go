@@ -1,0 +1,51 @@
+package client
+
+import "sync"
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every caller shares — the classic singleflight
+// shape, hand-rolled because the repo takes no external dependencies.
+//
+// The read path uses it to stop the miss thundering herd: N concurrent
+// cold scans of the same fragment used to pay N full Colossus fetches
+// and N decodes; under flight only the first does the work.
+//
+// Errors are not cached: the winning call's error is delivered to every
+// waiter of that round, then the key is forgotten so the next caller
+// retries fresh.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn once per key at a time. Callers that arrive while a call
+// for key is in flight wait for it and share its result.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err
+}

@@ -1,0 +1,208 @@
+package disktier
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		path    string
+		payload []byte
+	}{
+		{"ros/d.t/frag-1", []byte("hello world")},
+		{"wos/d.t/s0/frag-2", nil},
+		{"", []byte{0, 1, 2, 255}},
+		{"p", bytes.Repeat([]byte{0xAB}, 1<<16)},
+	}
+	for _, c := range cases {
+		enc := EncodeEntry(c.path, c.payload)
+		gotPath, gotPayload, err := DecodeEntry(enc)
+		if err != nil {
+			t.Fatalf("DecodeEntry(%q): %v", c.path, err)
+		}
+		if gotPath != c.path || !bytes.Equal(gotPayload, c.payload) {
+			t.Fatalf("round trip mismatch for %q", c.path)
+		}
+	}
+}
+
+func TestDecodeEntryRejectsCorruption(t *testing.T) {
+	enc := EncodeEntry("ros/d.t/frag", []byte("payload bytes"))
+
+	if _, _, err := DecodeEntry(enc[:3]); err == nil {
+		t.Fatal("short magic accepted")
+	}
+	bad := append([]byte("NOPE"), enc[4:]...)
+	if _, _, err := DecodeEntry(bad); err != ErrBadMagic {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	bad = bytes.Clone(enc)
+	bad[4] = 0x7F
+	if _, _, err := DecodeEntry(bad); err != ErrBadVersion {
+		t.Fatalf("bad version: got %v", err)
+	}
+	if _, _, err := DecodeEntry(enc[:len(enc)-1]); err != ErrTruncated {
+		t.Fatalf("truncated payload: got %v", err)
+	}
+	bad = bytes.Clone(enc)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := DecodeEntry(bad); err != ErrChecksum {
+		t.Fatalf("flipped payload byte: got %v", err)
+	}
+}
+
+func TestOpenDisabledAndSweep(t *testing.T) {
+	if tier, err := Open(t.TempDir(), 0); err != nil || tier != nil {
+		t.Fatalf("maxBytes=0 should disable: %v %v", tier, err)
+	}
+	var nilTier *Tier
+	nilTier.Put("p", []byte("x"))
+	if _, ok := nilTier.Get("p"); ok {
+		t.Fatal("nil tier served a hit")
+	}
+	nilTier.Invalidate("p")
+	if s := nilTier.Stats(); s != (Stats{}) {
+		t.Fatalf("nil tier stats: %+v", s)
+	}
+
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "leftover.vxdt")
+	if err := os.WriteFile(stale, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tier, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("Open did not sweep stale files")
+	}
+	if s := tier.Stats(); s.Entries != 0 || s.SizeBytes != 0 {
+		t.Fatalf("fresh tier not empty: %+v", s)
+	}
+}
+
+func TestPutGetInvalidate(t *testing.T) {
+	tier, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("fragment file bytes")
+	tier.Put("ros/d.t/frag-1", payload)
+	if !tier.Contains("ros/d.t/frag-1") {
+		t.Fatal("Contains false after Put")
+	}
+	got, ok := tier.Get("ros/d.t/frag-1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("Get after Put failed")
+	}
+	if _, ok := tier.Get("ros/d.t/other"); ok {
+		t.Fatal("hit for absent path")
+	}
+	tier.Invalidate("ros/d.t/frag-1")
+	if tier.Contains("ros/d.t/frag-1") {
+		t.Fatal("Contains true after Invalidate")
+	}
+	if _, ok := tier.Get("ros/d.t/frag-1"); ok {
+		t.Fatal("stale hit after Invalidate")
+	}
+	names, _ := os.ReadDir(tier.Dir())
+	if len(names) != 0 {
+		t.Fatalf("files left on disk after invalidate: %d", len(names))
+	}
+	s := tier.Stats()
+	if s.Hits != 1 || s.Invalidations != 1 || s.Entries != 0 || s.SizeBytes != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLRUEvictionAndOversize(t *testing.T) {
+	tier, err := Open(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Put("a", bytes.Repeat([]byte{1}, 40))
+	tier.Put("b", bytes.Repeat([]byte{2}, 40))
+	tier.Get("a") // make b the LRU victim
+	tier.Put("c", bytes.Repeat([]byte{3}, 40))
+	if tier.Contains("b") {
+		t.Fatal("b not evicted")
+	}
+	if !tier.Contains("a") || !tier.Contains("c") {
+		t.Fatal("wrong victim evicted")
+	}
+	tier.Put("huge", bytes.Repeat([]byte{4}, 200))
+	if tier.Contains("huge") {
+		t.Fatal("oversize entry admitted")
+	}
+	if s := tier.Stats(); s.Evictions != 1 || s.SizeBytes != 80 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCorruptFileDropped(t *testing.T) {
+	tier, err := Open(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Put("p", []byte("good payload"))
+	// Corrupt the file on disk behind the tier's back.
+	names, _ := os.ReadDir(tier.Dir())
+	if len(names) != 1 {
+		t.Fatalf("want 1 file, got %d", len(names))
+	}
+	file := filepath.Join(tier.Dir(), names[0].Name())
+	data, _ := os.ReadFile(file)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get("p"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if tier.Contains("p") {
+		t.Fatal("corrupt entry retained")
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not unlinked")
+	}
+	if s := tier.Stats(); s.Corruptions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tier, err := Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := paths[(g+i)%len(paths)]
+				switch i % 3 {
+				case 0:
+					tier.Put(p, bytes.Repeat([]byte{byte(i)}, 512))
+				case 1:
+					if got, ok := tier.Get(p); ok && len(got) != 512 {
+						t.Errorf("bad payload size %d", len(got))
+					}
+				default:
+					tier.Invalidate(p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := tier.Stats(); s.Corruptions != 0 {
+		t.Fatalf("corruptions under concurrency: %+v", s)
+	}
+}

@@ -1,0 +1,32 @@
+package disktier
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEntry exercises the on-disk entry parser with arbitrary bytes.
+// DecodeEntry must never panic, and any input it accepts must re-encode to
+// an entry that decodes to the same (path, payload).
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("VXDT"))
+	f.Add(EncodeEntry("ros/d.t/frag-1", []byte("payload")))
+	f.Add(EncodeEntry("", nil))
+	trunc := EncodeEntry("wos/d.t/s0/frag-2", []byte("0123456789"))
+	f.Add(trunc[:len(trunc)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path, payload, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeEntry(path, payload)
+		p2, pl2, err2 := DecodeEntry(enc)
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if p2 != path || !bytes.Equal(pl2, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -74,6 +74,13 @@ type ExecStats struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheBytesSaved int64
+	// Disk-tier deltas (see vortex.WithDiskCache): fragments served
+	// from the on-disk middle tier, misses that fell through to
+	// Colossus, and fragments the async prefetcher warmed ahead of this
+	// query's leaf scans. All zero without a disk tier.
+	DiskHits        int64
+	DiskMisses      int64
+	PrefetchFetched int64
 	// RowsCodeSkipped counts rows the vectorized leaf eliminated in
 	// encoded space — a predicate decided once per dictionary entry or
 	// RLE run killed them without ever materializing a value.
@@ -205,7 +212,10 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 	}
 
 	// Leaf stage: parallel shard scans (the Dremel leaf dispatch, §3.1).
+	// The prefetcher walks the surviving assignments ahead of the
+	// scanners, warming the disk tier (no-op without one).
 	cacheBefore := e.c.ReadCache().Stats()
+	e.c.Prefetch(assignments)
 	results := make([][]client.PosRow, len(assignments))
 	errs := make([]error, len(assignments))
 	sem := make(chan struct{}, e.cfg.Shards)
@@ -224,6 +234,9 @@ func (e *Engine) scanTable(ctx context.Context, table meta.TableID, ts truetime.
 	stats.CacheHits = cacheAfter.Hits - cacheBefore.Hits
 	stats.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
 	stats.CacheBytesSaved = cacheAfter.BytesSaved - cacheBefore.BytesSaved
+	stats.DiskHits = cacheAfter.DiskHits - cacheBefore.DiskHits
+	stats.DiskMisses = cacheAfter.DiskMisses - cacheBefore.DiskMisses
+	stats.PrefetchFetched = cacheAfter.PrefetchFetched - cacheBefore.PrefetchFetched
 	var rows []client.PosRow
 	for i := range results {
 		if errs[i] != nil {
@@ -257,6 +270,7 @@ func (e *Engine) scanTableBatches(ctx context.Context, table meta.TableID, ts tr
 	}
 
 	cacheBefore := e.c.ReadCache().Stats()
+	e.c.Prefetch(assignments)
 	batches := make([]*client.ColBatch, len(assignments))
 	errs := make([]error, len(assignments))
 	sem := make(chan struct{}, e.cfg.Shards)
@@ -275,6 +289,9 @@ func (e *Engine) scanTableBatches(ctx context.Context, table meta.TableID, ts tr
 	stats.CacheHits = cacheAfter.Hits - cacheBefore.Hits
 	stats.CacheMisses = cacheAfter.Misses - cacheBefore.Misses
 	stats.CacheBytesSaved = cacheAfter.BytesSaved - cacheBefore.BytesSaved
+	stats.DiskHits = cacheAfter.DiskHits - cacheBefore.DiskHits
+	stats.DiskMisses = cacheAfter.DiskMisses - cacheBefore.DiskMisses
+	stats.PrefetchFetched = cacheAfter.PrefetchFetched - cacheBefore.PrefetchFetched
 	for i := range batches {
 		if errs[i] != nil {
 			return nil, nil, errs[i]

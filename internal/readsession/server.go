@@ -37,6 +37,9 @@ const (
 	// half-life, so an abandoned session unblocks GC within one TTL.
 	leaseTTL  = truetime.Timestamp(30e9)
 	maxShards = 64
+	// prefetchAhead is how many unserved assignments past the one being
+	// scanned the serve loop hands to the disk-tier prefetcher.
+	prefetchAhead = 8
 )
 
 // ServerStats is a snapshot of the service-side counters.
@@ -621,7 +624,20 @@ func (s *Server) handleReadRows(ctx context.Context, ss *rpc.ServerStream) error
 			sh.frontier = idx + 1
 		}
 		known := sh.counts[idx]
+		// Snapshot the next few unserved assignments while holding the
+		// lock; the prefetcher warms the disk tier for them while this
+		// one is scanned (no-op without a disk tier).
+		var upcoming []client.Assignment
+		if end := idx + 1 + prefetchAhead; idx+1 < len(sh.assignments) {
+			if end > len(sh.assignments) {
+				end = len(sh.assignments)
+			}
+			upcoming = append(upcoming, sh.assignments[idx+1:end]...)
+		}
 		sh.mu.Unlock()
+		if len(upcoming) > 0 {
+			s.c.Prefetch(upcoming)
+		}
 
 		// A resumed stream skips assignments that are wholly behind the
 		// checkpoint without re-scanning them, when their filtered counts

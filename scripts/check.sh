@@ -50,6 +50,16 @@ go test -short -count=1 -run 'TestVectorized' ./internal/query/ ./internal/reads
 # the no-loss and always-retryable invariants end to end.
 go test -short -count=1 -run 'TestFanoutSmoke' ./internal/bench/
 
+# Disk-tier cache: the on-disk LRU mixes file IO with lock-protected
+# index state and races Put/Get/Invalidate against GC unlinks — run it
+# twice more under -race so the unlink/overwrite interleavings vary.
+go test -race -count=2 ./internal/disktier/
+
+# Cache-pressure smoke: the -short variant of the tiered-cache
+# experiment (working set 10x RAM, prefetch-warmed disk tier) asserts
+# zero Colossus reads on the warm side and zero stale reads after GC.
+go test -short -count=1 -run 'TestCachePressureSmoke' ./internal/bench/
+
 # Fuzz smoke: a short budget per decoder target catches regressions in
 # the hostile-input guards without turning the check into a soak. The
 # checked-in corpora under testdata/fuzz run as plain seeds above; this
@@ -60,3 +70,4 @@ done
 go test -run '^$' -fuzz 'FuzzOpen$' -fuzztime 10s ./internal/blockenc/
 go test -run '^$' -fuzz 'FuzzDecodeRecordBatch$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzSelectionGather$' -fuzztime 10s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzDecodeEntry$' -fuzztime 10s ./internal/disktier/

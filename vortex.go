@@ -242,6 +242,8 @@ type openConfig struct {
 	chaos               *chaos.Schedule
 	retry               *client.RetryPolicy
 	readCacheBytes      int64
+	diskCacheDir        string
+	diskCacheBytes      int64
 	quotas              *sms.Quotas
 	hbCoalesce          time.Duration
 	hbMaxStreamlets     int
@@ -298,6 +300,23 @@ func WithRetryPolicy(p RetryPolicy) OpenOption {
 // default) disables caching.
 func WithReadCache(bytes int64) OpenOption {
 	return openOptionFunc(func(c *openConfig) { c.readCacheBytes = bytes })
+}
+
+// WithDiskCache adds an on-disk middle tier under the RAM read cache:
+// raw fragment file bytes spill to dir (bounded to the given byte
+// budget, LRU, CRC32C-verified on every read) and a RAM miss falls
+// through to disk before paying a Colossus fetch. Query scans also
+// prefetch upcoming fragments into the tier asynchronously, so tables
+// much larger than WithReadCache stream at local-disk speed instead of
+// thrashing the LRU. GC invalidation unlinks deleted fragments from
+// disk before the invalidation returns — a stale fragment is never
+// served. The tier starts cold on every Open (stale files in dir are
+// swept), and works with or without a RAM cache.
+func WithDiskCache(dir string, bytes int64) OpenOption {
+	return openOptionFunc(func(c *openConfig) {
+		c.diskCacheDir = dir
+		c.diskCacheBytes = bytes
+	})
 }
 
 // WithIngestQuotas installs admission control on the write path: every
@@ -406,6 +425,8 @@ func Open(opts ...OpenOption) *DB {
 		copts.Retry = *oc.retry
 	}
 	copts.ReadCacheBytes = oc.readCacheBytes
+	copts.DiskCacheDir = oc.diskCacheDir
+	copts.DiskCacheBytes = oc.diskCacheBytes
 	c := region.NewClient(copts)
 	return &DB{
 		Region: region,
@@ -450,8 +471,10 @@ func (db *DB) IngestStats() IngestStats { return db.Region.IngestStats() }
 // overload once the backlog drains. The zero value disables admission.
 func (db *DB) SetIngestQuotas(q IngestQuotas) { db.Region.SetQuotas(q) }
 
-// ReadCacheStats snapshots the read cache's counters. All zero when the
-// DB was opened without WithReadCache.
+// ReadCacheStats snapshots the read cache's counters: RAM-tier
+// hit/miss/eviction/oversize-reject counts plus, when WithDiskCache is
+// set, the disk tier's Disk*/Prefetch* counters. All zero when the DB
+// was opened without WithReadCache or WithDiskCache.
 func (db *DB) ReadCacheStats() CacheStats { return db.c.ReadCache().Stats() }
 
 // Errors returns background-maintenance errors (RunBackground's
