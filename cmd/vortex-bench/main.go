@@ -20,11 +20,15 @@ import (
 	"time"
 
 	"vortex/internal/bench"
+	"vortex/internal/clusterd"
 )
 
 func main() {
+	// The cluster experiment spawns coordinator/worker processes by
+	// re-executing this binary; those children divert here.
+	clusterd.MaybeRunNode()
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | cachepressure | readsession | fanout | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | cachepressure | readsession | fanout | cluster | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
 		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
@@ -39,6 +43,8 @@ func main() {
 		fanoutOut    = flag.String("fanout-out", "BENCH_fanout.json", "output path for the fanout JSON report")
 		passes       = flag.Int("passes", 6, "full-table read passes per side for cachepressure")
 		pressureOut  = flag.String("pressure-out", "BENCH_cachepressure.json", "output path for the cachepressure JSON report")
+		clusterNodes = flag.Int("cluster-workers", 2, "worker processes for the cluster experiment")
+		clusterOut   = flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -199,6 +205,39 @@ func main() {
 			fmt.Fprintf(out, "wrote %s\n", *fanoutOut)
 			if ok, reason := bench.FanoutOK(res); !ok {
 				return fmt.Errorf("fanout invariant violated: %s", reason)
+			}
+			return nil
+		})
+	}
+	// The cluster experiment is opt-in only: it spawns real OS processes
+	// (a coordinator and workers over the TCP transport), which is the
+	// point — but too heavyweight for `-experiment all`.
+	if *experiment == "cluster" {
+		run("cluster", func() error {
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			dur := *duration
+			if dur > 10*time.Second {
+				dur = 10 * time.Second
+			}
+			res, err := bench.Cluster(ctx, exe, *clusterNodes, 8, dur, *seed)
+			if err != nil {
+				return err
+			}
+			bench.PrintCluster(out, res)
+			f, err := os.Create(*clusterOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteClusterJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *clusterOut)
+			if ok, reason := bench.ClusterOK(res); !ok {
+				return fmt.Errorf("cluster invariant violated: %s", reason)
 			}
 			return nil
 		})

@@ -11,6 +11,19 @@
 // Rows are JSON arrays parallel to the schema fields; scalars map to
 // JSON strings/numbers/bools, TIMESTAMP to RFC3339 strings, STRUCT to
 // arrays, ARRAY to nested arrays.
+//
+// With -role coordinator or -role worker, vortexd instead runs one node
+// of a multi-process cluster over the TCP transport (see the "Running a
+// real cluster" section of the README):
+//
+//	vortexd -role coordinator -listen 127.0.0.1:7000 -key $KEY \
+//	        -peers ss-alpha-0=127.0.0.1:7001,ss-beta-0=127.0.0.1:7002
+//	vortexd -role worker -listen 127.0.0.1:7001 -key $KEY \
+//	        -serve ss-alpha-0 -coordinator 127.0.0.1:7000
+//
+// Stream Server addresses follow the convention ss-<cluster>-<suffix>;
+// the cluster segment tells the coordinator's placer which Colossus
+// cluster is the server's home replica.
 package main
 
 import (
@@ -20,11 +33,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"vortex"
+	"vortex/internal/clusterd"
 	"vortex/internal/meta"
+	"vortex/internal/rpc"
 	"vortex/internal/schema"
 )
 
@@ -36,8 +55,25 @@ type server struct {
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8550", "listen address")
+	clusterd.MaybeRunNode()
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8550", "HTTP listen address (role region)")
+		role        = flag.String("role", "region", "region | coordinator | worker")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP transport listen address (cluster roles)")
+		peers       = flag.String("peers", "", "comma-separated logical=host:port routes to other cluster processes")
+		coordinator = flag.String("coordinator", "", "coordinator host:port (role worker)")
+		serve       = flag.String("serve", "", "comma-separated stream server addrs this worker hosts, named ss-<cluster>-<n>")
+		clusters    = flag.String("clusters", "alpha,beta", "Colossus cluster names (cluster roles)")
+		smsTasks    = flag.Int("sms", 2, "SMS task count (cluster roles)")
+		keyHex      = flag.String("key", "", "shared 32-byte hex AES key (cluster roles)")
+	)
 	flag.Parse()
+	if *role != "region" {
+		if err := runClusterRole(*role, *listen, *peers, *coordinator, *serve, *clusters, *smsTasks, *keyHex); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	db := vortex.Open()
@@ -54,6 +90,88 @@ func main() {
 	})
 	log.Printf("vortexd listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// parseServerSpecs derives ServerSpecs from ss-<cluster>-<suffix> names.
+func parseServerSpecs(addrs []string) ([]clusterd.ServerSpec, error) {
+	specs := make([]clusterd.ServerSpec, 0, len(addrs))
+	for _, a := range addrs {
+		parts := strings.SplitN(a, "-", 3)
+		if len(parts) < 3 || parts[0] != "ss" {
+			return nil, fmt.Errorf("stream server addr %q does not follow ss-<cluster>-<suffix>", a)
+		}
+		specs = append(specs, clusterd.ServerSpec{Addr: a, Cluster: parts[1]})
+	}
+	return specs, nil
+}
+
+// runClusterRole runs one statically-configured cluster node until
+// SIGINT/SIGTERM.
+func runClusterRole(role, listen, peers, coordinator, serve, clusters string, smsTasks int, keyHex string) error {
+	tr := rpc.NewTCPTransport()
+	defer tr.Close()
+	hostport, err := tr.Listen(listen)
+	if err != nil {
+		return err
+	}
+	routes := map[string]string{}
+	var peerAddrs []string
+	if peers != "" {
+		for _, kv := range strings.Split(peers, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return fmt.Errorf("bad -peers entry %q (want logical=host:port)", kv)
+			}
+			routes[k] = v
+			peerAddrs = append(peerAddrs, k)
+		}
+	}
+	if coordinator != "" {
+		for i := 0; i < smsTasks; i++ {
+			routes[fmt.Sprintf("sms-%d", i)] = coordinator
+		}
+		routes["colossus"] = coordinator
+		routes["readsession-0"] = coordinator
+	}
+	tr.AddRoutes(routes)
+
+	cfg := clusterd.NodeConfig{
+		Role:     role,
+		Clusters: strings.Split(clusters, ","),
+		SMSTasks: smsTasks,
+		Key:      keyHex,
+	}
+	switch role {
+	case "coordinator":
+		var ssPeers []string
+		for _, a := range peerAddrs {
+			if strings.HasPrefix(a, "ss-") {
+				ssPeers = append(ssPeers, a)
+			}
+		}
+		if cfg.AllServers, err = parseServerSpecs(ssPeers); err != nil {
+			return err
+		}
+		if _, err := clusterd.StartCoordinator(tr, cfg); err != nil {
+			return err
+		}
+	case "worker":
+		if cfg.Servers, err = parseServerSpecs(strings.Split(serve, ",")); err != nil {
+			return err
+		}
+		w, err := clusterd.StartWorker(tr, cfg)
+		if err != nil {
+			return err
+		}
+		defer w.Stop()
+	default:
+		return fmt.Errorf("unknown role %q", role)
+	}
+	log.Printf("vortexd %s listening on %s", role, hostport)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	return nil
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {

@@ -1,0 +1,265 @@
+// The cluster experiment is the multi-process end-to-end proof: it
+// spawns a real coordinator plus worker processes connected by the TCP
+// transport, then drives the full storage path from this (client)
+// process — create table, fan out concurrent append streams, and read
+// everything back twice, once through the client scan path and once
+// through a read session. The invariant is the same one fanout proves
+// in-process: every acknowledged row is present exactly once
+// (LostRows == PhantomRows == 0), now with every RPC crossing a socket.
+package bench
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vortex/internal/blockenc"
+	"vortex/internal/client"
+	"vortex/internal/clusterd"
+	"vortex/internal/colossusrpc"
+	"vortex/internal/meta"
+	"vortex/internal/metrics"
+	"vortex/internal/readsession"
+	"vortex/internal/truetime"
+	"vortex/internal/workload"
+)
+
+// ClusterNode records one spawned process in the result.
+type ClusterNode struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// ClusterResult is the cluster experiment's report; cmd/vortex-bench
+// serializes it as BENCH_cluster.json.
+type ClusterResult struct {
+	Experiment string        `json:"experiment"`
+	Nodes      []ClusterNode `json:"nodes"`
+	Workers    int           `json:"workers"`
+	SMSTasks   int           `json:"sms_tasks"`
+	Streams    int           `json:"streams"`
+	DurationMS int64         `json:"duration_ms"`
+	WallMS     int64         `json:"wall_ms"`
+	Seed       int64         `json:"seed"`
+
+	AppendsAccepted int64 `json:"appends_accepted"`
+	RowsAccepted    int64 `json:"rows_accepted"`
+	// RowsRead is the client scan-path read-back; RowsSession is the
+	// read-session read-back. Both must equal RowsAccepted.
+	RowsRead       int64 `json:"rows_read"`
+	RowsSession    int64 `json:"rows_session"`
+	LostRows       int64 `json:"lost_rows"`
+	PhantomRows    int64 `json:"phantom_rows"`
+	StalledWriters int64 `json:"stalled_writers"`
+	RetriedAppends int64 `json:"retried_appends"`
+
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ClusterSpecFor sizes the cluster: `workers` worker processes plus one
+// coordinator. Fragments rotate small so a short run still exercises
+// fragment finalization over the proxy.
+func clusterSpecFor(workers int) clusterd.ClusterSpec {
+	return clusterd.ClusterSpec{
+		Clusters:         []string{"alpha", "beta"},
+		SMSTasks:         2,
+		Workers:          workers,
+		ServersPerWorker: 2,
+		MaxFragmentBytes: 256 << 10,
+		HeartbeatEveryMS: 100,
+	}
+}
+
+// Cluster runs the multi-process experiment: exe is re-executed as the
+// node processes (it must call clusterd.MaybeRunNode early in main).
+func Cluster(ctx context.Context, exe string, workers, streams int, duration time.Duration, seed int64) (*ClusterResult, error) {
+	if workers <= 0 {
+		workers = 2
+	}
+	if streams <= 0 {
+		streams = 8
+	}
+	spec := clusterSpecFor(workers)
+	lc, err := clusterd.LaunchLocal(ctx, exe, spec)
+	if err != nil {
+		return nil, fmt.Errorf("launching cluster: %w", err)
+	}
+	defer lc.Shutdown()
+
+	res := &ClusterResult{
+		Experiment: "cluster",
+		Workers:    workers,
+		SMSTasks:   spec.SMSTasks,
+		Streams:    streams,
+		DurationMS: duration.Milliseconds(),
+		Seed:       seed,
+	}
+	for _, n := range lc.Nodes {
+		res.Nodes = append(res.Nodes, ClusterNode{Name: n.Name, Addr: n.Addr})
+	}
+
+	tr := lc.NewTransport()
+	defer tr.Close()
+	key, err := hex.DecodeString(lc.KeyHex)
+	if err != nil {
+		return nil, err
+	}
+	keyring := blockenc.NewKeyring()
+	if err := keyring.SetKey(blockenc.SystemKey, key); err != nil {
+		return nil, err
+	}
+	clock := truetime.NewSystem(4*time.Millisecond, 0)
+	store := colossusrpc.NewRemote(tr, colossusrpc.DefaultAddr)
+	opts := client.DefaultOptions()
+	opts.Seed = seed
+	c := client.New(tr, clusterd.Router(spec.SMSTasks), store, keyring, clock, opts)
+
+	table := meta.TableID("bench.cluster0")
+	if err := c.CreateTable(ctx, table, workload.EventsSchema()); err != nil {
+		return nil, fmt.Errorf("create table over TCP: %w", err)
+	}
+
+	var (
+		appends, rowsAccepted, retried, stalled int64
+	)
+	hist := metrics.NewLatencyHistogram()
+	var histMu sync.Mutex
+	start := time.Now()
+	deadline := start.Add(duration)
+
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*6364136223846793005 + int64(i)))
+			gen := workload.NewGen(seed+int64(i), 200)
+			stream, err := c.CreateStream(ctx, table, meta.Unbuffered)
+			if err != nil {
+				atomic.AddInt64(&stalled, 1)
+				return
+			}
+			var next int64
+			for time.Now().Before(deadline) {
+				rows := gen.EventRows(time.Now(), 2+rng.Intn(3), time.Millisecond)
+				// Retry the same batch at the same offset until accepted:
+				// the transport may drop a connection mid-call, and the
+				// offset pin makes the retry exactly-once.
+				accepted := false
+				for attempt := 0; attempt < 50 && !accepted; attempt++ {
+					t0 := time.Now()
+					_, err := stream.Append(ctx, rows, client.AtOffset(next))
+					switch {
+					case err == nil:
+						histMu.Lock()
+						hist.Record(time.Since(t0))
+						histMu.Unlock()
+						accepted = true
+					case errors.Is(err, client.ErrWrongOffset):
+						// An earlier attempt landed without the ack: the rows
+						// are in, resync and count them accepted.
+						next = stream.Length() - int64(len(rows))
+						accepted = true
+					default:
+						atomic.AddInt64(&retried, 1)
+						time.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+					}
+				}
+				if !accepted {
+					atomic.AddInt64(&stalled, 1)
+					return
+				}
+				atomic.AddInt64(&appends, 1)
+				atomic.AddInt64(&rowsAccepted, int64(len(rows)))
+				next += int64(len(rows))
+				time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Read back through both read paths. The snapshot must cover every
+	// commit; all processes share this host's clock, so latest-now works.
+	snapshot := clock.Now().Latest
+	stamped, _, err := c.ReadAll(ctx, table, snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("scan read-back over TCP: %w", err)
+	}
+	res.RowsRead = int64(len(stamped))
+
+	sess, err := readsession.Dial(c, "").Open(ctx, table, readsession.Options{Shards: 2, SnapshotTS: snapshot})
+	if err != nil {
+		return nil, fmt.Errorf("opening read session over TCP: %w", err)
+	}
+	sessionRows, err := sess.ReadAll(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("read session drain over TCP: %w", err)
+	}
+	_ = sess.Close(ctx)
+	res.RowsSession = int64(len(sessionRows))
+
+	res.WallMS = time.Since(start).Milliseconds()
+	res.AppendsAccepted = atomic.LoadInt64(&appends)
+	res.RowsAccepted = atomic.LoadInt64(&rowsAccepted)
+	res.RetriedAppends = atomic.LoadInt64(&retried)
+	res.StalledWriters = atomic.LoadInt64(&stalled)
+	if d := res.RowsAccepted - res.RowsRead; d > 0 {
+		res.LostRows = d
+	} else {
+		res.PhantomRows = -d
+	}
+	res.P50MS = float64(hist.Quantile(0.5)) / float64(time.Millisecond)
+	res.P99MS = float64(hist.Quantile(0.99)) / float64(time.Millisecond)
+	return res, nil
+}
+
+// ClusterOK reports whether the run satisfied the experiment's hard
+// invariants.
+func ClusterOK(res *ClusterResult) (bool, string) {
+	switch {
+	case res.LostRows != 0:
+		return false, fmt.Sprintf("%d accepted rows missing at read time", res.LostRows)
+	case res.PhantomRows != 0:
+		return false, fmt.Sprintf("%d rows present that were never acknowledged", res.PhantomRows)
+	case res.RowsSession != res.RowsRead:
+		return false, fmt.Sprintf("read session saw %d rows, scan saw %d", res.RowsSession, res.RowsRead)
+	case res.StalledWriters != 0:
+		return false, fmt.Sprintf("%d writers stalled", res.StalledWriters)
+	case res.AppendsAccepted == 0:
+		return false, "no appends accepted"
+	}
+	return true, ""
+}
+
+// PrintCluster writes a human-readable summary.
+func PrintCluster(w io.Writer, res *ClusterResult) {
+	fmt.Fprintf(w, "cluster: %d node processes (%d workers), %d streams, %dms\n",
+		len(res.Nodes), res.Workers, res.Streams, res.DurationMS)
+	for _, n := range res.Nodes {
+		fmt.Fprintf(w, "  node %-12s %s\n", n.Name, n.Addr)
+	}
+	fmt.Fprintf(w, "  appends=%d rows=%d read=%d session=%d lost=%d phantom=%d retried=%d\n",
+		res.AppendsAccepted, res.RowsAccepted, res.RowsRead, res.RowsSession,
+		res.LostRows, res.PhantomRows, res.RetriedAppends)
+	fmt.Fprintf(w, "  append latency p50=%.2fms p99=%.2fms wall=%dms\n", res.P50MS, res.P99MS, res.WallMS)
+	if ok, reason := ClusterOK(res); !ok {
+		fmt.Fprintf(w, "  INVARIANT VIOLATION: %s\n", reason)
+	} else {
+		fmt.Fprintf(w, "  invariants hold: exactly-once across process boundaries\n")
+	}
+}
+
+// WriteClusterJSON serializes the result (BENCH_cluster.json).
+func WriteClusterJSON(w io.Writer, res *ClusterResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vortex/internal/clusterd"
+)
+
+// TestMain lets this test binary serve as a cluster node process: the
+// cluster experiment spawns nodes by re-executing the current binary,
+// and children carrying the node-config environment variable divert
+// into clusterd.RunNode instead of running tests.
+func TestMain(m *testing.M) {
+	clusterd.MaybeRunNode()
+	os.Exit(m.Run())
+}
+
+// TestClusterSmoke runs the multi-process experiment at minimal scale —
+// one coordinator plus one worker process (2 spawned processes), one
+// second of appends — and asserts the exactly-once invariant. It runs
+// under -short: spawning real processes over the TCP transport IS the
+// thing being smoke-tested.
+func TestClusterSmoke(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Cluster(ctx, exe, 1, 4, time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := ClusterOK(res); !ok {
+		t.Fatalf("cluster invariant violated: %s", reason)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("expected 2 node processes (coordinator + 1 worker), got %d", len(res.Nodes))
+	}
+	var buf bytes.Buffer
+	PrintCluster(&buf, res)
+	if !strings.Contains(buf.String(), "exactly-once") {
+		t.Fatalf("summary missing invariant line:\n%s", buf.String())
+	}
+	var js bytes.Buffer
+	if err := WriteClusterJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"lost_rows": 0`) {
+		t.Fatalf("JSON missing lost_rows: %s", js.String())
+	}
+}

@@ -93,9 +93,9 @@ func DefaultOptions() Options {
 // Stream it creates is owned by one writer at a time (the paper's model:
 // each client appends to its own dedicated stream).
 type Client struct {
-	net     *rpc.Network
+	net     rpc.Transport
 	router  Router
-	region  *colossus.Region
+	region  colossus.Store
 	keyring *blockenc.Keyring
 	clock   truetime.Clock
 	opts    Options
@@ -141,7 +141,7 @@ type Client struct {
 }
 
 // New returns a Client.
-func New(net *rpc.Network, router Router, region *colossus.Region, keyring *blockenc.Keyring, clock truetime.Clock, opts Options) *Client {
+func New(net rpc.Transport, router Router, region colossus.Store, keyring *blockenc.Keyring, clock truetime.Clock, opts Options) *Client {
 	if opts.UnaryAppendThreshold <= 0 {
 		opts.UnaryAppendThreshold = 3
 	}
@@ -233,7 +233,7 @@ type Stream struct {
 
 	appendsSeen  int
 	lastBatchSeq int64
-	conn         *rpc.ClientStream
+	conn         rpc.ClientStream
 	connServer   string
 	pending      []*PendingAppend
 	pendingMu    sync.Mutex
@@ -488,6 +488,14 @@ func (s *Stream) Append(ctx context.Context, rows []schema.Row, opts ...AppendOp
 			hint = w
 		}
 		return 0, &Error{Code: CodeResourceExhausted, Op: "append", Retryable: true, RetryAfter: hint, Err: lastErr}
+	}
+	// A transport-loss cause (connection reset, partition, dropped
+	// in-flight message) stays retryable-typed too: the offset pin and
+	// the server's retransmission memo make the caller's next attempt
+	// exactly-once, so running out of attempts must not demote the error
+	// to terminal.
+	if retryableErr(lastErr) {
+		return 0, newError(CodeUnavailable, "append", true, lastErr)
 	}
 	return 0, newError(CodeExhausted, "append", false, lastErr)
 }
@@ -765,7 +773,7 @@ func (s *Stream) AppendAsync(ctx context.Context, rows []schema.Row, opts ...App
 }
 
 // collectResponses drains bi-di responses in order onto the pending queue.
-func (s *Stream) collectResponses(conn *rpc.ClientStream) {
+func (s *Stream) collectResponses(conn rpc.ClientStream) {
 	for {
 		m, err := conn.Recv()
 		s.pendingMu.Lock()

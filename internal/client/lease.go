@@ -59,4 +59,4 @@ func (c *Client) ObserveReadSession(batches, bytes, splits, resumes int64) {
 
 // Network exposes the client's transport for sibling services: the
 // read-session consumer opens ReadRows streams on it directly.
-func (c *Client) Network() *rpc.Network { return c.net }
+func (c *Client) Network() rpc.Transport { return c.net }

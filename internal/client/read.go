@@ -213,7 +213,7 @@ func (c *Client) listReplicated(clusters [2]string, prefix string) ([]string, er
 		if name == "" {
 			continue
 		}
-		cl := c.region.Cluster(name)
+		cl := c.region.Blob(name)
 		if cl == nil {
 			rerr.Unknown = append(rerr.Unknown, name)
 			continue
@@ -246,7 +246,7 @@ func (c *Client) readReplicated(clusters [2]string, path string) ([]byte, string
 		if name == "" {
 			continue
 		}
-		cl := c.region.Cluster(name)
+		cl := c.region.Blob(name)
 		if cl == nil {
 			rerr.Unknown = append(rerr.Unknown, name)
 			continue
@@ -691,7 +691,7 @@ func (c *Client) decideTail(ctx context.Context, plan *ScanPlan, a Assignment, s
 			other = name
 		}
 	}
-	if cl := c.region.Cluster(other); cl != nil {
+	if cl := c.region.Blob(other); cl != nil {
 		data, err := cl.Read(a.Frag.Path, 0, -1)
 		if err == nil {
 			oscan, serr := fragment.Scan(data)

@@ -396,6 +396,13 @@ func (c *Client) smsRetry(ctx context.Context, table meta.TableID, method string
 	if hint := pushBackHint(lastErr); hint > 0 || errors.Is(lastErr, sms.ErrResourceExhausted) {
 		return nil, &Error{Code: CodeResourceExhausted, Op: method, Retryable: true, RetryAfter: hint, Err: lastErr}
 	}
+	// Likewise a transport-loss cause (task unreachable mid-restart,
+	// connection reset): SMS control-plane calls are idempotent, so
+	// exhausting in-process attempts must not demote the error to
+	// terminal — the caller's next attempt is safe.
+	if retryableErr(lastErr) {
+		return nil, newError(CodeUnavailable, method, true, lastErr)
+	}
 	return nil, newError(CodeUnavailable, method, false, lastErr)
 }
 

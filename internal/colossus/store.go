@@ -1,0 +1,46 @@
+package colossus
+
+// Blobs is the per-cluster file API the write and read paths consume:
+// append-only files with CRC-verified writes. *Cluster implements it
+// in-process; internal/colossusrpc implements it over the transport so a
+// Stream Server in another OS process can reach the coordinator's
+// clusters.
+type Blobs interface {
+	Name() string
+	Create(path string) error
+	Append(path string, data []byte, crc uint32) (int64, error)
+	AppendAt(path string, expectSize int64, data []byte, crc uint32) (int64, error)
+	Read(path string, off, n int64) ([]byte, error)
+	Size(path string) (int64, error)
+	Exists(path string) bool
+	List(prefix string) ([]string, error)
+	Delete(path string) error
+}
+
+// Store is the region-level view those paths hold: named clusters. It is
+// the narrow subset of *Region that internal/client and
+// internal/streamserver need, so a remote proxy can stand in for the
+// real region.
+type Store interface {
+	// Blob returns the named cluster's file API, or nil if no such
+	// cluster exists.
+	Blob(name string) Blobs
+	// ClusterNames returns the cluster names in creation order.
+	ClusterNames() []string
+}
+
+// Blob adapts Cluster to the Blobs interface, guarding against the
+// typed-nil trap: a missing cluster yields a nil interface, not a
+// non-nil interface holding (*Cluster)(nil).
+func (r *Region) Blob(name string) Blobs {
+	c := r.Cluster(name)
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+var (
+	_ Store = (*Region)(nil)
+	_ Blobs = (*Cluster)(nil)
+)

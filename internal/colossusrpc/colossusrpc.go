@@ -1,0 +1,260 @@
+// Package colossusrpc projects a colossus.Region across the transport.
+// In the single-process simulation every component shares one *Region by
+// pointer; in a multi-process cluster the coordinator owns the region
+// and serves it at a logical address, and worker processes hold a Remote
+// store that satisfies colossus.Store over unary calls. Real Colossus is
+// likewise a network service shared by every Vortex task (§3.2) — the
+// proxy keeps the storage layer's single source of truth while letting
+// Stream Servers run in their own OS processes.
+package colossusrpc
+
+import (
+	"context"
+	"encoding/gob"
+	"sync"
+
+	"vortex/internal/colossus"
+	"vortex/internal/rpc"
+)
+
+// DefaultAddr is the logical transport address the coordinator serves
+// the region under.
+const DefaultAddr = "colossus"
+
+// blobReq is the single request shape all methods share; each method
+// reads the fields it needs.
+type blobReq struct {
+	Cluster    string
+	Path       string
+	Data       []byte
+	CRC        uint32
+	ExpectSize int64
+	Off        int64
+	N          int64
+	Prefix     string
+}
+
+type blobResp struct {
+	Size  int64
+	Data  []byte
+	Names []string
+	OK    bool
+}
+
+func init() {
+	gob.Register(&blobReq{})
+	gob.Register(&blobResp{})
+	rpc.RegisterErrorCode("colossus.unavailable", colossus.ErrUnavailable)
+	rpc.RegisterErrorCode("colossus.notfound", colossus.ErrNotFound)
+	rpc.RegisterErrorCode("colossus.exists", colossus.ErrExists)
+	rpc.RegisterErrorCode("colossus.checksum", colossus.ErrChecksum)
+	rpc.RegisterErrorCode("colossus.injected", colossus.ErrInjected)
+	rpc.RegisterErrorCode("colossus.sizemismatch", colossus.ErrSizeMismatch)
+}
+
+// Serve registers a unary service exposing the region on net at addr.
+func Serve(net rpc.Transport, addr string, region *colossus.Region) {
+	srv := rpc.NewServer()
+	blob := func(req any) (colossus.Blobs, *blobReq, error) {
+		r := req.(*blobReq)
+		b := region.Blob(r.Cluster)
+		if b == nil {
+			return nil, nil, colossus.ErrUnavailable
+		}
+		return b, r, nil
+	}
+	srv.RegisterUnary("colossus.create", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		return &blobResp{}, b.Create(r.Path)
+	})
+	srv.RegisterUnary("colossus.append", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		size, err := b.Append(r.Path, r.Data, r.CRC)
+		return &blobResp{Size: size}, err
+	})
+	srv.RegisterUnary("colossus.appendat", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		size, err := b.AppendAt(r.Path, r.ExpectSize, r.Data, r.CRC)
+		return &blobResp{Size: size}, err
+	})
+	srv.RegisterUnary("colossus.read", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := b.Read(r.Path, r.Off, r.N)
+		return &blobResp{Data: data}, err
+	})
+	srv.RegisterUnary("colossus.size", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		size, err := b.Size(r.Path)
+		return &blobResp{Size: size}, err
+	})
+	srv.RegisterUnary("colossus.exists", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		return &blobResp{OK: b.Exists(r.Path)}, nil
+	})
+	srv.RegisterUnary("colossus.list", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		names, err := b.List(r.Prefix)
+		return &blobResp{Names: names}, err
+	})
+	srv.RegisterUnary("colossus.delete", func(_ context.Context, req any) (any, error) {
+		b, r, err := blob(req)
+		if err != nil {
+			return nil, err
+		}
+		return &blobResp{}, b.Delete(r.Path)
+	})
+	srv.RegisterUnary("colossus.clusters", func(_ context.Context, _ any) (any, error) {
+		return &blobResp{Names: region.ClusterNames()}, nil
+	})
+	net.Register(addr, srv)
+}
+
+// Remote is a colossus.Store whose clusters live in another process.
+type Remote struct {
+	net  rpc.Transport
+	addr string
+
+	mu    sync.Mutex
+	names []string
+}
+
+// NewRemote returns a Store proxying to the service at addr.
+func NewRemote(net rpc.Transport, addr string) *Remote {
+	return &Remote{net: net, addr: addr}
+}
+
+func (r *Remote) call(method string, req *blobReq) (*blobResp, error) {
+	resp, err := r.net.Unary(context.Background(), r.addr, method, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return &blobResp{}, nil
+	}
+	return resp.(*blobResp), nil
+}
+
+// ClusterNames fetches the cluster list (cached after first success).
+func (r *Remote) ClusterNames() []string {
+	r.mu.Lock()
+	cached := r.names
+	r.mu.Unlock()
+	if cached != nil {
+		return append([]string(nil), cached...)
+	}
+	resp, err := r.call("colossus.clusters", &blobReq{})
+	if err != nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.names = append([]string(nil), resp.Names...)
+	r.mu.Unlock()
+	return resp.Names
+}
+
+// Blob returns a handle for the named cluster. Existence is validated
+// against the fetched cluster list when available; if the list cannot be
+// fetched the handle is returned optimistically and individual
+// operations surface the error.
+func (r *Remote) Blob(name string) colossus.Blobs {
+	if names := r.ClusterNames(); names != nil {
+		found := false
+		for _, n := range names {
+			if n == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return &remoteBlobs{r: r, cluster: name}
+}
+
+var _ colossus.Store = (*Remote)(nil)
+
+type remoteBlobs struct {
+	r       *Remote
+	cluster string
+}
+
+var _ colossus.Blobs = (*remoteBlobs)(nil)
+
+func (b *remoteBlobs) Name() string { return b.cluster }
+
+func (b *remoteBlobs) Create(path string) error {
+	_, err := b.r.call("colossus.create", &blobReq{Cluster: b.cluster, Path: path})
+	return err
+}
+
+func (b *remoteBlobs) Append(path string, data []byte, crc uint32) (int64, error) {
+	resp, err := b.r.call("colossus.append", &blobReq{Cluster: b.cluster, Path: path, Data: data, CRC: crc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+func (b *remoteBlobs) AppendAt(path string, expectSize int64, data []byte, crc uint32) (int64, error) {
+	resp, err := b.r.call("colossus.appendat", &blobReq{Cluster: b.cluster, Path: path, ExpectSize: expectSize, Data: data, CRC: crc})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+func (b *remoteBlobs) Read(path string, off, n int64) ([]byte, error) {
+	resp, err := b.r.call("colossus.read", &blobReq{Cluster: b.cluster, Path: path, Off: off, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+func (b *remoteBlobs) Size(path string) (int64, error) {
+	resp, err := b.r.call("colossus.size", &blobReq{Cluster: b.cluster, Path: path})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Size, nil
+}
+
+func (b *remoteBlobs) Exists(path string) bool {
+	resp, err := b.r.call("colossus.exists", &blobReq{Cluster: b.cluster, Path: path})
+	return err == nil && resp.OK
+}
+
+func (b *remoteBlobs) List(prefix string) ([]string, error) {
+	resp, err := b.r.call("colossus.list", &blobReq{Cluster: b.cluster, Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+func (b *remoteBlobs) Delete(path string) error {
+	_, err := b.r.call("colossus.delete", &blobReq{Cluster: b.cluster, Path: path})
+	return err
+}

@@ -49,7 +49,7 @@ func DefaultConfig() Config {
 type Optimizer struct {
 	cfg    Config
 	c      *client.Client
-	net    *rpc.Network
+	net    rpc.Transport
 	router client.Router
 	region *colossus.Region
 	clock  truetime.Clock
@@ -57,7 +57,7 @@ type Optimizer struct {
 
 // New returns an optimizer using the given client for reads and direct
 // Colossus access for writing ROS files.
-func New(cfg Config, c *client.Client, net *rpc.Network, router client.Router, region *colossus.Region, clock truetime.Clock) *Optimizer {
+func New(cfg Config, c *client.Client, net rpc.Transport, router client.Router, region *colossus.Region, clock truetime.Clock) *Optimizer {
 	if cfg.TargetROSRows <= 0 {
 		cfg.TargetROSRows = 4096
 	}

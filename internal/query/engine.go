@@ -45,13 +45,13 @@ type Config struct {
 type Engine struct {
 	c      *client.Client
 	index  *bigmeta.Index
-	net    *rpc.Network
+	net    rpc.Transport
 	router client.Router
 	cfg    Config
 }
 
 // New returns an Engine.
-func New(c *client.Client, index *bigmeta.Index, net *rpc.Network, router client.Router, cfg Config) *Engine {
+func New(c *client.Client, index *bigmeta.Index, net rpc.Transport, router client.Router, cfg Config) *Engine {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.NumCPU()
 	}

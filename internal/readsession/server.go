@@ -56,7 +56,7 @@ type ServerStats struct {
 // and serves them over ReadRows streams.
 type Server struct {
 	addr  string
-	net   *rpc.Network
+	net   rpc.Transport
 	c     *client.Client
 	index *bigmeta.Index // may be nil: planning falls back to inline fragment stats
 	clock truetime.Clock
@@ -574,7 +574,7 @@ func (s *Server) renewLease(ctx context.Context, sess *session) error {
 	return nil
 }
 
-func sendErr(ss *rpc.ServerStream, offset int64, code string) error {
+func sendErr(ss rpc.ServerStream, offset int64, code string) error {
 	return ss.Send(&wire.ReadRowsResponse{Offset: offset, Error: code})
 }
 
@@ -582,7 +582,7 @@ func sendErr(ss *rpc.ServerStream, offset int64, code string) error {
 // offset. The row sequence a shard serves is deterministic — same
 // assignments, same per-assignment scan order, same filter — so a
 // reader resuming from a checkpoint sees exactly the suffix it missed.
-func (s *Server) handleReadRows(ctx context.Context, ss *rpc.ServerStream) error {
+func (s *Server) handleReadRows(ctx context.Context, ss rpc.ServerStream) error {
 	m, err := ss.Recv()
 	if err != nil {
 		return err

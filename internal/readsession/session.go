@@ -25,7 +25,7 @@ const defaultWindow = 1 << 20
 // Conn is a client-side handle to the read-session service.
 type Conn struct {
 	c    *client.Client
-	net  *rpc.Network
+	net  rpc.Transport
 	addr string
 }
 
@@ -120,7 +120,7 @@ type Shard struct {
 	// PlannedRows is the server's row estimate at planning/split time.
 	PlannedRows int64
 
-	stream     *rpc.ClientStream
+	stream     rpc.ClientStream
 	pos        int64 // volatile position: rows consumed via Next
 	checkpoint int64 // last committed position; Crash rewinds here
 	done       bool

@@ -71,7 +71,7 @@ const (
 type UnaryHandler func(ctx context.Context, req any) (any, error)
 
 // StreamHandler serves one bi-directional stream until it returns.
-type StreamHandler func(ctx context.Context, stream *ServerStream) error
+type StreamHandler func(ctx context.Context, stream ServerStream) error
 
 // Server is a set of registered method handlers.
 type Server struct {
@@ -208,6 +208,15 @@ func (n *Network) Stats() Stats {
 	}
 }
 
+// has reports whether a server is registered at addr (used by the TCP
+// transport to dispatch locally-hosted addresses without a socket hop).
+func (n *Network) has(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.servers[addr]
+	return ok
+}
+
 func (n *Network) lookup(addr string) (*Server, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -307,22 +316,22 @@ func (c *streamCore) fail(err error) {
 	c.mu.Unlock()
 }
 
-// ClientStream is the client end of a bi-directional stream.
-type ClientStream struct {
+// memClientStream is the in-memory transport's client stream end.
+type memClientStream struct {
 	core   *streamCore
 	cancel context.CancelFunc
 	doneCh chan struct{} // closed when the handler returns
 }
 
-// ServerStream is the server end of a bi-directional stream.
-type ServerStream struct {
+// memServerStream is the in-memory transport's server stream end.
+type memServerStream struct {
 	core *streamCore
 }
 
 // OpenStream establishes a long-lived bi-directional stream to
 // addr/method with the given flow-control window in bytes. The handler
 // runs in its own goroutine until it returns or the stream is closed.
-func (n *Network) OpenStream(ctx context.Context, addr, method string, window int) (*ClientStream, error) {
+func (n *Network) OpenStream(ctx context.Context, addr, method string, window int) (ClientStream, error) {
 	if window <= 0 {
 		return nil, errors.New("rpc: flow-control window must be positive")
 	}
@@ -342,8 +351,8 @@ func (n *Network) OpenStream(ctx context.Context, addr, method string, window in
 	core := &streamCore{net: n, addr: addr, window: window}
 	core.cond = sync.NewCond(&core.mu)
 	sctx, cancel := context.WithCancel(ctx)
-	cs := &ClientStream{core: core, cancel: cancel, doneCh: make(chan struct{})}
-	ss := &ServerStream{core: core}
+	cs := &memClientStream{core: core, cancel: cancel, doneCh: make(chan struct{})}
+	ss := &memServerStream{core: core}
 	go func() {
 		defer close(cs.doneCh)
 		err := h(sctx, ss)
@@ -365,7 +374,7 @@ func (n *Network) OpenStream(ctx context.Context, addr, method string, window in
 // flow-control window is exhausted — this is how the Stream Server
 // "throttles incoming appends when there is a large amount of data
 // in-flight" (§5.4.2).
-func (cs *ClientStream) Send(m any) error {
+func (cs *memClientStream) Send(m any) error {
 	size := sizeOf(m)
 	c := cs.core
 	// Partition check on every message: a long-lived stream dies when
@@ -409,7 +418,7 @@ func (cs *ClientStream) Send(m any) error {
 // Recv returns the next response from the server, releasing its
 // flow-control credit so the server may push more. It returns io.EOF
 // when the handler finished cleanly and no responses remain.
-func (cs *ClientStream) Recv() (any, error) {
+func (cs *memClientStream) Recv() (any, error) {
 	c := cs.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -428,7 +437,7 @@ func (cs *ClientStream) Recv() (any, error) {
 
 // CloseSend signals that the client will send no more requests; the
 // server's Recv returns io.EOF after draining.
-func (cs *ClientStream) CloseSend() {
+func (cs *memClientStream) CloseSend() {
 	c := cs.core
 	c.mu.Lock()
 	c.sendDone = true
@@ -437,7 +446,7 @@ func (cs *ClientStream) CloseSend() {
 }
 
 // Close tears down the stream and waits for the handler to return.
-func (cs *ClientStream) Close() {
+func (cs *memClientStream) Close() {
 	cs.core.fail(ErrClosed)
 	cs.cancel()
 	<-cs.doneCh
@@ -445,7 +454,7 @@ func (cs *ClientStream) Close() {
 
 // Err returns the stream's terminal error, if any (io.EOF for a clean
 // handler completion).
-func (cs *ClientStream) Err() error {
+func (cs *memClientStream) Err() error {
 	c := cs.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -455,7 +464,7 @@ func (cs *ClientStream) Err() error {
 // Recv returns the next request from the client, blocking until one is
 // available. Receiving releases the message's flow-control credit. It
 // returns io.EOF after the client calls CloseSend and the queue drains.
-func (ss *ServerStream) Recv() (any, error) {
+func (ss *memServerStream) Recv() (any, error) {
 	c := ss.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -480,7 +489,7 @@ func (ss *ServerStream) Recv() (any, error) {
 // server-side mirror of ClientStream.Send: a slow reader draining a
 // record-batch stream throttles the server instead of letting it queue
 // unbounded bytes in transit.
-func (ss *ServerStream) Send(m any) error {
+func (ss *memServerStream) Send(m any) error {
 	size := sizeOf(m)
 	c := ss.core
 	// Chaos cut-point: a response may be lost mid-stream after the server
@@ -512,7 +521,7 @@ func (ss *ServerStream) Send(m any) error {
 
 // InflightBytes reports the bytes currently counted against the
 // flow-control window (observable by tests and the Stream Server).
-func (ss *ServerStream) InflightBytes() int {
+func (ss *memServerStream) InflightBytes() int {
 	c := ss.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -521,7 +530,7 @@ func (ss *ServerStream) InflightBytes() int {
 
 // ResponseInflightBytes reports the bytes currently counted against the
 // response-direction window.
-func (ss *ServerStream) ResponseInflightBytes() int {
+func (ss *memServerStream) ResponseInflightBytes() int {
 	c := ss.core
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -23,7 +23,7 @@ func echoServer() *Server {
 	s.RegisterUnary("echo", func(_ context.Context, req any) (any, error) {
 		return req, nil
 	})
-	s.RegisterStream("echo", func(_ context.Context, ss *ServerStream) error {
+	s.RegisterStream("echo", func(_ context.Context, ss ServerStream) error {
 		for {
 			m, err := ss.Recv()
 			if err == io.EOF {
@@ -123,7 +123,7 @@ func TestStreamFlowControlThrottles(t *testing.T) {
 	s := NewServer()
 	gate := make(chan struct{})
 	var received atomic.Int64
-	s.RegisterStream("slow", func(_ context.Context, ss *ServerStream) error {
+	s.RegisterStream("slow", func(_ context.Context, ss ServerStream) error {
 		for {
 			<-gate // only consume when the test allows
 			_, err := ss.Recv()
@@ -210,7 +210,7 @@ func TestStreamHandlerErrorPropagates(t *testing.T) {
 	n := NewNetwork(nil)
 	s := NewServer()
 	boom := errors.New("schema mismatch")
-	s.RegisterStream("fail", func(_ context.Context, ss *ServerStream) error {
+	s.RegisterStream("fail", func(_ context.Context, ss ServerStream) error {
 		ss.Recv()
 		return boom
 	})
@@ -249,7 +249,7 @@ func TestStreamDiesOnPartition(t *testing.T) {
 func TestStreamContextCancel(t *testing.T) {
 	n := NewNetwork(nil)
 	s := NewServer()
-	s.RegisterStream("hang", func(ctx context.Context, ss *ServerStream) error {
+	s.RegisterStream("hang", func(ctx context.Context, ss ServerStream) error {
 		<-ctx.Done()
 		return ctx.Err()
 	})
@@ -317,7 +317,7 @@ func TestServerSendAfterClientClose(t *testing.T) {
 	n := NewNetwork(nil)
 	s := NewServer()
 	errCh := make(chan error, 1)
-	s.RegisterStream("m", func(_ context.Context, ss *ServerStream) error {
+	s.RegisterStream("m", func(_ context.Context, ss ServerStream) error {
 		ss.Recv()
 		// Give the client time to Close.
 		time.Sleep(20 * time.Millisecond)

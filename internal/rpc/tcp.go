@@ -1,0 +1,1031 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport is the real-socket Transport: logical server addresses
+// (the same "sms-0" / "ss-alpha-1" strings the in-memory transport uses)
+// are routed to host:port endpoints, and all traffic to one endpoint is
+// multiplexed over a single persistent connection carrying CRC32C-framed
+// gob messages (frame.go). Semantics match *Network exactly — the
+// conformance suite holds both to the same contract:
+//
+//   - unary calls are request/response pairs correlated by call id;
+//   - streams carry per-direction byte flow control: a sender blocks
+//     while the window is full of un-received bytes, and the receiver
+//     returns credit with window frames as the application Recvs;
+//   - context cancellation crosses the wire as a reset frame;
+//   - a failed dial or missing route maps to ErrUnreachable (the target
+//     never saw the request — rotate away), while any failure of an
+//     established connection maps to ErrDropped (the target may have
+//     acted — retry the same target first).
+//
+// Servers registered locally are dispatched through an embedded
+// in-memory Network without touching a socket, so one process can host
+// its own tasks and call remote ones through the same Transport value.
+type TCPTransport struct {
+	local *Network
+
+	mu           sync.Mutex
+	routes       map[string]string // logical addr -> host:port
+	defaultRoute string
+	conns        map[string]*tcpConn // dialed, by host:port
+	accepted     map[*tcpConn]struct{}
+	ln           net.Listener
+	closed       bool
+
+	dialTimeout time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewTCPTransport returns a TCP transport with no routes and no
+// listener. Call Listen to serve locally-registered servers to peers,
+// AddRoute/SetDefaultRoute to reach remote ones.
+func NewTCPTransport() *TCPTransport {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &TCPTransport{
+		local:       NewNetwork(nil),
+		routes:      make(map[string]string),
+		conns:       make(map[string]*tcpConn),
+		accepted:    make(map[*tcpConn]struct{}),
+		dialTimeout: 3 * time.Second,
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+}
+
+// SetDialTimeout overrides the per-connection dial timeout.
+func (t *TCPTransport) SetDialTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.dialTimeout = d
+	t.mu.Unlock()
+}
+
+// Listen binds hostport (e.g. "127.0.0.1:0") and starts serving
+// locally-registered servers to peers. It returns the bound address.
+func (t *TCPTransport) Listen(hostport string) (string, error) {
+	ln, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: transport closed")
+	}
+	if t.ln != nil {
+		t.mu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: transport already listening")
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// ListenAddr returns the bound listen address ("" before Listen).
+func (t *TCPTransport) ListenAddr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+func (t *TCPTransport) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := newTCPConn(t, nc, "")
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			nc.Close()
+			return
+		}
+		t.accepted[c] = struct{}{}
+		t.mu.Unlock()
+		go c.readLoop()
+	}
+}
+
+// AddRoute maps a logical server address to a peer's host:port.
+func (t *TCPTransport) AddRoute(logical, hostport string) {
+	t.mu.Lock()
+	t.routes[logical] = hostport
+	t.mu.Unlock()
+}
+
+// AddRoutes maps a batch of logical addresses at once.
+func (t *TCPTransport) AddRoutes(routes map[string]string) {
+	t.mu.Lock()
+	for logical, hostport := range routes {
+		t.routes[logical] = hostport
+	}
+	t.mu.Unlock()
+}
+
+// SetDefaultRoute sends logical addresses with no explicit route to
+// hostport ("" disables the fallback).
+func (t *TCPTransport) SetDefaultRoute(hostport string) {
+	t.mu.Lock()
+	t.defaultRoute = hostport
+	t.mu.Unlock()
+}
+
+// Close tears down the listener and every connection. In-flight calls
+// fail with ErrDropped.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	conns := make([]*tcpConn, 0, len(t.conns)+len(t.accepted))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	t.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.fail(fmt.Errorf("%w: transport closed", ErrDropped))
+	}
+	return nil
+}
+
+// AbortConnections hard-closes every established connection without any
+// protocol goodbye — the test hook standing in for a mid-call TCP reset.
+// Subsequent calls dial fresh connections.
+func (t *TCPTransport) AbortConnections() {
+	t.mu.Lock()
+	conns := make([]*tcpConn, 0, len(t.conns)+len(t.accepted))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		if tc, ok := c.nc.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		c.nc.Close()
+	}
+}
+
+// Register attaches a server at the logical address addr; peers reach it
+// through this transport's listener, local callers bypass the socket.
+func (t *TCPTransport) Register(addr string, s *Server) { t.local.Register(addr, s) }
+
+// Deregister removes the server at addr.
+func (t *TCPTransport) Deregister(addr string) { t.local.Deregister(addr) }
+
+func (t *TCPTransport) resolve(addr string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return "", fmt.Errorf("%w: transport closed", ErrUnreachable)
+	}
+	if hp, ok := t.routes[addr]; ok {
+		return hp, nil
+	}
+	if t.defaultRoute != "" {
+		return t.defaultRoute, nil
+	}
+	return "", fmt.Errorf("%w: no route to %s", ErrUnreachable, addr)
+}
+
+// connFor returns a live connection to the peer hosting addr, dialing if
+// needed. Dial failures map to ErrUnreachable: the peer never saw
+// anything, so the caller should rotate away.
+func (t *TCPTransport) connFor(ctx context.Context, addr string) (*tcpConn, error) {
+	hostport, err := t.resolve(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if c := t.conns[hostport]; c != nil && !c.isDead() {
+		t.mu.Unlock()
+		return c, nil
+	}
+	timeout := t.dialTimeout
+	t.mu.Unlock()
+	d := net.Dialer{Timeout: timeout}
+	nc, err := d.DialContext(ctx, "tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, hostport, err)
+	}
+	c := newTCPConn(t, nc, hostport)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		nc.Close()
+		return nil, fmt.Errorf("%w: transport closed", ErrUnreachable)
+	}
+	if existing := t.conns[hostport]; existing != nil && !existing.isDead() {
+		// Lost a dial race; use the established connection.
+		t.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	t.conns[hostport] = c
+	t.mu.Unlock()
+	go c.readLoop()
+	return c, nil
+}
+
+func (t *TCPTransport) removeConn(c *tcpConn) {
+	t.mu.Lock()
+	if c.hostport != "" && t.conns[c.hostport] == c {
+		delete(t.conns, c.hostport)
+	}
+	delete(t.accepted, c)
+	t.mu.Unlock()
+}
+
+// Unary performs one request/response call, dispatching locally-hosted
+// addresses in process and everything else over the wire.
+func (t *TCPTransport) Unary(ctx context.Context, addr, method string, req any) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if t.local.has(addr) {
+		return t.local.Unary(ctx, addr, method, req)
+	}
+	c, err := t.connFor(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.unary(ctx, addr, method, req)
+}
+
+// OpenStream establishes a bi-directional stream with the given
+// flow-control window in bytes.
+func (t *TCPTransport) OpenStream(ctx context.Context, addr, method string, window int) (ClientStream, error) {
+	if window <= 0 {
+		return nil, errors.New("rpc: flow-control window must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if t.local.has(addr) {
+		return t.local.OpenStream(ctx, addr, method, window)
+	}
+	c, err := t.connFor(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.openStream(ctx, addr, method, window)
+}
+
+// Gob payload bodies for each frame type. Message fields are interfaces:
+// the concrete types must be gob-registered (internal/wire does this for
+// every storage message from init()).
+type tcpUnaryReq struct {
+	Addr   string
+	Method string
+	M      any
+}
+
+type tcpUnaryResp struct {
+	M   any
+	Err *WireError
+}
+
+type tcpStreamOpen struct {
+	Addr   string
+	Method string
+	Window int
+}
+
+type tcpStreamAccept struct {
+	Err *WireError
+}
+
+type tcpStreamMsg struct {
+	M any
+}
+
+type tcpWindow struct {
+	Bytes int
+}
+
+type tcpReset struct {
+	Err *WireError
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+type unaryResult struct {
+	m   any
+	err error
+}
+
+// tcpConn is one multiplexed connection. The same type serves both the
+// dialing side (which originates calls and streams) and the accepting
+// side (which hosts handlers); a process pair that calls in both
+// directions simply holds two connections.
+type tcpConn struct {
+	t        *TCPTransport
+	nc       net.Conn
+	hostport string // "" on accepted connections
+
+	wmu sync.Mutex // serializes whole-frame writes
+
+	mu       sync.Mutex
+	nextID   uint32
+	calls    map[uint32]chan unaryResult
+	cancels  map[uint32]context.CancelFunc // inbound unary calls, by id
+	opens    map[uint32]chan *WireError
+	streams  map[uint32]*tcpClientStream
+	sstreams map[uint32]*tcpServerStream
+	dead     bool
+	deadErr  error
+	deadCh   chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newTCPConn(t *TCPTransport, nc net.Conn, hostport string) *tcpConn {
+	ctx, cancel := context.WithCancel(t.ctx)
+	return &tcpConn{
+		t:        t,
+		nc:       nc,
+		hostport: hostport,
+		calls:    make(map[uint32]chan unaryResult),
+		cancels:  make(map[uint32]context.CancelFunc),
+		opens:    make(map[uint32]chan *WireError),
+		streams:  make(map[uint32]*tcpClientStream),
+		sstreams: make(map[uint32]*tcpServerStream),
+		deadCh:   make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+func (c *tcpConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// fail tears the connection down: every pending call, open and stream on
+// it terminates with err (an ErrDropped-class error — the peer may have
+// acted on anything already written).
+func (c *tcpConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.deadErr = err
+	calls := c.calls
+	opens := c.opens
+	streams := c.streams
+	sstreams := c.sstreams
+	c.calls = make(map[uint32]chan unaryResult)
+	c.opens = make(map[uint32]chan *WireError)
+	c.streams = make(map[uint32]*tcpClientStream)
+	c.sstreams = make(map[uint32]*tcpServerStream)
+	close(c.deadCh)
+	c.mu.Unlock()
+	c.cancel()
+	c.nc.Close()
+	for _, ch := range calls {
+		ch <- unaryResult{err: err}
+	}
+	for _, ch := range opens {
+		ch <- encodeWireError(err)
+	}
+	for _, cs := range streams {
+		cs.fail(err)
+	}
+	for _, ss := range sstreams {
+		ss.reset(err)
+	}
+	c.t.removeConn(c)
+}
+
+// writeFrame gob-encodes body (nil for a bare frame) and writes one
+// frame. A write failure kills the connection.
+func (c *tcpConn) writeFrame(typ frameType, id uint32, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = encodeGob(body)
+		if err != nil {
+			return fmt.Errorf("rpc: encode frame %d: %w", typ, err)
+		}
+	}
+	buf := appendFrame(make([]byte, 0, frameHeaderLen+len(payload)), typ, id, payload)
+	c.wmu.Lock()
+	_, err := c.nc.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
+		werr := fmt.Errorf("%w: write to %s: %v", ErrDropped, c.nc.RemoteAddr(), err)
+		c.fail(werr)
+		return werr
+	}
+	return nil
+}
+
+func (c *tcpConn) readLoop() {
+	for {
+		f, err := readFrame(c.nc)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: connection to %s lost: %v", ErrDropped, c.nc.RemoteAddr(), err))
+			return
+		}
+		if err := c.dispatch(f); err != nil {
+			c.fail(fmt.Errorf("%w: protocol error from %s: %v", ErrDropped, c.nc.RemoteAddr(), err))
+			return
+		}
+	}
+}
+
+// dispatch routes one frame. It must never block on application code:
+// the reader staying responsive is what keeps window/credit frames
+// flowing and prevents cross-stream head-of-line deadlock.
+func (c *tcpConn) dispatch(f frame) error {
+	switch f.typ {
+	case ftUnaryReq:
+		var req tcpUnaryReq
+		if err := decodeGob(f.payload, &req); err != nil {
+			return err
+		}
+		hctx, hcancel := context.WithCancel(c.ctx)
+		c.mu.Lock()
+		c.cancels[f.id] = hcancel
+		c.mu.Unlock()
+		go c.serveUnary(hctx, hcancel, f.id, req)
+	case ftUnaryCancel:
+		c.mu.Lock()
+		hcancel := c.cancels[f.id]
+		c.mu.Unlock()
+		if hcancel != nil {
+			hcancel()
+		}
+	case ftUnaryResp:
+		var resp tcpUnaryResp
+		if err := decodeGob(f.payload, &resp); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		ch := c.calls[f.id]
+		delete(c.calls, f.id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- unaryResult{m: resp.M, err: decodeWireError(resp.Err)}
+		}
+	case ftStreamOpen:
+		var open tcpStreamOpen
+		if err := decodeGob(f.payload, &open); err != nil {
+			return err
+		}
+		c.serveStreamOpen(f.id, open)
+	case ftStreamAccept:
+		var acc tcpStreamAccept
+		if err := decodeGob(f.payload, &acc); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		ch := c.opens[f.id]
+		delete(c.opens, f.id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- acc.Err
+		}
+	case ftStreamMsg:
+		var msg tcpStreamMsg
+		if err := decodeGob(f.payload, &msg); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		ss := c.sstreams[f.id]
+		c.mu.Unlock()
+		if ss != nil {
+			ss.enqueue(msg.M)
+		}
+	case ftStreamResp:
+		var msg tcpStreamMsg
+		if err := decodeGob(f.payload, &msg); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		cs := c.streams[f.id]
+		c.mu.Unlock()
+		if cs != nil {
+			cs.enqueue(msg.M)
+		}
+	case ftWindow:
+		var w tcpWindow
+		if err := decodeGob(f.payload, &w); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		cs := c.streams[f.id]
+		ss := c.sstreams[f.id]
+		c.mu.Unlock()
+		if cs != nil {
+			cs.credit(w.Bytes)
+		}
+		if ss != nil {
+			ss.credit(w.Bytes)
+		}
+	case ftCloseSend:
+		c.mu.Lock()
+		ss := c.sstreams[f.id]
+		c.mu.Unlock()
+		if ss != nil {
+			ss.closeSend()
+		}
+	case ftReset:
+		var r tcpReset
+		if err := decodeGob(f.payload, &r); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		ss := c.sstreams[f.id]
+		c.mu.Unlock()
+		if ss != nil {
+			ss.reset(decodeWireError(r.Err))
+		}
+	case ftHandlerDone:
+		var r tcpReset
+		if err := decodeGob(f.payload, &r); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		cs := c.streams[f.id]
+		delete(c.streams, f.id)
+		c.mu.Unlock()
+		if cs != nil {
+			cs.handlerDone(decodeWireError(r.Err))
+		}
+	default:
+		return fmt.Errorf("unexpected frame type %d", f.typ)
+	}
+	return nil
+}
+
+func (c *tcpConn) serveUnary(ctx context.Context, cancel context.CancelFunc, id uint32, req tcpUnaryReq) {
+	defer func() {
+		cancel()
+		c.mu.Lock()
+		delete(c.cancels, id)
+		c.mu.Unlock()
+	}()
+	var resp any
+	var err error
+	if srv, lerr := c.t.local.lookup(req.Addr); lerr != nil {
+		err = lerr
+	} else if h, ok := srv.unaryHandler(req.Method); !ok {
+		err = fmt.Errorf("%w: %s/%s", ErrNoMethod, req.Addr, req.Method)
+	} else {
+		resp, err = h(ctx, req.M)
+	}
+	c.writeFrame(ftUnaryResp, id, &tcpUnaryResp{M: resp, Err: encodeWireError(err)})
+}
+
+func (c *tcpConn) serveStreamOpen(id uint32, open tcpStreamOpen) {
+	srv, err := c.t.local.lookup(open.Addr)
+	var h StreamHandler
+	if err == nil {
+		var ok bool
+		h, ok = srv.streamHandler(open.Method)
+		if !ok {
+			err = fmt.Errorf("%w: %s/%s", ErrNoMethod, open.Addr, open.Method)
+		}
+	}
+	if err == nil && open.Window <= 0 {
+		err = errors.New("rpc: flow-control window must be positive")
+	}
+	if err != nil {
+		c.writeFrame(ftStreamAccept, id, &tcpStreamAccept{Err: encodeWireError(err)})
+		return
+	}
+	hctx, hcancel := context.WithCancel(c.ctx)
+	ss := newTCPServerStream(c, id, open.Window, hcancel)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		hcancel()
+		return
+	}
+	c.sstreams[id] = ss
+	c.mu.Unlock()
+	if c.writeFrame(ftStreamAccept, id, &tcpStreamAccept{}) != nil {
+		hcancel()
+		return
+	}
+	go func() {
+		herr := h(hctx, ss)
+		hcancel()
+		c.mu.Lock()
+		delete(c.sstreams, id)
+		c.mu.Unlock()
+		ss.finish(herr)
+		c.writeFrame(ftHandlerDone, id, &tcpReset{Err: encodeWireError(herr)})
+	}()
+}
+
+func (c *tcpConn) newID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+func (c *tcpConn) unary(ctx context.Context, addr, method string, req any) (any, error) {
+	id := c.newID()
+	ch := make(chan unaryResult, 1)
+	c.mu.Lock()
+	if c.dead {
+		err := c.deadErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.calls[id] = ch
+	c.mu.Unlock()
+	if err := c.writeFrame(ftUnaryReq, id, &tcpUnaryReq{Addr: addr, Method: method, M: req}); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		c.writeFrame(ftUnaryCancel, id, nil)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *tcpConn) openStream(ctx context.Context, addr, method string, window int) (ClientStream, error) {
+	id := c.newID()
+	acceptCh := make(chan *WireError, 1)
+	cs := newTCPClientStream(c, id, window)
+	c.mu.Lock()
+	if c.dead {
+		err := c.deadErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.opens[id] = acceptCh
+	c.streams[id] = cs
+	c.mu.Unlock()
+	if err := c.writeFrame(ftStreamOpen, id, &tcpStreamOpen{Addr: addr, Method: method, Window: window}); err != nil {
+		return nil, err
+	}
+	select {
+	case werr := <-acceptCh:
+		if werr != nil {
+			c.mu.Lock()
+			delete(c.streams, id)
+			c.mu.Unlock()
+			return nil, decodeWireError(werr)
+		}
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.opens, id)
+		delete(c.streams, id)
+		c.mu.Unlock()
+		c.writeFrame(ftReset, id, &tcpReset{Err: encodeWireError(ctx.Err())})
+		return nil, ctx.Err()
+	}
+	// Propagate caller cancellation as a stream reset for the life of the
+	// stream.
+	go func() {
+		select {
+		case <-ctx.Done():
+			err := context.Cause(ctx)
+			if err == nil {
+				err = context.Canceled
+			}
+			c.writeFrame(ftReset, id, &tcpReset{Err: encodeWireError(err)})
+			cs.fail(err)
+		case <-cs.doneCh:
+		}
+	}()
+	return cs, nil
+}
+
+// tcpClientStream is the dialing end of one stream. Its flow-control
+// ledger mirrors the in-memory streamCore: inflight counts bytes written
+// but not yet credited back by the server's Recv, and the window bounds
+// buffered bytes with the same oversize-degrades-to-lock-step rule.
+type tcpClientStream struct {
+	conn   *tcpConn
+	id     uint32
+	window int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	recvQ    []any
+	sendDone bool
+	closed   bool
+	err      error
+	doneCh   chan struct{}
+	doneOnce sync.Once
+}
+
+func newTCPClientStream(c *tcpConn, id uint32, window int) *tcpClientStream {
+	cs := &tcpClientStream{conn: c, id: id, window: window, doneCh: make(chan struct{})}
+	cs.cond = sync.NewCond(&cs.mu)
+	return cs
+}
+
+func (cs *tcpClientStream) fail(err error) {
+	cs.mu.Lock()
+	if cs.err == nil {
+		cs.err = err
+	}
+	cs.closed = true
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
+	cs.doneOnce.Do(func() { close(cs.doneCh) })
+}
+
+// handlerDone records the server handler's return. A nil error is the
+// clean completion the in-memory transport surfaces as io.EOF.
+func (cs *tcpClientStream) handlerDone(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	cs.fail(err)
+}
+
+func (cs *tcpClientStream) enqueue(m any) {
+	cs.mu.Lock()
+	cs.recvQ = append(cs.recvQ, m)
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
+}
+
+func (cs *tcpClientStream) credit(bytes int) {
+	cs.mu.Lock()
+	cs.inflight -= bytes
+	if cs.inflight < 0 {
+		cs.inflight = 0
+	}
+	cs.cond.Broadcast()
+	cs.mu.Unlock()
+}
+
+func (cs *tcpClientStream) Send(m any) error {
+	size := sizeOf(m)
+	cs.mu.Lock()
+	for !cs.closed && !cs.sendDone && cs.inflight+size > cs.window && cs.inflight > 0 {
+		cs.cond.Wait()
+	}
+	if cs.closed {
+		err := cs.err
+		cs.mu.Unlock()
+		if err == io.EOF || err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	if cs.sendDone {
+		cs.mu.Unlock()
+		return ErrClosed
+	}
+	cs.inflight += size
+	cs.mu.Unlock()
+	return cs.conn.writeFrame(ftStreamMsg, cs.id, &tcpStreamMsg{M: m})
+}
+
+func (cs *tcpClientStream) Recv() (any, error) {
+	cs.mu.Lock()
+	for len(cs.recvQ) == 0 && !cs.closed {
+		cs.cond.Wait()
+	}
+	if len(cs.recvQ) > 0 {
+		m := cs.recvQ[0]
+		cs.recvQ = cs.recvQ[1:]
+		cs.mu.Unlock()
+		// Return the message's credit so the server may push more.
+		cs.conn.writeFrame(ftWindow, cs.id, &tcpWindow{Bytes: sizeOf(m)})
+		return m, nil
+	}
+	err := cs.err
+	cs.mu.Unlock()
+	return nil, err
+}
+
+func (cs *tcpClientStream) CloseSend() {
+	cs.mu.Lock()
+	already := cs.sendDone
+	cs.sendDone = true
+	cs.cond.Broadcast()
+	closed := cs.closed
+	cs.mu.Unlock()
+	if !already && !closed {
+		cs.conn.writeFrame(ftCloseSend, cs.id, nil)
+	}
+}
+
+func (cs *tcpClientStream) Close() {
+	cs.mu.Lock()
+	alreadyClosed := cs.closed
+	cs.mu.Unlock()
+	if !alreadyClosed {
+		cs.conn.writeFrame(ftReset, cs.id, &tcpReset{Err: encodeWireError(ErrClosed)})
+	}
+	cs.fail(ErrClosed)
+	// Wait for the remote handler to finish (its handlerDone frame) or
+	// for the connection to die — mirroring the in-memory Close, which
+	// joins the handler goroutine.
+	<-cs.doneCh
+}
+
+func (cs *tcpClientStream) Err() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.err
+}
+
+// tcpServerStream is the accepting end of one stream, handed to the
+// registered StreamHandler.
+type tcpServerStream struct {
+	conn   *tcpConn
+	id     uint32
+	window int
+	cancel context.CancelFunc
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	recvQ        []any
+	queuedBytes  int // received, not yet Recv'd — the request-window debt
+	respInflight int // sent, not yet credited — the response-window debt
+	sendDone     bool
+	closed       bool
+	err          error
+}
+
+func newTCPServerStream(c *tcpConn, id uint32, window int, cancel context.CancelFunc) *tcpServerStream {
+	ss := &tcpServerStream{conn: c, id: id, window: window, cancel: cancel}
+	ss.cond = sync.NewCond(&ss.mu)
+	return ss
+}
+
+func (ss *tcpServerStream) enqueue(m any) {
+	ss.mu.Lock()
+	ss.recvQ = append(ss.recvQ, m)
+	ss.queuedBytes += sizeOf(m)
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+func (ss *tcpServerStream) credit(bytes int) {
+	ss.mu.Lock()
+	ss.respInflight -= bytes
+	if ss.respInflight < 0 {
+		ss.respInflight = 0
+	}
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+func (ss *tcpServerStream) closeSend() {
+	ss.mu.Lock()
+	ss.sendDone = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+// reset terminates the stream from the client side (cancellation, Close,
+// or connection loss): the handler's context is cancelled and both
+// directions unblock.
+func (ss *tcpServerStream) reset(err error) {
+	ss.mu.Lock()
+	if ss.err == nil {
+		ss.err = err
+	}
+	ss.closed = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	ss.cancel()
+}
+
+// finish marks the handler's own return so late Sends/Recvs fail rather
+// than touch a finished stream.
+func (ss *tcpServerStream) finish(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	ss.mu.Lock()
+	if ss.err == nil {
+		ss.err = err
+	}
+	ss.closed = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+func (ss *tcpServerStream) Recv() (any, error) {
+	ss.mu.Lock()
+	for len(ss.recvQ) == 0 && !ss.closed && !ss.sendDone {
+		ss.cond.Wait()
+	}
+	if len(ss.recvQ) > 0 {
+		m := ss.recvQ[0]
+		ss.recvQ = ss.recvQ[1:]
+		size := sizeOf(m)
+		ss.queuedBytes -= size
+		ss.mu.Unlock()
+		// Return the credit so the client may send more.
+		ss.conn.writeFrame(ftWindow, ss.id, &tcpWindow{Bytes: size})
+		return m, nil
+	}
+	if ss.closed && ss.err != nil && ss.err != io.EOF && !errors.Is(ss.err, ErrClosed) {
+		err := ss.err
+		ss.mu.Unlock()
+		return nil, err
+	}
+	ss.mu.Unlock()
+	return nil, io.EOF
+}
+
+func (ss *tcpServerStream) Send(m any) error {
+	size := sizeOf(m)
+	ss.mu.Lock()
+	for !ss.closed && ss.respInflight+size > ss.window && ss.respInflight > 0 {
+		ss.cond.Wait()
+	}
+	if ss.closed {
+		err := ss.err
+		ss.mu.Unlock()
+		if err != nil && err != io.EOF {
+			return err
+		}
+		return ErrClosed
+	}
+	ss.respInflight += size
+	ss.mu.Unlock()
+	return ss.conn.writeFrame(ftStreamResp, ss.id, &tcpStreamMsg{M: m})
+}
+
+func (ss *tcpServerStream) InflightBytes() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.queuedBytes
+}
+
+func (ss *tcpServerStream) ResponseInflightBytes() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.respInflight
+}
+
+func init() {
+	// Basic concrete types that may cross the wire inside `any` fields
+	// without a package-level registration of their own.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register(float64(0))
+	gob.Register([]string(nil))
+	gob.Register(map[string]string(nil))
+}

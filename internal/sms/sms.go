@@ -67,7 +67,7 @@ type Task struct {
 	addr   string
 	db     *spanner.DB
 	clock  truetime.Clock
-	net    *rpc.Network
+	net    rpc.Transport
 	placer Placer
 
 	mu         sync.Mutex
@@ -108,7 +108,7 @@ func tailMaskKey(t meta.TableID, id meta.StreamletID) string {
 func dmlLockKey(t meta.TableID) string { return "dmllock/" + string(t) }
 
 // New creates an SMS task and registers its handlers on net at addr.
-func New(addr string, db *spanner.DB, net *rpc.Network, placer Placer) *Task {
+func New(addr string, db *spanner.DB, net rpc.Transport, placer Placer) *Task {
 	t := &Task{
 		addr:      addr,
 		db:        db,

@@ -1,0 +1,50 @@
+package sms
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"time"
+
+	"vortex/internal/rpc"
+)
+
+// The client's retry policy classifies SMS errors with errors.Is and
+// pulls push-back hints out with errors.As on *PushBackError. Register
+// wire codes so both keep working when the SMS task lives in another
+// process.
+func init() {
+	rpc.RegisterErrorCode("sms.notfound", ErrNotFound)
+	rpc.RegisterErrorCode("sms.exists", ErrAlreadyExists)
+	rpc.RegisterErrorCode("sms.finalized", ErrStreamFinalized)
+	rpc.RegisterErrorCode("sms.badrequest", ErrBadRequest)
+	rpc.RegisterErrorCode("sms.unavailable", ErrUnavailable)
+	rpc.RegisterErrorCode("sms.maskschanged", ErrMasksChanged)
+	rpc.RegisterErrorCode("sms.dmlactive", ErrDMLActive)
+	rpc.RegisterErrorCode("sms.exhausted", ErrResourceExhausted)
+
+	type pushBackWire struct {
+		Scope      string
+		Resource   string
+		RetryAfter time.Duration
+	}
+	rpc.RegisterTypedError("sms.pushback",
+		func(err error) ([]byte, bool) {
+			var pb *PushBackError
+			if !errors.As(err, &pb) {
+				return nil, false
+			}
+			var buf bytes.Buffer
+			if gob.NewEncoder(&buf).Encode(pushBackWire{pb.Scope, pb.Resource, pb.RetryAfter}) != nil {
+				return nil, false
+			}
+			return buf.Bytes(), true
+		},
+		func(b []byte) error {
+			var w pushBackWire
+			if gob.NewDecoder(bytes.NewReader(b)).Decode(&w) != nil {
+				return nil
+			}
+			return &PushBackError{Scope: w.Scope, Resource: w.Resource, RetryAfter: w.RetryAfter}
+		})
+}

@@ -78,12 +78,12 @@ func DefaultConfig(addr string) Config {
 // Server is one Stream Server task.
 type Server struct {
 	cfg    Config
-	region *colossus.Region
+	region colossus.Store
 	clock  truetime.Clock
 	sealer *blockenc.Sealer
 	keyID  blockenc.KeyID
 	router Router
-	net    *rpc.Network
+	net    rpc.Transport
 	chaos  Chaos
 
 	seqMu   sync.Mutex
@@ -157,7 +157,7 @@ type fragWriter struct {
 }
 
 // New creates a Stream Server and registers its handlers on net.
-func New(cfg Config, region *colossus.Region, clock truetime.Clock, keyring *blockenc.Keyring, router Router, net *rpc.Network) *Server {
+func New(cfg Config, region colossus.Store, clock truetime.Clock, keyring *blockenc.Keyring, router Router, net rpc.Transport) *Server {
 	if cfg.MaxFragmentBytes <= 0 {
 		cfg.MaxFragmentBytes = 8 << 20
 	}
@@ -316,7 +316,7 @@ func (s *Server) handleAppendUnary(ctx context.Context, req any) (any, error) {
 	return s.append(ctx, r)
 }
 
-func (s *Server) handleAppendStream(ctx context.Context, stream *rpc.ServerStream) error {
+func (s *Server) handleAppendStream(ctx context.Context, stream rpc.ServerStream) error {
 	for {
 		m, err := stream.Recv()
 		if err == io.EOF {
@@ -512,7 +512,7 @@ func (s *Server) writeBoth(sl *streamlet, data []byte) error {
 	expect := sl.cur.size
 	clusters := sl.info.Clusters
 	if clusters[0] == clusters[1] {
-		c := s.region.Cluster(clusters[0])
+		c := s.region.Blob(clusters[0])
 		if c == nil {
 			return fmt.Errorf("streamserver: no cluster %q", clusters[0])
 		}
@@ -522,13 +522,13 @@ func (s *Server) writeBoth(sl *streamlet, data []byte) error {
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
 	for i, name := range clusters {
-		c := s.region.Cluster(name)
+		c := s.region.Blob(name)
 		if c == nil {
 			errs[i] = fmt.Errorf("streamserver: no cluster %q", name)
 			continue
 		}
 		wg.Add(1)
-		go func(i int, c *colossus.Cluster) {
+		go func(i int, c colossus.Blobs) {
 			defer wg.Done()
 			_, errs[i] = c.AppendAt(path, expect, data, crc)
 		}(i, c)
@@ -1080,7 +1080,7 @@ func (s *Server) deleteFragmentFiles(fid meta.FragmentID) {
 	for _, f := range owner.fragments {
 		if f.ID == fid {
 			for _, cn := range f.Clusters {
-				if c := s.region.Cluster(cn); c != nil {
+				if c := s.region.Blob(cn); c != nil {
 					_ = c.Delete(f.Path)
 				}
 			}

@@ -34,6 +34,13 @@ go test -race -count=2 ./internal/query/
 # token-bucket and double-assignment paths see varied interleavings.
 go test -race -count=2 ./internal/slicer/ ./internal/sms/
 
+# The transport layer multiplexes unary calls and bi-di streams over
+# shared connections (and, for TCP, over real sockets with per-stream
+# flow-control windows): run the rpc suite — including the
+# cross-transport conformance matrix — twice more under -race so
+# connection-teardown and window-update interleavings vary.
+go test -race -count=2 ./internal/rpc/
+
 # Bench smoke in -short mode: proves the experiment harness still builds
 # and runs end-to-end without paying for full latency-model experiments
 # (those are skipped under -short and run in the main suite above).
@@ -60,6 +67,12 @@ go test -race -count=2 ./internal/disktier/
 # zero Colossus reads on the warm side and zero stale reads after GC.
 go test -short -count=1 -run 'TestCachePressureSmoke' ./internal/bench/
 
+# Cluster smoke: spawns a real coordinator + one worker as separate OS
+# processes talking over the TCP transport, drives a second of appends
+# through the full stack, and asserts the exactly-once invariant
+# (lost=0, phantom=0) across process boundaries.
+go test -short -count=1 -run 'TestClusterSmoke' ./internal/bench/
+
 # Fuzz smoke: a short budget per decoder target catches regressions in
 # the hostile-input guards without turning the check into a soak. The
 # checked-in corpora under testdata/fuzz run as plain seeds above; this
@@ -71,3 +84,4 @@ go test -run '^$' -fuzz 'FuzzOpen$' -fuzztime 10s ./internal/blockenc/
 go test -run '^$' -fuzz 'FuzzDecodeRecordBatch$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzSelectionGather$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzDecodeEntry$' -fuzztime 10s ./internal/disktier/
+go test -run '^$' -fuzz 'FuzzDecodeFrame$' -fuzztime 10s ./internal/rpc/
