@@ -9,6 +9,7 @@
 //	vortex-bench -experiment fig8 -duration 20s
 //	vortex-bench -experiment read-cache -repeats 40 -read-out BENCH_read.json
 //	vortex-bench -experiment readsession -rows 20000 -session-out BENCH_readsession.json
+//	vortex-bench -experiment matview -matview-rows 20000 -matview-out BENCH_matview.json
 //	vortex-bench -experiment compression|unary-vs-bidi|wos-vs-ros|recluster|chaos
 package main
 
@@ -28,7 +29,7 @@ func main() {
 	// re-executing this binary; those children divert here.
 	clusterd.MaybeRunNode()
 	var (
-		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | cachepressure | readsession | fanout | cluster | all")
+		experiment   = flag.String("experiment", "all", "fig7 | fig8 | compression | unary-vs-bidi | wos-vs-ros | recluster | chaos | read-cache | cachepressure | readsession | matview | fanout | cluster | all")
 		duration     = flag.Duration("duration", 15*time.Second, "measurement duration for fig7/fig8")
 		writers      = flag.Int("writers", 32, "concurrent streams for fig7")
 		rows         = flag.Int("rows", 20000, "row count for wos-vs-ros and read-cache")
@@ -45,6 +46,10 @@ func main() {
 		pressureOut  = flag.String("pressure-out", "BENCH_cachepressure.json", "output path for the cachepressure JSON report")
 		clusterNodes = flag.Int("cluster-workers", 2, "worker processes for the cluster experiment")
 		clusterOut   = flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster JSON report")
+		mvRows       = flag.Int("matview-rows", 20000, "base-table rows for matview")
+		mvEpochs     = flag.Int("matview-epochs", 8, "churn epochs for matview")
+		mvChurn      = flag.Int("matview-churn", 600, "upserts/deletes per epoch for matview")
+		mvOut        = flag.String("matview-out", "BENCH_matview.json", "output path for the matview JSON report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -181,6 +186,25 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", *sessionOut)
+			return nil
+		})
+	}
+	if want("matview") {
+		run("matview", func() error {
+			res, err := bench.MatviewBench(ctx, *mvRows, *mvEpochs, *mvChurn)
+			if err != nil {
+				return err
+			}
+			bench.PrintMatview(out, res)
+			f, err := os.Create(*mvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteMatviewJSON(f, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *mvOut)
 			return nil
 		})
 	}

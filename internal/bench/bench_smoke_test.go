@@ -196,3 +196,43 @@ func TestReadCacheBenchSmoke(t *testing.T) {
 		t.Fatal("table missing cache columns")
 	}
 }
+
+// TestMatviewSmoke runs the matview experiment at tiny scale — it is
+// the -short proof that incremental maintenance still digest-equals a
+// full recompute under churn (check.sh runs it in the bench smoke).
+func TestMatviewSmoke(t *testing.T) {
+	baseRows, epochs, churn := 2000, 3, 150
+	if testing.Short() {
+		baseRows, epochs, churn = 600, 2, 60
+	}
+	res, err := MatviewBench(context.Background(), baseRows, epochs, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DigestOK {
+		t.Fatal("maintained view diverged from recompute")
+	}
+	if len(res.Epochs) != epochs || res.TotalEvents == 0 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	for _, e := range res.Epochs {
+		if e.Events == 0 {
+			t.Fatalf("epoch %d consumed no events", e.Epoch)
+		}
+	}
+	var buf bytes.Buffer
+	PrintMatview(&buf, res)
+	if !strings.Contains(buf.String(), "recompute") {
+		t.Fatal("table missing recompute column")
+	}
+	if err := WriteMatviewJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var round MatviewResult
+	if err := json.Unmarshal(buf.Bytes()[strings.Index(buf.String(), "{"):], &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Experiment != "matview" {
+		t.Fatalf("experiment = %q", round.Experiment)
+	}
+}

@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"vortex/internal/client"
+	"vortex/internal/core"
+	"vortex/internal/matview"
+	"vortex/internal/meta"
+	"vortex/internal/query"
+	"vortex/internal/schema"
+)
+
+// MatviewEpoch is one churn epoch's measurements: the incremental
+// refresh that folded the epoch's delta into the view versus a full
+// recompute of the defining query at the same pinned snapshot.
+type MatviewEpoch struct {
+	Epoch         int     `json:"epoch"`
+	Events        int64   `json:"events"`
+	GroupsChanged int     `json:"groups_changed"`
+	Upserts       int     `json:"upserts"`
+	Deletes       int     `json:"deletes"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	RecomputeMS   float64 `json:"recompute_ms"`
+	DigestOK      bool    `json:"digest_ok"`
+}
+
+// MatviewResult is the matview experiment output; cmd/vortex-bench
+// serializes it as BENCH_matview.json. The headline numbers: a churn
+// epoch touches a small fraction of the base rows, so incremental
+// maintenance (MeanIncrementalMS) should cost a fraction of recomputing
+// the defining query from scratch (MeanRecomputeMS) — and DigestOK
+// asserts the maintained view stayed bit-identical to the recompute at
+// every pinned snapshot.
+type MatviewResult struct {
+	Experiment        string         `json:"experiment"`
+	BaseRows          int            `json:"base_rows"`
+	ChurnPerEpoch     int            `json:"churn_per_epoch"`
+	Groups            int            `json:"groups"`
+	InitialBuildMS    float64        `json:"initial_build_ms"`
+	Epochs            []MatviewEpoch `json:"epochs"`
+	MeanIncrementalMS float64        `json:"mean_incremental_ms"`
+	MeanRecomputeMS   float64        `json:"mean_recompute_ms"`
+	Speedup           float64        `json:"speedup"`
+	MaxLagMS          float64        `json:"max_lag_ms"`
+	TotalEvents       int64          `json:"total_events"`
+	DigestOK          bool           `json:"digest_ok"`
+}
+
+// matviewDigest renders a result set to an order-independent value
+// digest (maintenance allocates fresh storage sequences, so only the
+// values can be compared).
+func matviewDigest(res *query.Result) string {
+	var rows []string
+	for _, row := range res.Rows() {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// MatviewBench measures incremental view maintenance against full
+// recompute under a steady upsert/delete load. A joined GROUP BY view
+// (orders x customers rolled up by country) is built over baseRows
+// orders, then epochs churn rounds each upsert/delete churn rows and
+// refresh the view; every epoch the maintained view is digest-compared
+// to the defining query recomputed at the refresh's pinned snapshot.
+func MatviewBench(ctx context.Context, baseRows, epochs, churn int) (*MatviewResult, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 17
+	cfg.StreamServersPerCluster = 4
+	r := core.NewRegion(cfg)
+	c := r.NewClient(client.DefaultOptions())
+	eng := query.New(c, r.BigMeta, r.Net, r.Router(), query.Config{})
+
+	const groups = 40
+	nCust := groups * 3
+	if err := c.CreateTable(ctx, "bench.orders", &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "orderId", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "qty", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"orderId"},
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.CreateTable(ctx, "bench.customers", &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "country", Kind: schema.KindString, Mode: schema.Required},
+		},
+		PrimaryKey: []string{"customerKey"},
+	}); err != nil {
+		return nil, err
+	}
+	orders, err := c.CreateStream(ctx, "bench.orders", meta.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	customers, err := c.CreateStream(ctx, "bench.customers", meta.Unbuffered)
+	if err != nil {
+		return nil, err
+	}
+	upsertOrder := func(id int, cust int, qty int64) schema.Row {
+		row := schema.NewRow(
+			schema.String(fmt.Sprintf("o%07d", id)),
+			schema.String(fmt.Sprintf("c%05d", cust)),
+			schema.Int64(qty))
+		row.Change = schema.ChangeUpsert
+		return row
+	}
+	var crows []schema.Row
+	for i := 0; i < nCust; i++ {
+		row := schema.NewRow(
+			schema.String(fmt.Sprintf("c%05d", i)),
+			schema.String(fmt.Sprintf("C%02d", i%groups)))
+		row.Change = schema.ChangeUpsert
+		crows = append(crows, row)
+	}
+	if _, err := customers.Append(ctx, crows, client.AppendOptions{Offset: -1}); err != nil {
+		return nil, err
+	}
+	const batch = 500
+	for lo := 0; lo < baseRows; lo += batch {
+		var rows []schema.Row
+		for i := lo; i < lo+batch && i < baseRows; i++ {
+			rows = append(rows, upsertOrder(i, i%nCust, int64(i%97)))
+		}
+		if _, err := orders.Append(ctx, rows, client.AppendOptions{Offset: -1}); err != nil {
+			return nil, err
+		}
+	}
+
+	def, err := matview.Compile(`CREATE MATERIALIZED VIEW bench.bycountry AS
+SELECT c.country AS country, COUNT(*) AS orders, SUM(o.qty) AS qty
+FROM bench.orders AS o JOIN bench.customers AS c ON o.customerKey = c.customerKey
+GROUP BY c.country`, func(t meta.TableID) (*schema.Schema, error) {
+		return c.GetSchema(ctx, t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CreateTable(ctx, def.View, def.ViewSchema); err != nil {
+		return nil, err
+	}
+	m, err := matview.NewMaintainer(c, def, matview.NewMemStore(), 4)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MatviewResult{
+		Experiment:    "matview",
+		BaseRows:      baseRows,
+		ChurnPerEpoch: churn,
+		Groups:        groups,
+		DigestOK:      true,
+	}
+	t0 := time.Now()
+	st, err := m.Refresh(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialBuildMS = float64(time.Since(t0).Microseconds()) / 1e3
+	res.TotalEvents = st.Events
+
+	viewSQL := "SELECT country, orders, qty FROM " + string(def.View)
+	next := baseRows
+	for e := 1; e <= epochs; e++ {
+		// Steady churn: most of the delta re-keys or refreshes existing
+		// orders, a slice appends new ones, and ~10% deletes.
+		var rows []schema.Row
+		for i := 0; i < churn; i++ {
+			switch {
+			case i%10 == 9:
+				row := schema.NewRow(
+					schema.String(fmt.Sprintf("o%07d", (e*131+i*17)%next)),
+					schema.String(""), schema.Null())
+				row.Change = schema.ChangeDelete
+				rows = append(rows, row)
+			case i%4 == 0:
+				rows = append(rows, upsertOrder(next, (e+i)%nCust, int64(i)))
+				next++
+			default:
+				rows = append(rows, upsertOrder((e*37+i*13)%next, (e*7+i)%nCust, int64(e*100+i)))
+			}
+		}
+		if _, err := orders.Append(ctx, rows, client.AppendOptions{Offset: -1}); err != nil {
+			return nil, err
+		}
+
+		t0 = time.Now()
+		st, err := m.Refresh(ctx)
+		if err != nil {
+			return nil, err
+		}
+		incMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		t0 = time.Now()
+		recompute, err := eng.QueryAt(ctx, def.SelectSQL, st.SnapshotTS)
+		if err != nil {
+			return nil, err
+		}
+		recMS := float64(time.Since(t0).Microseconds()) / 1e3
+
+		viewRes, err := eng.Query(ctx, viewSQL)
+		if err != nil {
+			return nil, err
+		}
+		ok := matviewDigest(viewRes) == matviewDigest(recompute)
+		if !ok {
+			res.DigestOK = false
+		}
+		res.Epochs = append(res.Epochs, MatviewEpoch{
+			Epoch: e, Events: st.Events, GroupsChanged: st.GroupsChanged,
+			Upserts: st.Upserts, Deletes: st.Deletes,
+			IncrementalMS: incMS, RecomputeMS: recMS, DigestOK: ok,
+		})
+		res.TotalEvents += st.Events
+		res.MeanIncrementalMS += incMS
+		res.MeanRecomputeMS += recMS
+		if incMS > res.MaxLagMS {
+			res.MaxLagMS = incMS
+		}
+	}
+	if n := float64(len(res.Epochs)); n > 0 {
+		res.MeanIncrementalMS /= n
+		res.MeanRecomputeMS /= n
+	}
+	if res.MeanIncrementalMS > 0 {
+		res.Speedup = res.MeanRecomputeMS / res.MeanIncrementalMS
+	}
+	if !res.DigestOK {
+		return res, fmt.Errorf("matview bench: maintained view diverged from recompute")
+	}
+	return res, nil
+}
+
+// PrintMatview renders the matview experiment as a table.
+func PrintMatview(w io.Writer, res *MatviewResult) {
+	fmt.Fprintf(w, "matview: incremental maintenance vs full recompute (%d base rows, %d churn/epoch, %d groups)\n",
+		res.BaseRows, res.ChurnPerEpoch, res.Groups)
+	fmt.Fprintf(w, "initial build: %.1f ms (%d events)\n", res.InitialBuildMS, res.TotalEvents)
+	fmt.Fprintf(w, "%6s %8s %8s %8s %8s %12s %12s %7s\n",
+		"epoch", "events", "groups", "upserts", "deletes", "incr ms", "recompute ms", "digest")
+	for _, e := range res.Epochs {
+		digest := "ok"
+		if !e.DigestOK {
+			digest = "FAIL"
+		}
+		fmt.Fprintf(w, "%6d %8d %8d %8d %8d %12.2f %12.2f %7s\n",
+			e.Epoch, e.Events, e.GroupsChanged, e.Upserts, e.Deletes,
+			e.IncrementalMS, e.RecomputeMS, digest)
+	}
+	fmt.Fprintf(w, "mean: incremental %.2f ms vs recompute %.2f ms (%.1fx); max maintenance lag %.2f ms\n",
+		res.MeanIncrementalMS, res.MeanRecomputeMS, res.Speedup, res.MaxLagMS)
+}
+
+// WriteMatviewJSON serializes the result for BENCH_matview.json.
+func WriteMatviewJSON(w io.Writer, res *MatviewResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -48,6 +48,29 @@ type SourceOptions struct {
 	DuplicateDeliveries int
 	// Window is the per-stream flow-control budget in bytes (0 = 1 MiB).
 	Window int
+	// MinSeq, when positive, reads only rows with storage sequence
+	// strictly greater than it (the incremental change-stream form; see
+	// readsession.Options.MinSeq).
+	MinSeq int64
+	// Checkpoint, when non-nil, replaces the runner's in-memory offset
+	// map as the per-shard commit store: offset checks read through it
+	// and accepted batches are recorded in it before the shard stream's
+	// checkpoint advances. A durable implementation gives a restarted
+	// worker exactly-once resume for the shards of a still-open session.
+	Checkpoint SourceCheckpoint
+}
+
+// SourceCheckpoint is an externally owned per-shard offset store for
+// the exactly-once source. Offsets are shard-local row positions within
+// one read session (shard ids embed the session id, so entries from a
+// dead session are simply never consulted again).
+type SourceCheckpoint interface {
+	// Offset returns the committed row offset for a shard (0 if unseen).
+	Offset(shardID string) int64
+	// Commit durably advances the shard's committed offset. It is
+	// called only after the batch passed the offset check; an error
+	// aborts the run before the batch's rows are considered delivered.
+	Commit(shardID string, next int64) error
 }
 
 // SourceResult summarizes a source pipeline run.
@@ -74,19 +97,29 @@ type SourceResult struct {
 type sourceState struct {
 	mu     sync.Mutex
 	offset map[string]int64 // shard id -> committed row offset
+	ckpt   SourceCheckpoint // when non-nil, replaces the offset map
 	out    []rowenc.Stamped
 	dups   int
 }
 
-func newSourceState() *sourceState { return &sourceState{offset: map[string]int64{}} }
+func newSourceState(ckpt SourceCheckpoint) *sourceState {
+	return &sourceState{offset: map[string]int64{}, ckpt: ckpt}
+}
 
 // commit accepts a batch iff it lands exactly at the shard's committed
 // offset; duplicates (zombie re-deliveries) and gaps are rejected. On
-// acceptance the rows are emitted and the offset advances atomically.
+// acceptance the offset advances durably first, then the rows are
+// emitted — an external store that fails to commit aborts the run
+// before the batch counts as delivered.
 func (s *sourceState) commit(shardID string, batchOffset int64, rows []rowenc.Stamped) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	want := s.offset[shardID]
+	var want int64
+	if s.ckpt != nil {
+		want = s.ckpt.Offset(shardID)
+	} else {
+		want = s.offset[shardID]
+	}
 	if batchOffset < want {
 		s.dups++
 		return errAlreadyProcessed
@@ -94,8 +127,15 @@ func (s *sourceState) commit(shardID string, batchOffset int64, rows []rowenc.St
 	if batchOffset > want {
 		return fmt.Errorf("dataflow: source shard %s: batch at offset %d, checkpoint %d (gap)", shardID, batchOffset, want)
 	}
+	next := batchOffset + int64(len(rows))
+	if s.ckpt != nil {
+		if err := s.ckpt.Commit(shardID, next); err != nil {
+			return err
+		}
+	} else {
+		s.offset[shardID] = next
+	}
 	s.out = append(s.out, rows...)
-	s.offset[shardID] = batchOffset + int64(len(rows))
 	return nil
 }
 
@@ -114,13 +154,14 @@ func ReadTableRows(ctx context.Context, c *client.Client, table meta.TableID, op
 		Where:      opts.Where,
 		Columns:    opts.Columns,
 		Window:     opts.Window,
+		MinSeq:     opts.MinSeq,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer sess.Close(ctx)
 
-	state := newSourceState()
+	state := newSourceState(opts.Checkpoint)
 	res := &SourceResult{SnapshotTS: sess.SnapshotTS()}
 	var (
 		mu       sync.Mutex
@@ -182,6 +223,14 @@ func ReadTableRows(ctx context.Context, c *client.Client, table meta.TableID, op
 						if d == 0 {
 							accepted = err
 						}
+					}
+					if accepted == errAlreadyProcessed {
+						// A restarted worker replaying a shard whose external
+						// store is ahead of the stream checkpoint: the batch
+						// was delivered by a previous incarnation, so skip it
+						// and advance past.
+						sh.Commit()
+						continue
 					}
 					if accepted != nil {
 						mu.Lock()

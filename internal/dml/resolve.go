@@ -35,7 +35,16 @@ func ResolveChanges(s *schema.Schema, rows []rowenc.Stamped, dropTombstones bool
 		pk, err := s.PrimaryKeyOf(r.Row)
 		if err != nil {
 			// Rows with NULL/missing keys cannot participate in keyed
-			// replacement; treat as plain inserts.
+			// replacement. INSERT/UPSERT rows are treated as plain
+			// inserts, but a DELETE without a resolvable key can delete
+			// nothing — surfacing it as a live row would hand consumers
+			// a phantom (and a retraction-driven consumer a tombstone
+			// with no key context to retract by). It is dropped on a
+			// final read and kept (still a tombstone, still keyless) on
+			// subset compactions, where a later full merge drops it.
+			if r.Row.Change == schema.ChangeDelete && dropTombstones {
+				dead[i] = true
+			}
 			continue
 		}
 		switch r.Row.Change {

@@ -1,0 +1,108 @@
+package dml
+
+import (
+	"testing"
+
+	"vortex/internal/rowenc"
+	"vortex/internal/schema"
+)
+
+func pkSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "id", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "val", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func stamped(seq int64, ch schema.ChangeType, id schema.Value, val int64) rowenc.Stamped {
+	r := schema.NewRow(id, schema.Int64(val))
+	r.Change = ch
+	return rowenc.Stamped{Row: r, Seq: seq}
+}
+
+func ids(rows []rowenc.Stamped) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r.Row.Values[0].String()+"#"+r.Row.Values[1].String())
+	}
+	return out
+}
+
+func TestResolveChangesReplacement(t *testing.T) {
+	s := pkSchema()
+	rows := []rowenc.Stamped{
+		stamped(1, schema.ChangeUpsert, schema.String("a"), 1),
+		stamped(2, schema.ChangeUpsert, schema.String("b"), 2),
+		stamped(3, schema.ChangeUpsert, schema.String("a"), 3), // replaces seq 1
+		stamped(4, schema.ChangeDelete, schema.String("b"), 0), // deletes seq 2
+	}
+	out := ResolveChanges(s, rows, true)
+	if len(out) != 1 || out[0].Seq != 3 {
+		t.Fatalf("resolved = %v", ids(out))
+	}
+}
+
+// TestResolveChangesNullKeyDelete is the regression test for the
+// phantom-delete bug: a DELETE whose primary key cannot be extracted
+// (NULL key column) used to fall through key resolution unmarked and
+// surface as a live row on final reads — a phantom that a downstream
+// retraction consumer would try to retract with no key context.
+func TestResolveChangesNullKeyDelete(t *testing.T) {
+	s := pkSchema()
+	rows := []rowenc.Stamped{
+		stamped(1, schema.ChangeUpsert, schema.String("a"), 1),
+		stamped(2, schema.ChangeDelete, schema.Null(), 0), // keyless tombstone
+	}
+	out := ResolveChanges(s, rows, true)
+	if len(out) != 1 || out[0].Seq != 1 {
+		t.Fatalf("final read surfaced a keyless tombstone: %v", ids(out))
+	}
+	// On a subset compaction the tombstone is retained (still a
+	// tombstone, not a live row) and a later full merge drops it.
+	kept := ResolveChanges(s, rows, false)
+	if len(kept) != 2 {
+		t.Fatalf("subset compaction = %v", ids(kept))
+	}
+	if kept[1].Row.Change != schema.ChangeDelete {
+		t.Fatalf("tombstone lost its change type: %v", kept[1].Row.Change)
+	}
+	again := ResolveChanges(s, kept, true)
+	if len(again) != 1 || again[0].Seq != 1 {
+		t.Fatalf("full merge after subset compaction = %v", ids(again))
+	}
+}
+
+// A keyless UPSERT degrades to a plain insert (primary keys are
+// unenforced for inserts, §4.2.6) — but must never delete by key.
+func TestResolveChangesNullKeyUpsert(t *testing.T) {
+	s := pkSchema()
+	rows := []rowenc.Stamped{
+		stamped(1, schema.ChangeUpsert, schema.String("a"), 1),
+		stamped(2, schema.ChangeUpsert, schema.Null(), 9),
+	}
+	out := ResolveChanges(s, rows, true)
+	if len(out) != 2 {
+		t.Fatalf("resolved = %v", ids(out))
+	}
+}
+
+func TestResolveChangesKeptTombstoneSubsumes(t *testing.T) {
+	s := pkSchema()
+	first := ResolveChanges(s, []rowenc.Stamped{
+		stamped(1, schema.ChangeUpsert, schema.String("a"), 1),
+		stamped(2, schema.ChangeDelete, schema.String("a"), 0),
+	}, false)
+	if len(first) != 1 || first[0].Row.Change != schema.ChangeDelete {
+		t.Fatalf("subset compaction = %v", ids(first))
+	}
+	// Merging the kept tombstone against an older fragment still deletes.
+	merged := ResolveChanges(s, append(first,
+		stamped(0, schema.ChangeUpsert, schema.String("a"), 7),
+	), true)
+	if len(merged) != 0 {
+		t.Fatalf("merge with kept tombstone = %v", ids(merged))
+	}
+}

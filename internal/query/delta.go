@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+
+	"vortex/internal/schema"
+	"vortex/internal/sql"
+)
+
+// DeltaAgg is the retract-capable twin of aggState: it accumulates
+// COUNT/SUM/MIN/MAX/AVG under both insertions (delta +1) and
+// retractions (delta -1), which is what incremental view maintenance
+// applies when a `_CHANGE_TYPE` stream replaces or deletes rows. For
+// any multiset of surviving inputs its Result matches what a fresh
+// aggState computes over the same inputs:
+//
+//   - sums track per-kind contribution counts, so the result kind can
+//     demote when the last FLOAT64/NUMERIC contribution is retracted —
+//     a promote-only kind (aggState's sumKind) would freeze the view's
+//     column type on a value that no longer exists;
+//   - MIN/MAX keep a counted multiset of values, so retracting the
+//     current extreme falls back to the next one instead of needing a
+//     rescan of the base table.
+type DeltaAgg struct {
+	fn    sql.AggFunc
+	count int64 // non-null contributions; rows for COUNT(*)
+	sumI  int64
+	sumN  int64 // NUMERIC, scaled
+	sumF  float64
+	nInt  int64
+	nNum  int64
+	nFlt  int64
+	vals  map[string]*deltaVal // MIN/MAX counted multiset
+}
+
+type deltaVal struct {
+	v schema.Value
+	n int64
+}
+
+// NewDeltaAgg returns an empty retractable accumulator.
+func NewDeltaAgg(fn sql.AggFunc) *DeltaAgg {
+	d := &DeltaAgg{fn: fn}
+	if fn == sql.AggMin || fn == sql.AggMax {
+		d.vals = make(map[string]*deltaVal)
+	}
+	return d
+}
+
+// Apply folds one argument value in (delta = +1) or out (delta = -1).
+// isStar marks COUNT(*) (v ignored); NULL arguments never contribute,
+// matching the insert-only aggregation path.
+func (d *DeltaAgg) Apply(v schema.Value, isStar bool, delta int64) error {
+	if isStar {
+		d.count += delta
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	d.count += delta
+	switch d.fn {
+	case sql.AggCount:
+		// counting only
+	case sql.AggSum, sql.AggAvg:
+		switch v.Kind() {
+		case schema.KindInt64:
+			d.nInt += delta
+			d.sumI += delta * v.AsInt64()
+			d.sumF += float64(delta) * float64(v.AsInt64())
+			d.sumN += delta * v.AsInt64() * schema.NumericScale
+		case schema.KindNumeric:
+			d.nNum += delta
+			d.sumN += delta * v.AsNumericScaled()
+			d.sumF += float64(delta) * v.AsFloat64()
+		case schema.KindFloat64:
+			d.nFlt += delta
+			d.sumF += float64(delta) * v.AsFloat64()
+		default:
+			return fmt.Errorf("query: %s over %v", d.fn, v.Kind())
+		}
+	case sql.AggMin, sql.AggMax:
+		if !v.Kind().Comparable() {
+			return fmt.Errorf("query: %s over %v", d.fn, v.Kind())
+		}
+		key := v.String()
+		e := d.vals[key]
+		if e == nil {
+			e = &deltaVal{v: v}
+			d.vals[key] = e
+		}
+		e.n += delta
+		if e.n <= 0 {
+			delete(d.vals, key)
+		}
+	}
+	return nil
+}
+
+// Result renders the current aggregate value, matching aggState.result
+// over the surviving multiset of inputs.
+func (d *DeltaAgg) Result() schema.Value {
+	switch d.fn {
+	case sql.AggCount:
+		return schema.Int64(d.count)
+	case sql.AggSum:
+		if d.count == 0 {
+			return schema.Null()
+		}
+		switch {
+		case d.nFlt > 0:
+			return schema.Float64(d.sumF)
+		case d.nNum > 0:
+			return schema.Numeric(d.sumN)
+		default:
+			return schema.Int64(d.sumI)
+		}
+	case sql.AggAvg:
+		if d.count == 0 {
+			return schema.Null()
+		}
+		return schema.Float64(d.sumF / float64(d.count))
+	case sql.AggMin, sql.AggMax:
+		var best schema.Value = schema.Null()
+		for _, e := range d.vals {
+			if best.IsNull() {
+				best = e.v
+				continue
+			}
+			c := compareForOrder(e.v, best)
+			if (d.fn == sql.AggMin && c < 0) || (d.fn == sql.AggMax && c > 0) {
+				best = e.v
+			}
+		}
+		return best
+	}
+	return schema.Null()
+}
+
+// DeltaGroup is one group's retractable accumulators plus its key
+// values and a contributing-row count: the group is live while Rows is
+// positive, and its view row must be deleted when it drains to zero.
+type DeltaGroup struct {
+	Keys []schema.Value
+	Rows int64
+	Aggs []*DeltaAgg
+}
+
+// NewDeltaGroup builds an empty group for the statement's aggregate
+// items (in select-item order, as collectAggItems yields them).
+func NewDeltaGroup(keys []schema.Value, fns []sql.AggFunc) *DeltaGroup {
+	g := &DeltaGroup{Keys: keys}
+	for _, fn := range fns {
+		g.Aggs = append(g.Aggs, NewDeltaAgg(fn))
+	}
+	return g
+}
+
+// AggPlanItem is one aggregate output of a maintenance plan: its
+// function and argument expression, resolved against the defining
+// query's row space.
+type AggPlanItem struct {
+	Fn  sql.AggFunc
+	Arg sql.Expr // nil for COUNT(*)
+}
+
+// AggPlanOf extracts the resolved aggregate items of a SELECT in
+// select-item order — the shared shape both the snapshot aggregation
+// and matview maintenance iterate.
+func AggPlanOf(st *sql.SelectStmt) []AggPlanItem {
+	var out []AggPlanItem
+	for _, ai := range collectAggItems(st) {
+		out = append(out, AggPlanItem{Fn: ai.fn, Arg: ai.arg})
+	}
+	return out
+}
+
+// ApplyDelta folds one source row into the group with the given delta:
+// every aggregate item's argument is evaluated against the row and
+// applied, and the group's contributing-row count moves with it.
+func (g *DeltaGroup) ApplyDelta(items []AggPlanItem, row schema.Row, delta int64) error {
+	g.Rows += delta
+	for j, it := range items {
+		var v schema.Value
+		if it.Arg != nil {
+			var err error
+			v, err = sql.Eval(it.Arg, row)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.Aggs[j].Apply(v, it.Arg == nil, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupKeyOf renders a row's GROUP BY key for the statement — exported
+// for the matview maintainer, which shares the engine's key encoding so
+// maintained groups and recomputed groups collate identically.
+func GroupKeyOf(st *sql.SelectStmt, row schema.Row) (string, []schema.Value) {
+	key, vals, _ := groupKeyOf(st, row)
+	return key, vals
+}

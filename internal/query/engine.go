@@ -404,6 +404,9 @@ func resolveIfKeyed(s *schema.Schema, rows []client.PosRow) []client.PosRow {
 }
 
 func (e *Engine) execSelect(ctx context.Context, st *sql.SelectStmt, ts truetime.Timestamp) (*Result, error) {
+	if st.Join != nil {
+		return e.execSelectJoin(ctx, st, ts)
+	}
 	sc, err := e.c.GetSchema(ctx, meta.TableID(st.Table))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,344 @@
+package query_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vortex/internal/query"
+	"vortex/internal/schema"
+	"vortex/internal/sql"
+)
+
+func ordersSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "orderId", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "amount", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"orderId"},
+	}
+}
+
+func customersSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "country", Kind: schema.KindString, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"customerKey"},
+	}
+}
+
+func orderRow(id, customer string, amount int64, ch schema.ChangeType) schema.Row {
+	r := schema.NewRow(schema.String(id), schema.String(customer), schema.Int64(amount))
+	r.Change = ch
+	return r
+}
+
+func customerRow(key, country string, ch schema.ChangeType) schema.Row {
+	r := schema.NewRow(schema.String(key), schema.String(country))
+	r.Change = ch
+	return r
+}
+
+func newJoinEnv(t testing.TB) *qenv {
+	t.Helper()
+	e := newQEnv(t, ordersSchema(), "shop.orders")
+	if err := e.c.CreateTable(e.ctx, "shop.customers", customersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSnapshotHashJoin(t *testing.T) {
+	e := newJoinEnv(t)
+	e.ingest(t, "shop.orders", []schema.Row{
+		orderRow("o1", "acme", 10, schema.ChangeUpsert),
+		orderRow("o2", "acme", 20, schema.ChangeUpsert),
+		orderRow("o3", "globex", 30, schema.ChangeUpsert),
+		orderRow("o4", "nobody", 40, schema.ChangeUpsert), // no matching customer
+	})
+	e.ingest(t, "shop.customers", []schema.Row{
+		customerRow("acme", "CL", schema.ChangeUpsert),
+		customerRow("globex", "AR", schema.ChangeUpsert),
+		customerRow("idle", "BR", schema.ChangeUpsert), // no orders
+	})
+
+	res, err := e.eng.Query(e.ctx, `
+		SELECT o.orderId, c.country, o.amount
+		FROM shop.orders o JOIN shop.customers c ON o.customerKey = c.customerKey
+		ORDER BY o.orderId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	want := [][3]string{
+		{"o1", "CL", "10"},
+		{"o2", "CL", "20"},
+		{"o3", "AR", "30"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("join rows = %d, want %d: %v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		got := [3]string{rows[i][0].AsString(), rows[i][1].AsString(), rows[i][2].String()}
+		if got != w {
+			t.Errorf("row %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestJoinAggregateAndWhere(t *testing.T) {
+	e := newJoinEnv(t)
+	e.ingest(t, "shop.orders", []schema.Row{
+		orderRow("o1", "acme", 10, schema.ChangeUpsert),
+		orderRow("o2", "acme", 20, schema.ChangeUpsert),
+		orderRow("o3", "globex", 30, schema.ChangeUpsert),
+		orderRow("o4", "globex", 5, schema.ChangeUpsert),
+	})
+	e.ingest(t, "shop.customers", []schema.Row{
+		customerRow("acme", "CL", schema.ChangeUpsert),
+		customerRow("globex", "AR", schema.ChangeUpsert),
+	})
+	res, err := e.eng.Query(e.ctx, `
+		SELECT c.country, COUNT(*) AS n, SUM(o.amount) AS total
+		FROM shop.orders o JOIN shop.customers c ON o.customerKey = c.customerKey
+		WHERE o.amount >= 10
+		GROUP BY c.country
+		ORDER BY c.country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].AsString() != "AR" || rows[0][1].AsInt64() != 1 || rows[0][2].AsInt64() != 30 {
+		t.Errorf("AR group = %v", rows[0])
+	}
+	if rows[1][0].AsString() != "CL" || rows[1][1].AsInt64() != 2 || rows[1][2].AsInt64() != 30 {
+		t.Errorf("CL group = %v", rows[1])
+	}
+}
+
+// TestJoinChangeResolution joins two PK tables after upserts and
+// deletes: the join must see only the resolved per-key survivors of
+// each side's change stream.
+func TestJoinChangeResolution(t *testing.T) {
+	e := newJoinEnv(t)
+	e.ingest(t, "shop.orders", []schema.Row{
+		orderRow("o1", "acme", 10, schema.ChangeUpsert),
+		orderRow("o2", "acme", 20, schema.ChangeUpsert),
+		orderRow("o1", "globex", 11, schema.ChangeUpsert), // o1 re-keyed to globex
+		orderRow("o2", "", 0, schema.ChangeDelete),        // o2 gone
+	})
+	e.ingest(t, "shop.customers", []schema.Row{
+		customerRow("acme", "CL", schema.ChangeUpsert),
+		customerRow("globex", "AR", schema.ChangeUpsert),
+		customerRow("globex", "UY", schema.ChangeUpsert), // country corrected
+	})
+	res, err := e.eng.Query(e.ctx, `
+		SELECT o.orderId, c.country
+		FROM shop.orders o JOIN shop.customers c ON o.customerKey = c.customerKey
+		ORDER BY o.orderId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0][0].AsString() != "o1" || rows[0][1].AsString() != "UY" {
+		t.Fatalf("resolved join rows = %v", rows)
+	}
+}
+
+func TestHashJoinKernel(t *testing.T) {
+	left := ordersSchema()
+	right := customersSchema()
+	st, err := sql.Parse(`SELECT o.orderId, c.country FROM orders o JOIN customers c ON o.customerKey = c.customerKey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*sql.SelectStmt)
+	if err := sql.ResolveJoin(sel, left, right); err != nil {
+		t.Fatal(err)
+	}
+	leftRows := []schema.Row{
+		schema.NewRow(schema.String("o1"), schema.String("a"), schema.Int64(1)),
+		schema.NewRow(schema.String("o2"), schema.Null(), schema.Int64(2)), // NULL key never joins
+		schema.NewRow(schema.String("o3"), schema.String("b"), schema.Int64(3)),
+	}
+	rightRows := []schema.Row{
+		schema.NewRow(schema.String("a"), schema.String("CL")),
+		schema.NewRow(schema.String("a"), schema.String("AR")), // duplicate key: both match
+		schema.NewRow(schema.Null(), schema.String("XX")),      // NULL build key dropped
+	}
+	joined := query.HashJoinRows(leftRows, rightRows, sel.Join, len(left.Fields))
+	if len(joined) != 2 {
+		t.Fatalf("joined = %d rows", len(joined))
+	}
+	for _, row := range joined {
+		if len(row.Values) != 5 {
+			t.Fatalf("joined arity = %d", len(row.Values))
+		}
+		if row.Values[0].AsString() != "o1" {
+			t.Errorf("joined left id = %v", row.Values[0])
+		}
+	}
+}
+
+// TestKeylessDeleteNotPhantom: a DELETE row whose primary key columns
+// are NULL must not surface as a live row in query results (regression
+// for the dml.ResolveChanges keyless-tombstone leak).
+func TestKeylessDeleteNotPhantom(t *testing.T) {
+	loose := &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "id", Kind: schema.KindString, Mode: schema.Nullable},
+			{Name: "val", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"id"},
+	}
+	e := newQEnv(t, loose, "shop.loose")
+	up := schema.NewRow(schema.String("k1"), schema.Int64(10))
+	up.Change = schema.ChangeUpsert
+	del := schema.NewRow(schema.Null(), schema.Null())
+	del.Change = schema.ChangeDelete
+	e.ingest(t, "shop.loose", []schema.Row{up, del})
+	res, err := e.eng.Query(e.ctx, `SELECT id FROM shop.loose`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0][0].AsString() != "k1" {
+		t.Fatalf("keyless delete surfaced as a phantom: %v", rows)
+	}
+}
+
+func TestDeltaAggRetraction(t *testing.T) {
+	type step struct {
+		v     schema.Value
+		delta int64
+	}
+	cases := []struct {
+		fn    sql.AggFunc
+		steps []step
+		want  string
+	}{
+		{sql.AggCount, []step{{schema.Int64(1), 1}, {schema.Int64(2), 1}, {schema.Int64(1), -1}}, "1"},
+		{sql.AggSum, []step{{schema.Int64(10), 1}, {schema.Int64(5), 1}, {schema.Int64(10), -1}}, "5"},
+		// Kind demotion: retract the only float contribution and the sum
+		// is integral again.
+		{sql.AggSum, []step{{schema.Int64(3), 1}, {schema.Float64(1.5), 1}, {schema.Float64(1.5), -1}}, "3"},
+		// Retracting the current MIN falls back to the next value.
+		{sql.AggMin, []step{{schema.Int64(1), 1}, {schema.Int64(2), 1}, {schema.Int64(1), -1}}, "2"},
+		{sql.AggMax, []step{{schema.Int64(9), 1}, {schema.Int64(9), 1}, {schema.Int64(2), 1}, {schema.Int64(9), -1}}, "9"},
+		{sql.AggAvg, []step{{schema.Int64(2), 1}, {schema.Int64(4), 1}, {schema.Int64(6), 1}, {schema.Int64(6), -1}}, "3"},
+		// Draining to empty: SUM goes NULL, COUNT goes 0.
+		{sql.AggSum, []step{{schema.Int64(7), 1}, {schema.Int64(7), -1}}, "NULL"},
+		{sql.AggCount, []step{{schema.Int64(7), 1}, {schema.Int64(7), -1}}, "0"},
+		// NULLs never contribute in either direction.
+		{sql.AggCount, []step{{schema.Int64(7), 1}, {schema.Null(), 1}, {schema.Null(), -1}}, "1"},
+	}
+	for i, c := range cases {
+		d := query.NewDeltaAgg(c.fn)
+		for _, s := range c.steps {
+			if err := d.Apply(s.v, false, s.delta); err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+		}
+		if got := d.Result().String(); got != c.want {
+			t.Errorf("case %d (%v): result = %s, want %s", i, c.fn, got, c.want)
+		}
+	}
+	// COUNT(*) rows via the star path.
+	d := query.NewDeltaAgg(sql.AggCount)
+	for _, delta := range []int64{1, 1, 1, -1} {
+		if err := d.Apply(schema.Value{}, true, delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Result().AsInt64(); got != 2 {
+		t.Fatalf("COUNT(*) = %d", got)
+	}
+}
+
+// TestDeltaGroupMatchesSnapshotAggregate drives a DeltaGroup with an
+// insert/retract history and checks the surviving state matches the
+// engine's snapshot aggregation over the surviving rows.
+func TestDeltaGroupMatchesSnapshotAggregate(t *testing.T) {
+	e := newJoinEnv(t)
+	st, err := sql.Parse(`SELECT customerKey, COUNT(*) AS n, SUM(amount) AS total, MIN(amount) AS lo, MAX(amount) AS hi FROM shop.orders GROUP BY customerKey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*sql.SelectStmt)
+	if err := sql.Resolve(sel, ordersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	plan := query.AggPlanOf(sel)
+	fns := make([]sql.AggFunc, len(plan))
+	for i, it := range plan {
+		fns[i] = it.Fn
+	}
+
+	groups := map[string]*query.DeltaGroup{}
+	apply := func(row schema.Row, delta int64) {
+		key, vals := query.GroupKeyOf(sel, row)
+		g := groups[key]
+		if g == nil {
+			g = query.NewDeltaGroup(vals, fns)
+			groups[key] = g
+		}
+		if err := g.ApplyDelta(plan, row, delta); err != nil {
+			t.Fatal(err)
+		}
+		if g.Rows == 0 {
+			delete(groups, key)
+		}
+	}
+
+	mk := func(id, cust string, amt int64) schema.Row {
+		return schema.NewRow(schema.String(id), schema.String(cust), schema.Int64(amt))
+	}
+	// History: o1..o4 inserted; o2 re-priced (retract old, apply new);
+	// o4 deleted; globex's only order deleted (group drains).
+	apply(mk("o1", "acme", 10), 1)
+	apply(mk("o2", "acme", 20), 1)
+	apply(mk("o3", "acme", 30), 1)
+	apply(mk("o4", "globex", 40), 1)
+	apply(mk("o2", "acme", 20), -1)
+	apply(mk("o2", "acme", 25), 1)
+	apply(mk("o4", "globex", 40), -1)
+
+	// The surviving base rows, ingested for the snapshot aggregate.
+	e.ingest(t, "shop.orders", []schema.Row{
+		orderRow("o1", "acme", 10, schema.ChangeUpsert),
+		orderRow("o2", "acme", 25, schema.ChangeUpsert),
+		orderRow("o3", "acme", 30, schema.ChangeUpsert),
+	})
+	res, err := e.eng.Query(e.ctx, `SELECT customerKey, COUNT(*) AS n, SUM(amount) AS total, MIN(amount) AS lo, MAX(amount) AS hi FROM shop.orders GROUP BY customerKey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Rows()
+	if len(snap) != len(groups) {
+		t.Fatalf("groups = %d, snapshot = %d", len(groups), len(snap))
+	}
+	for _, row := range snap {
+		key := row[0].String() + "\x00"
+		g := groups[key]
+		if g == nil {
+			t.Fatalf("group %q missing from delta state", row[0].AsString())
+		}
+		got := []string{g.Keys[0].String()}
+		for _, a := range g.Aggs {
+			got = append(got, a.Result().String())
+		}
+		want := make([]string, len(row))
+		for i, v := range row {
+			want[i] = v.String()
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("group %q: delta %v, snapshot %v", row[0].AsString(), got, want)
+		}
+	}
+}

@@ -83,6 +83,11 @@ type session struct {
 	// pred is the filter compiled for columnar evaluation; nil-safe
 	// (a nil predicate applies as the identity selection).
 	pred *query.VecPredicate
+	// minSeq > 0 serves only rows with storage sequence strictly
+	// greater than it (incremental change-stream sessions). Applied at
+	// scan staging so shard offsets count only served rows and stay
+	// deterministic for checkpoint resume.
+	minSeq int64
 
 	leaseID string
 
@@ -278,6 +283,7 @@ func (s *Server) handleOpen(ctx context.Context, req any) (any, error) {
 		plan:         plan,
 		where:        where,
 		pred:         pred,
+		minSeq:       r.MinSeq,
 		leaseID:      leaseID,
 		leaseExpires: leaseExp,
 		shards:       make(map[string]*shard),
@@ -444,6 +450,21 @@ func filterRows(where sql.Expr, rows []client.PosRow) ([]client.PosRow, error) {
 	return kept, nil
 }
 
+// filterMinSeq drops rows at or below the session's minimum sequence
+// (the row-form twin of the columnar selection narrowing).
+func filterMinSeq(minSeq int64, rows []client.PosRow) []client.PosRow {
+	if minSeq <= 0 {
+		return rows
+	}
+	kept := rows[:0:0]
+	for _, r := range rows {
+		if r.Stamped.Seq > minSeq {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
 // served is one assignment's filtered scan result staged for a stream:
 // either columnar — the cache's encoded vectors plus identity columns,
 // with the predicate survivors in a selection vector — or row form.
@@ -491,7 +512,7 @@ func (s *Server) scanServed(ctx context.Context, sess *session, a client.Assignm
 		if rows, err = filterRows(sess.where, rows); err != nil {
 			return nil, err
 		}
-		return &served{rows: rows, decoded: int64(scanned)}, nil
+		return &served{rows: filterMinSeq(sess.minSeq, rows), decoded: int64(scanned)}, nil
 	}
 	cb, err := s.c.ScanBatch(ctx, sess.plan, a)
 	if err != nil {
@@ -502,7 +523,7 @@ func (s *Server) scanServed(ctx context.Context, sess *session, a client.Assignm
 		if err != nil {
 			return nil, err
 		}
-		return &served{rows: rows, decoded: int64(len(cb.Rows))}, nil
+		return &served{rows: filterMinSeq(sess.minSeq, rows), decoded: int64(len(cb.Rows))}, nil
 	}
 	visible := int64(cb.NumVisible())
 	sel, fs, err := sess.pred.Apply(cb)
@@ -511,6 +532,17 @@ func (s *Server) scanServed(ctx context.Context, sess *session, a client.Assignm
 	}
 	if sel == nil {
 		sel = wire.SelectAll(cb.NumRows)
+	}
+	if sess.minSeq > 0 {
+		// Narrow the selection by sequence without materializing values:
+		// cb.Seqs is already decoded per physical row.
+		kept := sel[:0:0]
+		for _, ri := range sel {
+			if cb.Seqs[ri] > sess.minSeq {
+				kept = append(kept, ri)
+			}
+		}
+		sel = kept
 	}
 	return &served{
 		cb:      cb,

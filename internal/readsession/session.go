@@ -52,6 +52,13 @@ type Options struct {
 	// (0 = 1 MiB). Smaller windows keep the server closer to the
 	// reader's actual position, which makes splits move more work.
 	Window int
+	// MinSeq, when positive, restricts the session to rows with storage
+	// sequence strictly greater than it. An incremental consumer that
+	// has applied everything up to sequence S opens its next session
+	// with MinSeq=S and reads only the delta — the server still plans
+	// all assignments (sequences interleave across fragments) but
+	// filters before serving, so old rows never cross the wire.
+	MinSeq int64
 }
 
 // Stats are per-session consumption deltas. The embedded
@@ -134,6 +141,7 @@ func (cn *Conn) Open(ctx context.Context, table meta.TableID, opts Options) (*Se
 		MaxShards:  opts.Shards,
 		Where:      opts.Where,
 		Columns:    opts.Columns,
+		MinSeq:     opts.MinSeq,
 	})
 	if err != nil {
 		return nil, err

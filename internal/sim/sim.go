@@ -7,8 +7,10 @@
 // seed, and after every epoch the harness runs the §6.3 continuous
 // verification invariants (exactly-once, no-missing/no-duplicate,
 // content integrity) plus snapshot-read monotonicity, WOS∪ROS union
-// completeness across conversion, no-stale-read-after-GC, and a DML
-// row-count model check.
+// completeness across conversion, no-stale-read-after-GC, a DML
+// row-count model check, and materialized-view parity (an incrementally
+// maintained view must equal its defining query recomputed at the
+// refresh's pinned snapshot, across maintainer crash/rebuild).
 //
 // Determinism contract: with a fixed Config, two Runs produce
 // byte-identical event logs. Everything that executes while the chaos
@@ -246,6 +248,7 @@ type simulation struct {
 
 	clients []*simClient
 	dml     *dmlActor
+	mv      *matviewActor
 
 	epoch   int
 	samples []snapSample
@@ -380,13 +383,17 @@ func (s *simulation) setup(ctx context.Context) error {
 	if err := s.plain.CreateTable(ctx, tableDML, logSchema()); err != nil {
 		return err
 	}
+	if err := s.plain.CreateTable(ctx, tableAccounts, accountsSchema()); err != nil {
+		return err
+	}
 	for i := 0; i < s.cfg.Clients; i++ {
 		copts := client.DefaultOptions()
 		copts.Seed = s.cfg.Seed*1009 + int64(i)
 		s.clients = append(s.clients, newSimClient(i, s, s.region.NewClient(copts)))
 	}
 	s.dml = newDMLActor(s)
-	return nil
+	s.mv = newMatviewActor(s)
+	return s.mv.init(ctx)
 }
 
 // workloadPhase runs the logically concurrent clients one operation at
@@ -401,6 +408,7 @@ func (s *simulation) workloadPhase(ctx context.Context) {
 			}
 		}
 		s.dml.step(ctx)
+		s.mv.step(ctx)
 		if s.res.Failure != nil {
 			return
 		}
@@ -438,9 +446,10 @@ func (s *simulation) maintenancePhase(ctx context.Context) {
 			c.rotate(ctx)
 		}
 		s.dml.rotate(ctx)
+		s.mv.rotate(ctx)
 		s.region.HeartbeatAll(ctx, false)
 	}
-	for _, table := range []meta.TableID{tableLedger, tableDML} {
+	for _, table := range []meta.TableID{tableLedger, tableDML, tableAccounts, tableByRegion} {
 		res, err := s.opt.ConvertTable(ctx, table)
 		if err != nil {
 			s.logf("e%d maint convert t=%s err=%s", s.epoch, table, errCategory(err))
@@ -518,6 +527,9 @@ func (s *simulation) verifyPhase(ctx context.Context) {
 		}
 	}
 	s.dml.resolve(ctx)
+	if s.mv.pending != nil {
+		s.mv.resolve(ctx)
+	}
 
 	if pending == 0 {
 		rep, err := verify.VerifyTable(ctx, s.plain, tableLedger, s.ledger, 0)
@@ -548,6 +560,9 @@ func (s *simulation) verifyPhase(ctx context.Context) {
 
 	s.checkSnapshots(ctx)
 	s.checkReadSession(ctx)
+	if s.res.Failure == nil {
+		s.checkMatview(ctx)
+	}
 }
 
 // checkSnapshots enforces snapshot-read monotonicity and WOS∪ROS union
@@ -699,6 +714,9 @@ func (s *simulation) drain(ctx context.Context) {
 		s.fail("dml-count", fmt.Sprintf("final stored=%d model=%d", got, s.dml.modelCount()))
 	} else {
 		s.logf("final dml count=%d", got)
+	}
+	if s.res.Failure == nil {
+		s.drainMatview(ctx)
 	}
 }
 

@@ -3,6 +3,8 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
+	"unicode"
 
 	"vortex/internal/schema"
 )
@@ -10,18 +12,45 @@ import (
 // Statement is a parsed SQL statement.
 type Statement interface{ stmt() }
 
-// SelectStmt is a single-table SELECT.
+// SelectStmt is a SELECT over one table or a two-table equi-join.
 type SelectStmt struct {
-	Items   []SelectItem
-	Star    bool
-	Table   string
-	Where   Expr // nil if absent
-	GroupBy []*ColumnRef
-	OrderBy []OrderItem
-	Limit   int64 // -1 if absent
+	Items      []SelectItem
+	Star       bool
+	Table      string
+	TableAlias string      // optional FROM alias
+	Join       *JoinClause // nil for single-table selects
+	Where      Expr        // nil if absent
+	GroupBy    []*ColumnRef
+	OrderBy    []OrderItem
+	Limit      int64 // -1 if absent
 }
 
 func (*SelectStmt) stmt() {}
+
+// JoinClause is an inner two-table equi-join: JOIN table [AS alias] ON
+// left.col = right.col [AND ...]. ResolveJoin decomposes On into the
+// per-side key extractors LeftKeys/RightKeys (each resolved against its
+// own table's row space); column references elsewhere in the statement
+// resolve into the concatenated left++right row space.
+type JoinClause struct {
+	Table string
+	Alias string
+	On    Expr // raw ON conjunction, as parsed
+
+	// Resolved by ResolveJoin: pairwise equi-join keys. LeftKeys[i]
+	// binds into the left table's rows, RightKeys[i] into the right's.
+	LeftKeys  []*ColumnRef
+	RightKeys []*ColumnRef
+}
+
+// CreateViewStmt is CREATE MATERIALIZED VIEW name AS SELECT ... — the
+// defining query of a continuously maintained view.
+type CreateViewStmt struct {
+	Name  string
+	Query *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
 
 // SelectItem is one projection.
 type SelectItem struct {
@@ -63,6 +92,11 @@ type Expr interface {
 	exprString() string
 }
 
+// ExprString renders an expression back to parseable SQL text. The
+// round-trip property — Parse(ExprString(e)) succeeds and renders to the
+// same string — is what the sql fuzz target checks.
+func ExprString(e Expr) string { return e.exprString() }
+
 // ColumnRef references a (possibly dotted) column path.
 type ColumnRef struct {
 	Path []string
@@ -75,7 +109,32 @@ type ColumnRef struct {
 	Leaf *schema.Field
 }
 
-func (c *ColumnRef) exprString() string { return strings.Join(c.Path, ".") }
+func (c *ColumnRef) exprString() string {
+	parts := make([]string, len(c.Path))
+	for i, p := range c.Path {
+		parts[i] = quoteIdent(p)
+	}
+	return strings.Join(parts, ".")
+}
+
+// quoteIdent renders one path segment, backtick-quoting it when it is
+// not a plain identifier (or collides with a keyword) so the rendering
+// re-parses to the same reference. A parsed identifier can never
+// contain a backtick, so quoting is always representable.
+func quoteIdent(s string) string {
+	plain := s != "" && !keywords[strings.ToUpper(s)]
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		plain = false
+		break
+	}
+	if plain {
+		return s
+	}
+	return "`" + s + "`"
+}
 
 // Name returns the dotted path.
 func (c *ColumnRef) Name() string { return strings.Join(c.Path, ".") }
@@ -85,7 +144,32 @@ type Literal struct {
 	Value schema.Value
 }
 
-func (l *Literal) exprString() string { return l.Value.String() }
+func (l *Literal) exprString() string {
+	v := l.Value
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.Kind() {
+	case schema.KindString:
+		return quoteSQLString(v.AsString())
+	case schema.KindTimestamp:
+		return fmt.Sprintf("TIMESTAMP %s", quoteSQLString(v.AsTime().Format(time.RFC3339Nano)))
+	case schema.KindDate:
+		return fmt.Sprintf("DATE %s", quoteSQLString(v.String()))
+	case schema.KindNumeric:
+		return fmt.Sprintf("NUMERIC %s", quoteSQLString(v.String()))
+	default:
+		// INT64, BOOL and FLOAT64 render as bare literals; kinds the
+		// grammar has no literal form for keep the debug rendering.
+		return v.String()
+	}
+}
+
+// quoteSQLString renders s as a single-quoted SQL string literal (” is
+// the embedded-quote escape, matching the lexer).
+func quoteSQLString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
 
 // BinaryOp kinds.
 type BinOp int

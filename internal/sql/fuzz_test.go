@@ -1,0 +1,131 @@
+package sql_test
+
+import (
+	"testing"
+
+	"vortex/internal/sql"
+)
+
+// collectExprs gathers every expression a parsed SELECT carries.
+func collectExprs(st *sql.SelectStmt) []sql.Expr {
+	var out []sql.Expr
+	for _, it := range st.Items {
+		out = append(out, it.Expr)
+	}
+	if st.Join != nil {
+		out = append(out, st.Join.On)
+	}
+	if st.Where != nil {
+		out = append(out, st.Where)
+	}
+	for _, g := range st.GroupBy {
+		out = append(out, g)
+	}
+	for _, o := range st.OrderBy {
+		out = append(out, o.Column)
+	}
+	return out
+}
+
+// FuzzParse hammers the SQL front end — the last hand-written decoder
+// in the tree — with arbitrary input. Two properties:
+//
+//  1. Parse never panics (malformed input must error, not crash);
+//  2. every expression in a successfully parsed statement round-trips
+//     through ExprString: the rendering re-parses, and re-renders to
+//     the identical string. This is the property DESIGN-level callers
+//     (predicate pushdown, matview's SelectSQL recompute oracle) rely
+//     on when they ship rendered expressions back through Parse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT user, n FROM d.events WHERE n > 3",
+		"SELECT * FROM d.t",
+		"SELECT a, COUNT(*) AS n, SUM(x) AS sx FROM d.t GROUP BY a ORDER BY n DESC LIMIT 10",
+		"SELECT c.country AS country, COUNT(*) AS orders FROM d.orders AS o JOIN d.customers AS c ON o.customerKey = c.customerKey GROUP BY c.country",
+		"CREATE MATERIALIZED VIEW d.v AS SELECT page, COUNT(*) AS views FROM d.clicks GROUP BY page",
+		"SELECT a FROM t WHERE (a + 1) * 2 >= -3 AND NOT (b = 'it''s') OR c IS NOT NULL",
+		"SELECT payload.device.os AS os FROM d.t WHERE DATE(ts) = DATE '2024-06-09'",
+		"SELECT a FROM t WHERE ts > TIMESTAMP '2024-06-09T12:00:00Z' AND price < NUMERIC '12.5'",
+		"SELECT `group`, `a b` FROM t WHERE `group` != 'x'",
+		"UPDATE d.t SET a = a + 1, b = 'x' WHERE c < 3",
+		"DELETE FROM d.t WHERE a IS NULL",
+		"SELECT MIN(a), MAX(b), AVG(c) FROM t GROUP BY d",
+		// Malformed inputs: each must error, never panic.
+		"SELECT FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a, FROM t",
+		"SELECT a FROM t JOIN u ON",
+		"CREATE MATERIALIZED VIEW v AS",
+		"SELECT 'unterminated FROM t",
+		"SELECT `unterminated FROM t",
+		"SELECT ((a FROM t",
+		"SELECT 1.2.3 FROM t",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := sql.Parse(src)
+		if err != nil {
+			return
+		}
+		var exprs []sql.Expr
+		switch s := stmt.(type) {
+		case *sql.SelectStmt:
+			exprs = collectExprs(s)
+		case *sql.CreateViewStmt:
+			exprs = collectExprs(s.Query)
+		case *sql.UpdateStmt:
+			for _, a := range s.Set {
+				exprs = append(exprs, a.Column, a.Value)
+			}
+			if s.Where != nil {
+				exprs = append(exprs, s.Where)
+			}
+		case *sql.DeleteStmt:
+			if s.Where != nil {
+				exprs = append(exprs, s.Where)
+			}
+		}
+		for _, e := range exprs {
+			text := sql.ExprString(e)
+			e2, err := sql.ParseExpr(text)
+			if err != nil {
+				t.Fatalf("ExprString produced unparseable %q (from %q): %v", text, src, err)
+			}
+			if got := sql.ExprString(e2); got != text {
+				t.Fatalf("round-trip drift: %q re-renders as %q (from %q)", text, got, src)
+			}
+		}
+	})
+}
+
+// TestExprStringRoundTrip pins the renderer forms the fuzz property
+// depends on: quoted strings, typed literals, and re-quoted
+// identifiers all survive a render→parse→render cycle byte for byte.
+func TestExprStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"(a = 'it''s')",
+		"(ts >= TIMESTAMP '2024-06-09T12:00:00Z')",
+		"(d = DATE '2024-06-09')",
+		"(p < NUMERIC '12.5')",
+		"`group`.`a b`",
+		"((a + 1) * -2)",
+		"NOT x IS NOT NULL",
+		"COUNT(*)",
+		"SUM(payload.qty)",
+	} {
+		e, err := sql.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		text := sql.ExprString(e)
+		e2, err := sql.ParseExpr(text)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", text, src, err)
+		}
+		if got := sql.ExprString(e2); got != text {
+			t.Fatalf("drift: %q -> %q", text, got)
+		}
+	}
+}

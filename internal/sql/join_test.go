@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"testing"
+
+	"vortex/internal/schema"
+)
+
+func ordersSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "orderId", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "amount", Kind: schema.KindInt64, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"orderId"},
+	}
+}
+
+func customersSchema() *schema.Schema {
+	return &schema.Schema{
+		Fields: []*schema.Field{
+			{Name: "customerKey", Kind: schema.KindString, Mode: schema.Required},
+			{Name: "country", Kind: schema.KindString, Mode: schema.Nullable},
+		},
+		PrimaryKey: []string{"customerKey"},
+	}
+}
+
+func TestParseJoinShape(t *testing.T) {
+	st := mustParse(t, `
+		SELECT o.orderId, c.country, amount
+		FROM shop.orders AS o JOIN shop.customers c ON o.customerKey = c.customerKey
+		WHERE amount > 10`).(*SelectStmt)
+	if st.Table != "shop.orders" || st.TableAlias != "o" {
+		t.Fatalf("from = %q alias %q", st.Table, st.TableAlias)
+	}
+	if st.Join == nil || st.Join.Table != "shop.customers" || st.Join.Alias != "c" {
+		t.Fatalf("join = %+v", st.Join)
+	}
+	if st.Join.On == nil {
+		t.Fatal("missing ON")
+	}
+}
+
+func TestResolveJoin(t *testing.T) {
+	left, right := ordersSchema(), customersSchema()
+	st := mustParse(t, `
+		SELECT orderId, country, amount
+		FROM shop.orders o JOIN shop.customers c ON o.customerKey = c.customerKey`).(*SelectStmt)
+	if err := ResolveJoin(st, left, right); err != nil {
+		t.Fatalf("ResolveJoin: %v", err)
+	}
+	// orderId binds left (index 0); country binds right, shifted past the
+	// three left fields.
+	if got := st.Items[0].Expr.(*ColumnRef).Index; got != 0 {
+		t.Fatalf("orderId index = %d", got)
+	}
+	if got := st.Items[1].Expr.(*ColumnRef).Index; got != 4 {
+		t.Fatalf("country index = %d, want 4", got)
+	}
+	if len(st.Join.LeftKeys) != 1 || len(st.Join.RightKeys) != 1 {
+		t.Fatalf("keys = %+v / %+v", st.Join.LeftKeys, st.Join.RightKeys)
+	}
+	// Per-side keys bind in their own row space.
+	if st.Join.LeftKeys[0].Index != 1 || st.Join.RightKeys[0].Index != 0 {
+		t.Fatalf("key indexes = %d / %d", st.Join.LeftKeys[0].Index, st.Join.RightKeys[0].Index)
+	}
+	// A joined row is left.Values ++ right.Values; refs must evaluate
+	// against it directly.
+	joined := schema.NewRow(
+		schema.String("ord-1"), schema.String("cust-7"), schema.Int64(42),
+		schema.String("cust-7"), schema.String("CL"),
+	)
+	if v := st.Items[1].Expr.(*ColumnRef).FieldValue(joined); v.AsString() != "CL" {
+		t.Fatalf("country over joined row = %v", v)
+	}
+	if fields := JoinedFields(left, right); len(fields) != 5 || fields[4].Name != "country" {
+		t.Fatalf("JoinedFields = %+v", fields)
+	}
+}
+
+func TestResolveJoinErrors(t *testing.T) {
+	left, right := ordersSchema(), customersSchema()
+	bad := []string{
+		// customerKey exists on both sides: ambiguous unqualified.
+		"SELECT customerKey FROM orders o JOIN customers c ON o.customerKey = c.customerKey",
+		// ON compares two columns of the same table.
+		"SELECT orderId FROM orders o JOIN customers c ON o.orderId = o.customerKey",
+		// Non-equality ON.
+		"SELECT orderId FROM orders o JOIN customers c ON o.customerKey > c.customerKey",
+		// ON against a literal.
+		"SELECT orderId FROM orders o JOIN customers c ON o.customerKey = 'x'",
+		// Key kind mismatch.
+		"SELECT orderId FROM orders o JOIN customers c ON o.amount = c.country",
+		// SELECT * with JOIN.
+		"SELECT * FROM orders o JOIN customers c ON o.customerKey = c.customerKey",
+		// Shared default alias (same table tail name).
+		"SELECT orderId FROM shop.orders JOIN mirror.orders ON customerKey = customerKey",
+	}
+	for _, src := range bad {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if err := ResolveJoin(st.(*SelectStmt), left, right); err == nil {
+			t.Errorf("ResolveJoin(%q) succeeded", src)
+		}
+	}
+	// Resolve (single-table entry point) must reject joined statements.
+	st := mustParse(t, "SELECT orderId FROM orders o JOIN customers c ON o.customerKey = c.customerKey")
+	if err := Resolve(st, left); err == nil {
+		t.Error("Resolve accepted a joined SELECT")
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	st := mustParse(t, `
+		CREATE MATERIALIZED VIEW views.by_country AS
+		SELECT c.country, COUNT(*) AS orders, SUM(o.amount) AS total
+		FROM shop.orders o JOIN shop.customers c ON o.customerKey = c.customerKey
+		GROUP BY c.country`).(*CreateViewStmt)
+	if st.Name != "views.by_country" {
+		t.Fatalf("name = %q", st.Name)
+	}
+	q := st.Query
+	if q.Join == nil || len(q.GroupBy) != 1 || len(q.Items) != 3 {
+		t.Fatalf("query = %+v", q)
+	}
+	if err := ResolveJoin(q, ordersSchema(), customersSchema()); err != nil {
+		t.Fatalf("resolve view query: %v", err)
+	}
+}
+
+func TestSingleTableAlias(t *testing.T) {
+	st := mustParse(t, "SELECT s.customerKey FROM d.sales AS s WHERE s.totalSale > 1").(*SelectStmt)
+	if err := Resolve(st, salesSchema()); err != nil {
+		t.Fatalf("Resolve with alias: %v", err)
+	}
+	if got := st.Items[0].Expr.(*ColumnRef).Index; got != 1 {
+		t.Fatalf("aliased customerKey index = %d", got)
+	}
+	// The rendered name keeps its qualifier (round-trip property).
+	if name := st.Items[0].Expr.(*ColumnRef).Name(); name != "s.customerKey" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestParseExprRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"(a = 1)",
+		"((a = 1) AND (b < 2))",
+		"NOT (a = 1)",
+		"a.b.c IS NOT NULL",
+		"SUM(x)",
+		"COUNT(*)",
+		"DATE(ts)",
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		rendered := ExprString(e)
+		e2, err := ParseExpr(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, src, err)
+		}
+		if again := ExprString(e2); again != rendered {
+			t.Errorf("round trip %q -> %q -> %q", src, rendered, again)
+		}
+	}
+	if _, err := ParseExpr("a = "); err == nil {
+		t.Error("ParseExpr accepted dangling operator")
+	}
+	if _, err := ParseExpr("a = 1 extra junk here"); err == nil {
+		t.Error("ParseExpr accepted trailing input")
+	}
+}

@@ -1,10 +1,13 @@
 // Package sql implements the SQL subset the reproduction's query engine
-// (the Dremel stand-in, §3.1) accepts: single-table SELECT with WHERE /
-// GROUP BY / ORDER BY / LIMIT and the aggregate functions COUNT, SUM,
-// MIN, MAX and AVG, plus the mutating statements UPDATE and DELETE whose
-// storage-side execution §7.3 describes. The subset covers every storage
-// interaction the paper's evaluation exercises: scans, filter pushdown,
-// partition elimination, aggregation and deletion masks.
+// (the Dremel stand-in, §3.1) accepts: SELECT with WHERE / GROUP BY /
+// ORDER BY / LIMIT, two-table equi-joins (FROM a JOIN b ON a.x = b.y),
+// and the aggregate functions COUNT, SUM, MIN, MAX and AVG, plus the
+// mutating statements UPDATE and DELETE whose storage-side execution
+// §7.3 describes, plus CREATE MATERIALIZED VIEW for continuous queries.
+// The subset covers every storage interaction the paper's evaluation
+// exercises: scans, filter pushdown, partition elimination, aggregation
+// and deletion masks — and the incremental-maintenance plans the
+// matview subsystem compiles.
 package sql
 
 import (
@@ -38,6 +41,7 @@ var keywords = map[string]bool{
 	"DELETE": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
 	"TIMESTAMP": true, "DATE": true, "NUMERIC": true, "BETWEEN": true,
 	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"JOIN": true, "ON": true, "CREATE": true, "MATERIALIZED": true, "VIEW": true,
 }
 
 type lexer struct {

@@ -24,8 +24,10 @@ func Parse(src string) (Statement, error) {
 		stmt, err = p.parseUpdate()
 	case p.peekKeyword("DELETE"):
 		stmt, err = p.parseDelete()
+	case p.peekKeyword("CREATE"):
+		stmt, err = p.parseCreateView()
 	default:
-		return nil, fmt.Errorf("sql: expected SELECT, UPDATE or DELETE, got %q", p.peek().text)
+		return nil, fmt.Errorf("sql: expected SELECT, UPDATE, DELETE or CREATE, got %q", p.peek().text)
 	}
 	if err != nil {
 		return nil, err
@@ -34,6 +36,23 @@ func Parse(src string) (Statement, error) {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
 	}
 	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression (predicate strings, fuzzing).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return e, nil
 }
 
 type parser struct {
@@ -140,6 +159,26 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		return nil, err
 	}
 	s.Table = table
+	s.TableAlias, err = p.parseAlias()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("JOIN") {
+		j := &JoinClause{}
+		if j.Table, err = p.parseTableName(); err != nil {
+			return nil, err
+		}
+		if j.Alias, err = p.parseAlias(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if j.On, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		s.Join = j
+	}
 	if p.acceptKeyword("WHERE") {
 		s.Where, err = p.parseExpr()
 		if err != nil {
@@ -195,6 +234,46 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		s.Limit = n
 	}
 	return s, nil
+}
+
+// parseAlias accepts an optional table alias: AS ident, or a bare
+// identifier (keywords like JOIN/WHERE terminate the FROM item, so a
+// bare ident here is unambiguous).
+func (p *parser) parseAlias() (string, error) {
+	if p.acceptKeyword("AS") {
+		return p.expectIdent()
+	}
+	if p.peek().kind == tokIdent {
+		alias := p.peek().text
+		p.pos++
+		return alias, nil
+	}
+	return "", nil
+}
+
+// parseCreateView parses CREATE MATERIALIZED VIEW name AS SELECT ... .
+func (p *parser) parseCreateView() (*CreateViewStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("MATERIALIZED"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateViewStmt{Name: name, Query: sel}, nil
 }
 
 func (p *parser) parseUpdate() (*UpdateStmt, error) {

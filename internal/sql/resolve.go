@@ -3,6 +3,7 @@ package sql
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"vortex/internal/bigmeta"
 	"vortex/internal/schema"
@@ -17,6 +18,8 @@ func Resolve(stmt Statement, s *schema.Schema) error {
 	switch st := stmt.(type) {
 	case *SelectStmt:
 		return resolveSelect(st, s)
+	case *CreateViewStmt:
+		return resolveSelect(st.Query, s)
 	case *UpdateStmt:
 		for i := range st.Set {
 			if err := resolveRef(st.Set[i].Column, s); err != nil {
@@ -37,13 +40,217 @@ func Resolve(stmt Statement, s *schema.Schema) error {
 }
 
 func resolveSelect(st *SelectStmt, s *schema.Schema) error {
+	if st.Join != nil {
+		return fmt.Errorf("sql: joined SELECT requires ResolveJoin with both table schemas")
+	}
+	return resolveSelectWith(st, singleBinder(s, st.TableAlias))
+}
+
+// ResolveJoin binds a joined SELECT against its two base-table schemas.
+// References resolve into the concatenated row space — left fields
+// first, right fields shifted by len(left.Fields) — so evaluation over
+// a joined row (left.Values ++ right.Values) reuses the single-table
+// machinery unchanged. The ON clause must be a conjunction of
+// cross-side column equalities; it is decomposed into pairwise
+// LeftKeys/RightKeys, each bound in its own table's row space, which is
+// what the hash-join kernels consume.
+func ResolveJoin(st *SelectStmt, left, right *schema.Schema) error {
+	if st.Join == nil {
+		return fmt.Errorf("sql: ResolveJoin on a single-table SELECT")
+	}
+	if st.Star {
+		return fmt.Errorf("sql: SELECT * is not supported with JOIN; name the output columns")
+	}
+	env := &joinEnv{
+		left: left, right: right,
+		leftAlias:  aliasOrTail(st.TableAlias, st.Table),
+		rightAlias: aliasOrTail(st.Join.Alias, st.Join.Table),
+	}
+	if env.leftAlias == env.rightAlias {
+		return fmt.Errorf("sql: join sides share the alias %q; disambiguate with AS", env.leftAlias)
+	}
+	st.Join.LeftKeys, st.Join.RightKeys = nil, nil
+	if err := env.decomposeOn(st.Join); err != nil {
+		return err
+	}
+	return resolveSelectWith(st, env.bind)
+}
+
+// JoinedFields returns the concatenated field list a joined row carries
+// (left fields followed by right fields), the row space ResolveJoin
+// binds references into.
+func JoinedFields(left, right *schema.Schema) []*schema.Field {
+	fields := make([]*schema.Field, 0, len(left.Fields)+len(right.Fields))
+	fields = append(fields, left.Fields...)
+	fields = append(fields, right.Fields...)
+	return fields
+}
+
+// aliasOrTail is the name a FROM item answers to: its alias when given,
+// otherwise the last segment of its (possibly dataset-qualified) name.
+func aliasOrTail(alias, table string) string {
+	if alias != "" {
+		return alias
+	}
+	if i := strings.LastIndex(table, "."); i >= 0 {
+		return table[i+1:]
+	}
+	return table
+}
+
+// singleBinder resolves references against one table schema, accepting
+// an optional FROM-alias qualifier on dotted paths (only when the
+// alias does not shadow a real top-level field).
+func singleBinder(s *schema.Schema, alias string) func(*ColumnRef) error {
+	return func(ref *ColumnRef) error {
+		if alias != "" && len(ref.Path) > 1 && ref.Path[0] == alias && s.FieldIndex(ref.Path[0]) < 0 {
+			return bindAt(ref, ref.Path[1:], s, 0)
+		}
+		return bindAt(ref, ref.Path, s, 0)
+	}
+}
+
+// bindAt resolves path against s and stores the binding in ref with the
+// top-level index shifted by offset (the right side of a join binds at
+// offset len(leftFields) in the concatenated row). ref.Path is left
+// untouched so rendered names keep their qualifiers.
+func bindAt(ref *ColumnRef, path []string, s *schema.Schema, offset int) error {
+	tmp := &ColumnRef{Path: path}
+	if err := resolveRef(tmp, s); err != nil {
+		return err
+	}
+	ref.Index = tmp.Index + offset
+	ref.Indexes = append([]int{tmp.Indexes[0] + offset}, tmp.Indexes[1:]...)
+	ref.Leaf = tmp.Leaf
+	return nil
+}
+
+type joinEnv struct {
+	left, right           *schema.Schema
+	leftAlias, rightAlias string
+}
+
+func (env *joinEnv) bind(ref *ColumnRef) error {
+	if len(ref.Path) > 1 {
+		switch ref.Path[0] {
+		case env.leftAlias:
+			return bindAt(ref, ref.Path[1:], env.left, 0)
+		case env.rightAlias:
+			return bindAt(ref, ref.Path[1:], env.right, len(env.left.Fields))
+		}
+	}
+	inLeft := env.left.FieldIndex(ref.Path[0]) >= 0
+	inRight := env.right.FieldIndex(ref.Path[0]) >= 0
+	switch {
+	case inLeft && inRight:
+		return fmt.Errorf("sql: column %q is ambiguous; qualify with %s. or %s.", ref.Path[0], env.leftAlias, env.rightAlias)
+	case inLeft:
+		return bindAt(ref, ref.Path, env.left, 0)
+	case inRight:
+		return bindAt(ref, ref.Path, env.right, len(env.left.Fields))
+	}
+	return fmt.Errorf("%w: column %q", ErrUnresolved, ref.Path[0])
+}
+
+// sideBind resolves ref against exactly one join side, returning the
+// side (0 left, 1 right) and a copy bound in that side's own row space.
+func (env *joinEnv) sideBind(ref *ColumnRef) (int, *ColumnRef, error) {
+	path := ref.Path
+	if len(path) > 1 {
+		switch path[0] {
+		case env.leftAlias:
+			c := &ColumnRef{Path: path[1:]}
+			if err := resolveRef(c, env.left); err != nil {
+				return 0, nil, err
+			}
+			return 0, c, nil
+		case env.rightAlias:
+			c := &ColumnRef{Path: path[1:]}
+			if err := resolveRef(c, env.right); err != nil {
+				return 0, nil, err
+			}
+			return 1, c, nil
+		}
+	}
+	inLeft := env.left.FieldIndex(path[0]) >= 0
+	inRight := env.right.FieldIndex(path[0]) >= 0
+	if inLeft && inRight {
+		return 0, nil, fmt.Errorf("sql: ON column %q is ambiguous; qualify it", path[0])
+	}
+	side, s := 0, env.left
+	if inRight {
+		side, s = 1, env.right
+	} else if !inLeft {
+		return 0, nil, fmt.Errorf("%w: ON column %q", ErrUnresolved, path[0])
+	}
+	c := &ColumnRef{Path: path}
+	if err := resolveRef(c, s); err != nil {
+		return 0, nil, err
+	}
+	return side, c, nil
+}
+
+// decomposeOn validates the ON clause as a conjunction of cross-side
+// column equalities and fills the join's pairwise key lists.
+func (env *joinEnv) decomposeOn(j *JoinClause) error {
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		b, ok := e.(*Binary)
+		if !ok {
+			return fmt.Errorf("sql: JOIN ON must be a conjunction of column equalities, got %s", e.exprString())
+		}
+		if b.Op == OpAnd {
+			if err := walk(b.L); err != nil {
+				return err
+			}
+			return walk(b.R)
+		}
+		if b.Op != OpEq {
+			return fmt.Errorf("sql: only equi-joins are supported, got %s in ON", b.Op)
+		}
+		lc, lok := b.L.(*ColumnRef)
+		rc, rok := b.R.(*ColumnRef)
+		if !lok || !rok {
+			return fmt.Errorf("sql: JOIN ON sides must be columns, got %s", e.exprString())
+		}
+		lside, lref, err := env.sideBind(lc)
+		if err != nil {
+			return err
+		}
+		rside, rref, err := env.sideBind(rc)
+		if err != nil {
+			return err
+		}
+		if lside == rside {
+			return fmt.Errorf("sql: ON equality %s compares columns of the same table", e.exprString())
+		}
+		if lside == 1 {
+			lref, rref = rref, lref
+		}
+		if lref.Leaf.Kind != rref.Leaf.Kind {
+			return fmt.Errorf("sql: join key kinds differ: %s is %v, %s is %v", lref.Name(), lref.Leaf.Kind, rref.Name(), rref.Leaf.Kind)
+		}
+		j.LeftKeys = append(j.LeftKeys, lref)
+		j.RightKeys = append(j.RightKeys, rref)
+		return nil
+	}
+	if err := walk(j.On); err != nil {
+		return err
+	}
+	if len(j.LeftKeys) == 0 {
+		return fmt.Errorf("sql: JOIN ON needs at least one equality")
+	}
+	return nil
+}
+
+func resolveSelectWith(st *SelectStmt, bind func(*ColumnRef) error) error {
 	for i := range st.Items {
-		if err := resolveExpr(st.Items[i].Expr, s); err != nil {
+		if err := resolveExprWith(st.Items[i].Expr, bind); err != nil {
 			return err
 		}
 	}
 	if st.Where != nil {
-		if err := resolveExpr(st.Where, s); err != nil {
+		if err := resolveExprWith(st.Where, bind); err != nil {
 			return err
 		}
 		if containsAggregate(st.Where) {
@@ -51,7 +258,7 @@ func resolveSelect(st *SelectStmt, s *schema.Schema) error {
 		}
 	}
 	for _, g := range st.GroupBy {
-		if err := resolveRef(g, s); err != nil {
+		if err := bind(g); err != nil {
 			return err
 		}
 	}
@@ -67,7 +274,7 @@ func resolveSelect(st *SelectStmt, s *schema.Schema) error {
 		if len(st.OrderBy[i].Column.Path) == 1 && aliases[st.OrderBy[i].Column.Path[0]] {
 			continue
 		}
-		if err := resolveRef(st.OrderBy[i].Column, s); err != nil {
+		if err := bind(st.OrderBy[i].Column); err != nil {
 			return err
 		}
 	}
@@ -117,27 +324,31 @@ func containsAggregate(e Expr) bool {
 }
 
 func resolveExpr(e Expr, s *schema.Schema) error {
+	return resolveExprWith(e, func(ref *ColumnRef) error { return resolveRef(ref, s) })
+}
+
+func resolveExprWith(e Expr, bind func(*ColumnRef) error) error {
 	if e == nil {
 		return nil
 	}
 	switch x := e.(type) {
 	case *ColumnRef:
-		return resolveRef(x, s)
+		return bind(x)
 	case *Literal:
 		return nil
 	case *Binary:
-		if err := resolveExpr(x.L, s); err != nil {
+		if err := resolveExprWith(x.L, bind); err != nil {
 			return err
 		}
-		return resolveExpr(x.R, s)
+		return resolveExprWith(x.R, bind)
 	case *Not:
-		return resolveExpr(x.E, s)
+		return resolveExprWith(x.E, bind)
 	case *IsNull:
-		return resolveExpr(x.E, s)
+		return resolveExprWith(x.E, bind)
 	case *Aggregate:
-		return resolveExpr(x.Arg, s)
+		return resolveExprWith(x.Arg, bind)
 	case *DateOf:
-		return resolveExpr(x.E, s)
+		return resolveExprWith(x.E, bind)
 	}
 	return fmt.Errorf("sql: unknown expression type %T", e)
 }

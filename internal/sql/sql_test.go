@@ -73,9 +73,13 @@ func TestParseErrors(t *testing.T) {
 		"SELECT * FROM",
 		"SELECT * FROM t WHERE",
 		"SELECT * FROM t LIMIT abc",
-		"UPDATE t SET x = 1", // missing WHERE
-		"DELETE FROM t",      // missing WHERE
-		"SELECT * FROM t GARBAGE",
+		"UPDATE t SET x = 1",               // missing WHERE
+		"DELETE FROM t",                    // missing WHERE
+		"SELECT * FROM t GARBAGE TRAILING", // first ident aliases t, second is trailing junk
+		"SELECT a FROM t JOIN",             // JOIN missing table
+		"SELECT a FROM t JOIN u",           // JOIN missing ON
+		"CREATE MATERIALIZED VIEW v",       // missing AS SELECT
+		"CREATE VIEW v AS SELECT a FROM t", // only MATERIALIZED views exist
 		"SELECT 'unterminated FROM t",
 		"SELECT a FROM t WHERE a ! b",
 	}

@@ -548,13 +548,17 @@ const ErrCodeLeaseExpired = "LEASE_EXPIRED"
 // OpenReadSessionRequest opens a session over Table pinned at
 // SnapshotTS (0 = now), asking for up to MaxShards parallel shards.
 // Where optionally carries a SQL predicate (the text after WHERE) for
-// pushdown; Columns optionally projects the batch columns.
+// pushdown; Columns optionally projects the batch columns. MinSeq,
+// when positive, serves only rows with storage sequence strictly
+// greater than it — the change-stream form an incremental consumer
+// uses to read just the delta since its last applied sequence.
 type OpenReadSessionRequest struct {
 	Table      meta.TableID
 	SnapshotTS truetime.Timestamp
 	MaxShards  int
 	Where      string
 	Columns    []string
+	MinSeq     int64
 }
 
 // ShardInfo describes one shard handle of a session.

@@ -1,0 +1,151 @@
+package vortex_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"vortex"
+)
+
+func renderSorted(res *vortex.Result) []string {
+	var out []string
+	for _, row := range res.Rows() {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestMaterializedViewAPI drives the continuous-query surface the way a
+// downstream user would: create a joined view, churn the base tables
+// with CDC upserts and deletes, refresh, and check the view always
+// equals its defining query recomputed at the applied snapshot.
+func TestMaterializedViewAPI(t *testing.T) {
+	ctx := context.Background()
+	db := vortex.Open()
+	if err := db.CreateTable(ctx, "shop.orders", &vortex.Schema{
+		Fields: []*vortex.Field{
+			{Name: "orderId", Kind: vortex.StringKind, Mode: vortex.Required},
+			{Name: "customerKey", Kind: vortex.StringKind, Mode: vortex.Required},
+			{Name: "qty", Kind: vortex.Int64Kind, Mode: vortex.Nullable},
+		},
+		PrimaryKey: []string{"orderId"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(ctx, "shop.customers", &vortex.Schema{
+		Fields: []*vortex.Field{
+			{Name: "customerKey", Kind: vortex.StringKind, Mode: vortex.Required},
+			{Name: "country", Kind: vortex.StringKind, Mode: vortex.Required},
+		},
+		PrimaryKey: []string{"customerKey"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	orders, err := db.Table("shop.orders").NewStream(ctx, vortex.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	customers, err := db.Table("shop.customers").NewStream(ctx, vortex.Unbuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upsertOrder := func(id, cust string, qty int64) {
+		row := vortex.NewRow(vortex.StringValue(id), vortex.StringValue(cust), vortex.Int64Value(qty))
+		row.Change = vortex.Upsert
+		if _, err := orders.Append(ctx, []vortex.Row{row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleteOrder := func(id string) {
+		row := vortex.NewRow(vortex.StringValue(id), vortex.StringValue(""), vortex.NullValue())
+		row.Change = vortex.Delete
+		if _, err := orders.Append(ctx, []vortex.Row{row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	upsertCustomer := func(key, country string) {
+		row := vortex.NewRow(vortex.StringValue(key), vortex.StringValue(country))
+		row.Change = vortex.Upsert
+		if _, err := customers.Append(ctx, []vortex.Row{row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 6; i++ {
+		upsertCustomer(fmt.Sprintf("c%d", i), []string{"AR", "CL", "UY"}[i%3])
+	}
+	for i := 0; i < 30; i++ {
+		upsertOrder(fmt.Sprintf("o%d", i), fmt.Sprintf("c%d", i%6), int64(i))
+	}
+
+	v, err := db.CreateMaterializedView(ctx, `CREATE MATERIALIZED VIEW shop.bycountry AS
+SELECT c.country AS country, COUNT(*) AS orders, SUM(o.qty) AS qty
+FROM shop.orders AS o JOIN shop.customers AS c ON o.customerKey = c.customerKey
+GROUP BY c.country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MaterializedView("shop.bycountry") != v || db.MaterializedView("shop.nope") != nil {
+		t.Fatal("view registry lookup")
+	}
+	if len(db.MaterializedViews()) != 1 {
+		t.Fatal("view registry listing")
+	}
+
+	checkParity := func() {
+		t.Helper()
+		want, err := db.QueryAt(ctx, v.Definition().SelectSQL, v.AppliedTS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Query(ctx, "SELECT country, orders, qty FROM shop.bycountry")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, g := renderSorted(want), renderSorted(got)
+		if len(w) != len(g) {
+			t.Fatalf("view rows %v, recompute %v", g, w)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("row %d: view %q, recompute %q", i, g[i], w[i])
+			}
+		}
+	}
+	checkParity()
+
+	// Churn: re-keys, deletes, and a customer migrating countries.
+	for i := 0; i < 10; i++ {
+		upsertOrder(fmt.Sprintf("o%d", i*3), fmt.Sprintf("c%d", (i+1)%6), int64(100+i))
+	}
+	deleteOrder("o7")
+	deleteOrder("o8")
+	upsertCustomer("c2", "PE")
+
+	stats, err := v.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.SnapshotTS == 0 {
+		t.Fatalf("refresh stats: %+v", stats)
+	}
+	checkParity()
+
+	// An idle refresh is a no-op.
+	stats, err = v.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 0 {
+		t.Fatalf("idle refresh consumed %d events", stats.Events)
+	}
+}

@@ -57,6 +57,17 @@ go test -short -count=1 -run 'TestVectorized' ./internal/query/ ./internal/reads
 # the no-loss and always-retryable invariants end to end.
 go test -short -count=1 -run 'TestFanoutSmoke' ./internal/bench/
 
+# Materialized-view maintenance applies CDC deltas through the
+# dataflow source's parallel shard readers and writes view rows through
+# the partitioned sink; the sql package feeds it parsed definitions.
+# Run both twice more under -race so source/sink interleavings vary.
+go test -race -count=2 ./internal/matview/ ./internal/sql/
+
+# Matview smoke: the -short variant of the incremental-maintenance
+# experiment churns a joined GROUP BY view and asserts digest equality
+# against full recompute at every pinned snapshot.
+go test -short -count=1 -run 'TestMatviewSmoke' ./internal/bench/
+
 # Disk-tier cache: the on-disk LRU mixes file IO with lock-protected
 # index state and races Put/Get/Invalidate against GC unlinks — run it
 # twice more under -race so the unlink/overwrite interleavings vary.
@@ -85,3 +96,4 @@ go test -run '^$' -fuzz 'FuzzDecodeRecordBatch$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzSelectionGather$' -fuzztime 10s ./internal/wire/
 go test -run '^$' -fuzz 'FuzzDecodeEntry$' -fuzztime 10s ./internal/disktier/
 go test -run '^$' -fuzz 'FuzzDecodeFrame$' -fuzztime 10s ./internal/rpc/
+go test -run '^$' -fuzz 'FuzzParse$' -fuzztime 10s ./internal/sql/

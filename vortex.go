@@ -36,12 +36,14 @@ package vortex
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"vortex/internal/chaos"
 	"vortex/internal/client"
 	"vortex/internal/core"
 	"vortex/internal/latencymodel"
+	"vortex/internal/matview"
 	"vortex/internal/meta"
 	"vortex/internal/metrics"
 	"vortex/internal/optimizer"
@@ -136,6 +138,15 @@ type (
 	// (admission decisions, shed appends, heartbeat coalescing, Slicer
 	// rebalancing) — see DB.IngestStats.
 	IngestStats = core.IngestStats
+	// ViewDefinition is a compiled CREATE MATERIALIZED VIEW statement:
+	// the resolved defining query, base tables, and inferred view schema.
+	ViewDefinition = matview.Definition
+	// RefreshStats summarizes one incremental view-maintenance cycle
+	// (pinned snapshot, change events consumed, view rows written).
+	RefreshStats = matview.RefreshStats
+	// ViewStore is the maintainer's durable checkpoint store; the
+	// embedded default is an in-memory store scoped to the DB.
+	ViewStore = matview.Store
 )
 
 // Chaos cut-points and crash kinds, re-exported so schedules built with
@@ -388,6 +399,9 @@ type DB struct {
 
 	errs     chan error
 	bgErrors metrics.Counter
+
+	viewsMu sync.Mutex
+	views   map[TableID]*MaterializedView
 }
 
 // Open starts an embedded region.
@@ -435,6 +449,7 @@ func Open(opts ...OpenOption) *DB {
 		opt:    optimizer.New(optimizer.DefaultConfig(), c, region.Net, region.Router(), region.Colossus, region.Clock),
 		ledger: verify.NewLedger(),
 		errs:   make(chan error, 16),
+		views:  make(map[TableID]*MaterializedView),
 	}
 }
 
@@ -575,6 +590,108 @@ func (db *DB) RunBackground(ctx context.Context, every time.Duration, tables ...
 			}
 		}
 	}()
+}
+
+// MaterializedView is a continuously maintainable view: an ordinary
+// primary-keyed Vortex table whose contents are the defining GROUP BY
+// (optionally JOIN) query, kept current by folding the base tables'
+// `_CHANGE_TYPE` change streams into retractable aggregate state.
+// Because the view is a real table, snapshot reads, read sessions,
+// caching and GC apply to it unchanged — query it like any other.
+type MaterializedView struct {
+	db    *DB
+	def   *matview.Definition
+	store matview.Store
+	m     *matview.Maintainer
+}
+
+// CreateMaterializedView compiles a CREATE MATERIALIZED VIEW statement,
+// creates the view's backing table, and runs the initial build (the
+// full base tables stream through the same incremental path). Call
+// Refresh on the returned handle to fold in subsequent changes.
+//
+// The defining query must GROUP BY (the grouped columns become the
+// view's primary key) and may join two primary-keyed tables on an
+// equality predicate:
+//
+//	v, _ := db.CreateMaterializedView(ctx, `CREATE MATERIALIZED VIEW d.bypage AS
+//	    SELECT page, COUNT(*) AS views FROM d.clicks GROUP BY page`)
+//	...ingest upserts/deletes into d.clicks...
+//	stats, _ := v.Refresh(ctx)  // fold the delta in, exactly-once
+//	res, _ := db.Query(ctx, "SELECT page, views FROM d.bypage")
+func (db *DB) CreateMaterializedView(ctx context.Context, stmt string) (*MaterializedView, error) {
+	def, err := matview.Compile(stmt, func(t TableID) (*Schema, error) {
+		return db.c.GetSchema(ctx, t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.c.CreateTable(ctx, def.View, def.ViewSchema); err != nil {
+		return nil, err
+	}
+	store := matview.NewMemStore()
+	m, err := matview.NewMaintainer(db.c, def, store, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := &MaterializedView{db: db, def: def, store: store, m: m}
+	if _, err := v.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	db.viewsMu.Lock()
+	db.views[def.View] = v
+	db.viewsMu.Unlock()
+	return v, nil
+}
+
+// MaterializedView returns the handle for a view created on this DB,
+// or nil when no such view exists.
+func (db *DB) MaterializedView(name TableID) *MaterializedView {
+	db.viewsMu.Lock()
+	defer db.viewsMu.Unlock()
+	return db.views[name]
+}
+
+// MaterializedViews lists the views created on this DB.
+func (db *DB) MaterializedViews() []*MaterializedView {
+	db.viewsMu.Lock()
+	defer db.viewsMu.Unlock()
+	out := make([]*MaterializedView, 0, len(db.views))
+	for _, v := range db.views {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Name returns the view's table id.
+func (v *MaterializedView) Name() TableID { return v.def.View }
+
+// Definition returns the view's compiled definition; Definition.SelectSQL
+// is the defining query, recomputable with DB.QueryAt as a parity oracle.
+func (v *MaterializedView) Definition() *ViewDefinition { return v.def }
+
+// AppliedTS returns the snapshot the view currently reflects: the view's
+// contents equal the defining query recomputed at exactly this timestamp.
+func (v *MaterializedView) AppliedTS() Timestamp { return v.m.AppliedTS() }
+
+// Refresh runs one exactly-once maintenance cycle: it reads each base
+// table's change stream above the last applied storage sequence at a
+// pinned snapshot, folds the deltas into the view's retractable state,
+// writes the changed view rows through the exactly-once sink, and
+// commits the checkpoint. A failed Refresh leaves durable state intact;
+// the handle rebuilds its in-memory state from the checkpoint before
+// the next attempt, so retrying is always safe.
+func (v *MaterializedView) Refresh(ctx context.Context) (*RefreshStats, error) {
+	stats, err := v.m.Refresh(ctx)
+	if err != nil {
+		// The in-memory state may hold a partially applied delta; recover
+		// the maintainer-crash way, from the last committed checkpoint.
+		if m2, rerr := matview.NewMaintainer(v.db.c, v.def, v.store, 0); rerr == nil {
+			v.m = m2
+		}
+		return nil, err
+	}
+	return stats, nil
 }
 
 // BatchCommit atomically commits PENDING streams (§4.2.4).
